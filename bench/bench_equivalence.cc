@@ -1,0 +1,80 @@
+// Equivalence-exploitation study (extension, after BoostIso — paper §6.1):
+// how much PSI work does evaluating one representative per twin class save
+// on twin-rich power-law graphs?
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/smart_psi.h"
+#include "graph/equivalence.h"
+#include "graph/generators.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+using namespace psi;
+}  // namespace
+
+int main() {
+  const int scale = bench::BenchScale();
+  const size_t queries_per_size = 3 * scale;
+
+  bench::PrintBanner("Equivalence exploitation (BoostIso-style twins)",
+                     "(extension; not a paper table)",
+                     std::to_string(queries_per_size) +
+                         " queries per size on a twin-rich power-law "
+                         "graph.");
+
+  // Preferential-attachment tree: hubs accumulate many same-label
+  // degree-1 leaves, the classic twin population BoostIso exploits.
+  util::Rng gen_rng(bench::kBenchSeed);
+  graph::LabelConfig label_config;
+  label_config.num_labels = 4;
+  label_config.zipf_exponent = 0.5;
+  const graph::Graph g =
+      graph::BarabasiAlbert(120000, 1, label_config, gen_rng);
+  util::WallTimer class_timer;
+  const graph::EquivalenceClasses classes =
+      graph::ComputeSyntacticEquivalence(g);
+  std::cout << "Graph: " << g.num_nodes() << " nodes, "
+            << g.num_edges() << " edges; " << classes.num_classes()
+            << " equivalence classes ("
+            << 100.0 * static_cast<double>(classes.num_classes()) /
+                   static_cast<double>(g.num_nodes())
+            << "% of nodes), computed in "
+            << bench::TimeCell(class_timer.Seconds(), false, 0) << "\n";
+
+  core::SmartPsiConfig base;
+  base.min_candidates_for_ml = 8;
+  core::SmartPsiEngine plain(g, base);
+  core::SmartPsiConfig dedup_config = base;
+  dedup_config.exploit_equivalence = true;
+  core::SmartPsiEngine dedup(g, dedup_config);
+
+  util::TablePrinter table(
+      {"Size", "SmartPSI", "SmartPSI+equiv", "Speedup"});
+  for (const size_t size : {3u, 4u, 5u, 6u}) {
+    const auto workload = bench::MakeWorkload(g, size, queries_per_size);
+    double plain_seconds = 0.0;
+    double dedup_seconds = 0.0;
+    for (const auto& q : workload) {
+      util::WallTimer t1;
+      plain.Evaluate(q);
+      plain_seconds += t1.Seconds();
+      util::WallTimer t2;
+      dedup.Evaluate(q);
+      dedup_seconds += t2.Seconds();
+    }
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  plain_seconds / std::max(1e-9, dedup_seconds));
+    table.AddRow({std::to_string(size),
+                  bench::TimeCell(plain_seconds, false, 0),
+                  bench::TimeCell(dedup_seconds, false, 0), speedup});
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading guide: the win tracks the twin fraction of the "
+               "candidate sets;\npower-law graphs put many degree-1 twins "
+               "under each hub.\n";
+  return 0;
+}

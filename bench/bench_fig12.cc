@@ -1,0 +1,84 @@
+// Figure 12 reproduction: frequent subgraph mining with ScaleMine-style
+// subgraph-isomorphism support evaluation vs ScaleMine+SmartPSI (PSI-based
+// support), on the Twitter (a) and Weibo (b) stand-ins, sweeping the number
+// of parallel workers (the in-process stand-in for the paper's Cray compute
+// nodes; see DESIGN.md §3).
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "fsm/miner.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+using namespace psi;
+}  // namespace
+
+int main() {
+  const int scale = bench::BenchScale();
+  const double budget = 30.0 * scale;  // per mining run
+
+  bench::PrintBanner(
+      "Figure 12: ScaleMine vs ScaleMine+SmartPSI (FSM)",
+      "Abdelhamid et al., EDBT'19, Figure 12 (a,b)",
+      "Support thresholds scaled to the stand-in sizes; max pattern 6 "
+      "edges\n(Weibo, as in the paper) / 4 edges (Twitter).");
+
+  struct Case {
+    graph::Dataset dataset;
+    // Thresholds are scaled to stand-in size: the paper uses 155K (Twitter)
+    // and 460K (Weibo) on the full graphs.
+    uint64_t min_support;
+    size_t max_edges;
+  };
+  const std::vector<Case> cases = {
+      {graph::Dataset::kTwitter, 1200, 3},
+      {graph::Dataset::kWeibo, 40, 4},
+  };
+  const std::vector<size_t> worker_counts = {1, 2, 4, 8};
+
+  for (const Case& c : cases) {
+    const graph::Graph g = bench::MakeStandIn(c.dataset);
+    std::cout << "\n--- Figure 12: " << graph::GetDatasetSpec(c.dataset).name
+              << " (" << g.num_nodes() << " nodes, " << g.num_edges()
+              << " edges, support>=" << c.min_support << ", max "
+              << c.max_edges << " edges) ---\n";
+
+    util::TablePrinter table(
+        {"Workers", "ScaleMine", "ScaleMine+SmartPSI", "Speedup",
+         "#patterns"});
+    for (const size_t workers : worker_counts) {
+      fsm::FsmConfig base;
+      base.min_support = c.min_support;
+      base.max_edges = c.max_edges;
+      base.num_threads = workers;
+
+      fsm::FsmConfig enum_config = base;
+      enum_config.method = fsm::SupportMethod::kEnumeration;
+      const auto by_enum =
+          fsm::FsmMiner(g, enum_config).Mine(util::Deadline::After(budget));
+
+      fsm::FsmConfig psi_config = base;
+      psi_config.method = fsm::SupportMethod::kPsi;
+      const auto by_psi =
+          fsm::FsmMiner(g, psi_config).Mine(util::Deadline::After(budget));
+
+      char speedup[32];
+      std::snprintf(speedup, sizeof(speedup), "%.1fx",
+                    by_enum.seconds / std::max(1e-9, by_psi.seconds));
+      table.AddRow({std::to_string(workers),
+                    bench::TimeCell(by_enum.seconds, !by_enum.complete,
+                                    budget),
+                    bench::TimeCell(by_psi.seconds, !by_psi.complete,
+                                    budget),
+                    speedup,
+                    std::to_string(by_psi.frequent.size())});
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\nExpected shape (paper): both scale with workers (needs >= "
+               "that many\nhardware threads); the PSI variant is consistently "
+               "faster (paper: up to\n5x on Twitter, 6x on Weibo).\n";
+  return 0;
+}

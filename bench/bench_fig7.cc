@@ -1,0 +1,103 @@
+// Figure 7 reproduction: query performance of SmartPSI vs. CFL-Match,
+// TurboIso and TurboIso+ on Yeast (a), Cora (b) and Human (c), query sizes
+// 4-10. Cells are total wall time over the workload; runs exceeding the
+// budget are censored (">limit", the paper's aborted 24 h bars).
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/smart_psi.h"
+#include "match/cfl_match.h"
+#include "match/turbo_iso.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace psi;
+
+/// Runs one competitor over the workload under a budget.
+template <typename RunQuery>
+std::string RunCell(const std::vector<graph::QueryGraph>& workload,
+                    double budget, RunQuery run_query) {
+  util::WallTimer timer;
+  bool censored = false;
+  const util::Deadline deadline = util::Deadline::After(budget);
+  for (const auto& q : workload) {
+    censored |= !run_query(q, deadline);
+    if (deadline.Expired()) {
+      censored = true;
+      break;
+    }
+  }
+  return bench::TimeCell(timer.Seconds(), censored, budget);
+}
+
+}  // namespace
+
+int main() {
+  const int scale = bench::BenchScale();
+  const size_t queries_per_size = 5 * scale;
+  const double budget = 2.0 * scale;
+
+  bench::PrintBanner("Figure 7: SmartPSI vs subgraph-isomorphism systems",
+                     "Abdelhamid et al., EDBT'19, Figure 7 (a,b,c)",
+                     std::to_string(queries_per_size) +
+                         " queries per size; per-cell budget " +
+                         std::to_string(budget) + "s.");
+
+  const std::vector<graph::Dataset> datasets = {
+      graph::Dataset::kYeast, graph::Dataset::kCora, graph::Dataset::kHuman};
+  const std::vector<size_t> sizes = {4, 5, 6, 7, 8, 9, 10};
+
+  for (const graph::Dataset dataset : datasets) {
+    const graph::Graph g = bench::MakeStandIn(dataset);
+    core::SmartPsiEngine smart(g);
+    match::TurboIsoEngine turbo(g);
+    match::CflMatchEngine cfl(g);
+
+    util::TablePrinter table(
+        {"Size", "CFLMatch", "TurboIso", "TurboIso+", "SmartPSI"});
+    for (const size_t size : sizes) {
+      const auto workload = bench::MakeWorkload(g, size, queries_per_size);
+      std::vector<std::string> row{std::to_string(size)};
+
+      row.push_back(RunCell(workload, budget,
+                            [&](const graph::QueryGraph& q,
+                                util::Deadline deadline) {
+                              match::MatchingEngine::Options options;
+                              options.deadline = deadline;
+                              return cfl.ProjectPivot(q, options).complete;
+                            }));
+      row.push_back(RunCell(workload, budget,
+                            [&](const graph::QueryGraph& q,
+                                util::Deadline deadline) {
+                              match::MatchingEngine::Options options;
+                              options.deadline = deadline;
+                              return turbo.ProjectPivot(q, options).complete;
+                            }));
+      row.push_back(RunCell(workload, budget,
+                            [&](const graph::QueryGraph& q,
+                                util::Deadline deadline) {
+                              match::MatchingEngine::Options options;
+                              options.deadline = deadline;
+                              return turbo.EvaluatePsi(q, options).complete;
+                            }));
+      row.push_back(RunCell(workload, budget,
+                            [&](const graph::QueryGraph& q,
+                                util::Deadline deadline) {
+                              return smart.Evaluate(q, deadline).complete;
+                            }));
+      table.AddRow(row);
+    }
+    std::cout << "\n--- Figure 7: " << graph::GetDatasetSpec(dataset).name
+              << " (" << g.num_nodes() << " nodes, " << g.num_edges()
+              << " edges) ---\n";
+    table.Print(std::cout);
+  }
+  std::cout << "\nExpected shape (paper): enumeration-based systems win on "
+               "the smallest\nqueries/datasets, blow up as size grows; "
+               "TurboIso+ beats TurboIso;\nSmartPSI flattest and fastest on "
+               "large queries and on Human.\n";
+  return 0;
+}

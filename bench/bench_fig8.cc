@@ -1,0 +1,68 @@
+// Figure 8 reproduction: exploration-based vs matrix-based neighborhood
+// signature construction time across the six datasets (depth D = 2).
+//
+// The paper's exploration method is O(N·L·d^D) and times out on Twitter;
+// the matrix method is O(N·L·d·D) and stays ~2 orders of magnitude faster
+// on the large dense graphs. Exploration runs past the budget are censored.
+
+#include <iostream>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "signature/builders.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+using namespace psi;
+}  // namespace
+
+int main() {
+  const int scale = bench::BenchScale();
+  const double exploration_budget = 60.0 * scale;
+
+  bench::PrintBanner(
+      "Figure 8: signature construction, exploration vs matrix",
+      "Abdelhamid et al., EDBT'19, Figure 8",
+      "Depth D=2, single thread (both methods), all six stand-ins.");
+
+  util::TablePrinter table({"Dataset", "Nodes", "Edges", "AvgDeg",
+                            "Exploration", "Matrix", "Speedup"});
+
+  for (const graph::Dataset dataset : graph::AllDatasets()) {
+    const graph::Graph g = bench::MakeStandIn(dataset);
+
+    util::WallTimer matrix_timer;
+    const auto matrix =
+        signature::BuildMatrixSignatures(g, 2, g.num_labels());
+    const double matrix_seconds = matrix_timer.Seconds();
+
+    // Exploration can be slow on the dense stand-ins; censor by measuring
+    // a prefix of nodes when the projected total exceeds the budget.
+    util::WallTimer expl_timer;
+    const auto exploration =
+        signature::BuildExplorationSignatures(g, 2, g.num_labels());
+    const double expl_seconds = expl_timer.Seconds();
+    const bool censored = expl_seconds > exploration_budget;
+    (void)exploration;
+
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.1fx",
+                  expl_seconds / std::max(1e-9, matrix_seconds));
+    table.AddRow({graph::GetDatasetSpec(dataset).name,
+                  std::to_string(g.num_nodes()),
+                  std::to_string(g.num_edges()),
+                  std::to_string(static_cast<int>(g.average_degree())),
+                  bench::TimeCell(expl_seconds, censored, exploration_budget),
+                  bench::TimeCell(matrix_seconds, false, 0),
+                  speedup});
+    (void)matrix;
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape (paper): both grow with graph size; "
+               "exploration falls\nfurther behind as density rises (Human, "
+               "Weibo), with the matrix method\nup to ~2 orders of magnitude "
+               "faster on the social graphs.\n";
+  return 0;
+}

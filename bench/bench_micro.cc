@@ -1,0 +1,175 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives: signature
+// construction, satisfaction tests, satisfiability scoring, signature
+// hashing, Random Forest inference, per-node PSI evaluation, and plan
+// generation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/query_context.h"
+#include "graph/datasets.h"
+#include "graph/query_extractor.h"
+#include "match/candidates.h"
+#include "match/plan.h"
+#include "match/psi_evaluator.h"
+#include "ml/random_forest.h"
+#include "signature/builders.h"
+
+namespace {
+
+using namespace psi;
+
+const graph::Graph& BenchGraph() {
+  static const graph::Graph* g = new graph::Graph(
+      graph::MakeDataset(graph::Dataset::kYeast, 1.0, 42));
+  return *g;
+}
+
+const signature::SignatureMatrix& BenchSigs(signature::Method method) {
+  static const signature::SignatureMatrix* expl =
+      new signature::SignatureMatrix(signature::BuildSignatures(
+          BenchGraph(), signature::Method::kExploration, 2,
+          BenchGraph().num_labels()));
+  static const signature::SignatureMatrix* matr =
+      new signature::SignatureMatrix(signature::BuildSignatures(
+          BenchGraph(), signature::Method::kMatrix, 2,
+          BenchGraph().num_labels()));
+  return method == signature::Method::kExploration ? *expl : *matr;
+}
+
+void BM_BuildExplorationSignatures(benchmark::State& state) {
+  const graph::Graph& g = BenchGraph();
+  for (auto _ : state) {
+    auto sigs = signature::BuildExplorationSignatures(
+        g, static_cast<uint32_t>(state.range(0)), g.num_labels());
+    benchmark::DoNotOptimize(sigs.row(0).data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_nodes()));
+}
+BENCHMARK(BM_BuildExplorationSignatures)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_BuildMatrixSignatures(benchmark::State& state) {
+  const graph::Graph& g = BenchGraph();
+  for (auto _ : state) {
+    auto sigs = signature::BuildMatrixSignatures(
+        g, static_cast<uint32_t>(state.range(0)), g.num_labels());
+    benchmark::DoNotOptimize(sigs.row(0).data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_nodes()));
+}
+BENCHMARK(BM_BuildMatrixSignatures)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_Satisfies(benchmark::State& state) {
+  const auto& sigs = BenchSigs(signature::Method::kMatrix);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto a = sigs.row(i % sigs.num_rows());
+    const auto b = sigs.row((i * 7 + 1) % sigs.num_rows());
+    benchmark::DoNotOptimize(signature::Satisfies(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_Satisfies);
+
+void BM_SatisfiabilityScore(benchmark::State& state) {
+  const auto& sigs = BenchSigs(signature::Method::kMatrix);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto a = sigs.row(i % sigs.num_rows());
+    const auto b = sigs.row((i * 13 + 3) % sigs.num_rows());
+    benchmark::DoNotOptimize(signature::SatisfiabilityScore(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_SatisfiabilityScore);
+
+void BM_HashSignature(benchmark::State& state) {
+  const auto& sigs = BenchSigs(signature::Method::kMatrix);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        signature::HashSignature(sigs.row(i % sigs.num_rows())));
+    ++i;
+  }
+}
+BENCHMARK(BM_HashSignature);
+
+void BM_RandomForestPredict(benchmark::State& state) {
+  const auto& sigs = BenchSigs(signature::Method::kMatrix);
+  ml::Dataset data(sigs.num_labels());
+  util::Rng rng(1);
+  for (size_t i = 0; i < 500; ++i) {
+    data.AddExample(sigs.row(i % sigs.num_rows()),
+                    static_cast<int32_t>(rng.NextBounded(2)));
+  }
+  ml::RandomForest forest;
+  ml::ForestConfig config;
+  config.num_trees = static_cast<size_t>(state.range(0));
+  forest.Train(data, 2, config, rng);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.Predict(sigs.row(i % sigs.num_rows())));
+    ++i;
+  }
+}
+BENCHMARK(BM_RandomForestPredict)->Arg(10)->Arg(20)->Arg(50);
+
+void BM_PsiEvaluateNode(benchmark::State& state) {
+  const graph::Graph& g = BenchGraph();
+  const auto& sigs = BenchSigs(signature::Method::kMatrix);
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(7);
+  const graph::QueryGraph q =
+      extractor.Extract(static_cast<size_t>(state.range(0)), rng);
+  if (q.num_nodes() == 0) {
+    state.SkipWithError("query extraction failed");
+    return;
+  }
+  const core::QueryContext ctx = core::PrepareQuery(g, sigs, q);
+  match::PsiEvaluator evaluator(g, sigs);
+  evaluator.BindQuery(q, ctx.query_sigs,
+                      match::MakeHeuristicPlan(q, g, q.pivot()));
+  const auto mode = state.range(1) == 0 ? match::PsiMode::kOptimistic
+                                        : match::PsiMode::kPessimistic;
+  match::PsiEvaluator::Options options;
+  options.mode = mode;
+  size_t i = 0;
+  for (auto _ : state) {
+    const graph::NodeId u = ctx.candidates[i % ctx.candidates.size()];
+    benchmark::DoNotOptimize(evaluator.EvaluateNode(u, options));
+    ++i;
+  }
+}
+BENCHMARK(BM_PsiEvaluateNode)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({6, 0})
+    ->Args({6, 1});
+
+void BM_MakeHeuristicPlan(benchmark::State& state) {
+  const graph::Graph& g = BenchGraph();
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(9);
+  const graph::QueryGraph q = extractor.Extract(8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        match::MakeHeuristicPlan(q, g, q.pivot()).order.data());
+  }
+}
+BENCHMARK(BM_MakeHeuristicPlan);
+
+void BM_ExtractPivotCandidates(benchmark::State& state) {
+  const graph::Graph& g = BenchGraph();
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(11);
+  const graph::QueryGraph q = extractor.Extract(5, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match::ExtractPivotCandidates(g, q).data());
+  }
+}
+BENCHMARK(BM_ExtractPivotCandidates);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// §5.4 reproduction ("Machine Learning Models"): Random Forest vs SVM vs
+// Neural Network as SmartPSI's node-type classifier on Human.
+//
+// Training data is built the way SmartPSI builds it: neighborhood-signature
+// feature vectors labeled by exact pessimistic evaluation. Paper result:
+// RF ~95% accuracy vs SVM ~90% / NN ~92%, and RF ~2x faster to build+apply.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/query_context.h"
+#include "match/plan.h"
+#include "match/psi_evaluator.h"
+#include "ml/linear_svm.h"
+#include "ml/metrics.h"
+#include "ml/neural_net.h"
+#include "ml/random_forest.h"
+#include "signature/builders.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+using namespace psi;
+}  // namespace
+
+int main() {
+  const int scale = bench::BenchScale();
+  const size_t queries = 4 * scale;
+  const size_t query_size = 5;
+
+  bench::PrintBanner("§5.4: RF vs SVM vs NN node-type classifiers",
+                     "Abdelhamid et al., EDBT'19, §5.4 (text)",
+                     std::to_string(queries) + " queries of size " +
+                         std::to_string(query_size) + " on Human.");
+
+  const graph::Graph g = bench::MakeStandIn(graph::Dataset::kHuman);
+  const auto sigs = signature::BuildMatrixSignatures(g, 2, g.num_labels());
+
+  // Build one labeled dataset per query, then aggregate metrics.
+  double rf_acc = 0, svm_acc = 0, nn_acc = 0;
+  double rf_time = 0, svm_time = 0, nn_time = 0;
+  size_t evaluated_queries = 0;
+
+  for (const auto& q : bench::MakeWorkload(g, query_size, queries)) {
+    const core::QueryContext ctx = core::PrepareQuery(g, sigs, q);
+    if (!ctx.feasible || ctx.candidates.size() < 50) continue;
+
+    // Ground-truth labels by exact pessimistic evaluation.
+    match::PsiEvaluator evaluator(g, sigs);
+    evaluator.BindQuery(q, ctx.query_sigs,
+                        match::MakeHeuristicPlan(q, g, q.pivot()));
+    ml::Dataset data(sigs.num_labels());
+    match::PsiEvaluator::Options options;
+    options.mode = match::PsiMode::kPessimistic;
+    for (const graph::NodeId u : ctx.candidates) {
+      const bool valid =
+          evaluator.EvaluateNode(u, options) == match::Outcome::kValid;
+      data.AddExample(sigs.row(u), valid ? 1 : 0);
+    }
+
+    util::Rng rng(bench::kBenchSeed + evaluated_queries);
+    const ml::TrainTestSplit split =
+        ml::MakeTrainTestSplit(data.size(), 0.5, rng);
+    if (split.train.empty() || split.test.empty()) continue;
+    ++evaluated_queries;
+
+    std::vector<int32_t> actual;
+    for (const size_t i : split.test) actual.push_back(data.label(i));
+
+    auto evaluate_model = [&](auto& model, double& acc_sum,
+                              double& time_sum) {
+      util::WallTimer timer;
+      model.Train(data, split.train, 2, {}, rng);
+      std::vector<int32_t> predicted;
+      for (const size_t i : split.test) {
+        predicted.push_back(model.Predict(data.row(i)));
+      }
+      time_sum += timer.Seconds();
+      acc_sum += ml::Accuracy(predicted, actual);
+    };
+
+    ml::RandomForest rf;
+    evaluate_model(rf, rf_acc, rf_time);
+    ml::LinearSvm svm;
+    evaluate_model(svm, svm_acc, svm_time);
+    ml::NeuralNet nn;
+    evaluate_model(nn, nn_acc, nn_time);
+  }
+
+  if (evaluated_queries == 0) {
+    std::cout << "No query produced enough candidates; rerun with a larger "
+                 "PSI_BENCH_SCALE.\n";
+    return 0;
+  }
+
+  util::TablePrinter table({"Model", "Accuracy", "Train+predict time"});
+  auto add_row = [&](const std::string& name, double acc, double time) {
+    char acc_cell[32];
+    std::snprintf(acc_cell, sizeof(acc_cell), "%.1f%%",
+                  100.0 * acc / static_cast<double>(evaluated_queries));
+    table.AddRow({name, acc_cell,
+                  bench::TimeCell(time / evaluated_queries, false, 0)});
+  };
+  add_row("Random Forest", rf_acc, rf_time);
+  add_row("Linear SVM", svm_acc, svm_time);
+  add_row("Neural Net", nn_acc, nn_time);
+  table.Print(std::cout);
+  std::cout << "\nExpected shape (paper, on Human): RF ~95% > NN ~92% > SVM "
+               "~90%, with\nRF also ~2x faster to build and apply.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Frequent subgraph mining with PSI-based support (paper §2.2 / §5.5):
+// mines frequent patterns from a single large graph with MNI support
+// computed two ways — ScaleMine-style subgraph-isomorphism enumeration and
+// SmartPSI-style pivoted evaluation — and shows they find the same patterns
+// with PSI doing far less work.
+
+#include <iostream>
+
+#include "fsm/canonical.h"
+#include "fsm/miner.h"
+#include "graph/datasets.h"
+
+int main() {
+  const psi::graph::Graph g =
+      psi::graph::MakeDataset(psi::graph::Dataset::kHuman, 0.5, 11);
+  std::cout << "Input graph: " << g.num_nodes() << " nodes, "
+            << g.num_edges() << " edges, " << g.num_labels() << " labels\n";
+
+  psi::fsm::FsmConfig config;
+  config.min_support = 45;
+  config.max_edges = 3;
+  config.num_threads = 4;
+
+  config.method = psi::fsm::SupportMethod::kEnumeration;
+  const auto by_enum = psi::fsm::FsmMiner(g, config).Mine();
+  std::cout << "\nScaleMine-style (subgraph isomorphism): "
+            << by_enum.frequent.size() << " frequent patterns in "
+            << by_enum.seconds << "s (" << by_enum.candidates_evaluated
+            << " candidates evaluated)\n";
+
+  config.method = psi::fsm::SupportMethod::kPsi;
+  const auto by_psi = psi::fsm::FsmMiner(g, config).Mine();
+  std::cout << "ScaleMine+SmartPSI (PSI support):       "
+            << by_psi.frequent.size() << " frequent patterns in "
+            << by_psi.seconds << "s (of which signatures "
+            << by_psi.signature_seconds << "s)\n";
+
+  const bool same_patterns =
+      by_enum.frequent.size() == by_psi.frequent.size();
+  std::cout << "\nSame pattern count from both methods: "
+            << (same_patterns ? "yes" : "NO (bug!)") << ", speedup "
+            << by_enum.seconds / std::max(1e-9, by_psi.seconds) << "x\n";
+
+  std::cout << "\nFirst frequent patterns (support >= " << config.min_support
+            << "):\n";
+  const size_t shown = std::min<size_t>(15, by_psi.frequent.size());
+  for (size_t i = 0; i < shown; ++i) {
+    std::cout << "  support>=" << by_psi.frequent[i].support << "  "
+              << by_psi.frequent[i].pattern.ToString() << "\n";
+  }
+  if (shown < by_psi.frequent.size()) {
+    std::cout << "  ... and " << by_psi.frequent.size() - shown << " more\n";
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// In-network node similarity (paper §2.2, after Yang et al.): two nodes are
+// similar if their neighborhoods support the same pivoted patterns. This
+// example scores node pairs by the Jaccard overlap of the pattern sets they
+// satisfy — each "does node u satisfy pattern P at the pivot?" check is one
+// PSI evaluation, answered for all nodes at once by a single PSI query.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "core/smart_psi.h"
+#include "graph/datasets.h"
+#include "graph/query_extractor.h"
+
+using psi::graph::NodeId;
+
+int main() {
+  // Cora-like: only 7 labels, so pivoted patterns have rich answer sets.
+  const psi::graph::Graph g =
+      psi::graph::MakeDataset(psi::graph::Dataset::kCora, 1.0, 5);
+  std::cout << "Network: " << g.num_nodes() << " nodes, " << g.num_edges()
+            << " edges\n";
+
+  // A probe set of pivoted patterns (sizes 3-4) drawn from the graph.
+  psi::graph::QueryExtractor extractor(g);
+  psi::util::Rng rng(7);
+  std::vector<psi::graph::QueryGraph> probes;
+  for (const size_t size : {3u, 3u, 4u, 4u, 4u}) {
+    auto q = extractor.Extract(size, rng);
+    if (q.num_nodes() == size) probes.push_back(std::move(q));
+  }
+  std::cout << "Probe patterns: " << probes.size() << "\n";
+
+  // One PSI query per probe gives the full satisfying-node set; the
+  // per-node bitmask of satisfied probes is the similarity fingerprint.
+  psi::core::SmartPsiEngine engine(g);
+  std::vector<uint32_t> fingerprint(g.num_nodes(), 0);
+  for (size_t p = 0; p < probes.size(); ++p) {
+    const auto result = engine.Evaluate(probes[p]);
+    for (const NodeId u : result.valid_nodes) {
+      fingerprint[u] |= 1u << p;
+    }
+    std::cout << "  probe " << p << ": " << result.valid_nodes.size()
+              << " satisfying nodes\n";
+  }
+
+  // Jaccard similarity over satisfied-probe sets; report the most similar
+  // pairs among nodes satisfying at least two probes.
+  struct Pair {
+    NodeId a;
+    NodeId b;
+    double jaccard;
+  };
+  std::vector<NodeId> interesting;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (__builtin_popcount(fingerprint[u]) >= 2) interesting.push_back(u);
+  }
+  std::vector<Pair> best;
+  for (size_t i = 0; i < interesting.size(); ++i) {
+    for (size_t j = i + 1; j < interesting.size() && j < i + 200; ++j) {
+      const uint32_t fa = fingerprint[interesting[i]];
+      const uint32_t fb = fingerprint[interesting[j]];
+      const int inter = __builtin_popcount(fa & fb);
+      const int uni = __builtin_popcount(fa | fb);
+      if (uni == 0) continue;
+      best.push_back({interesting[i], interesting[j],
+                      static_cast<double>(inter) / uni});
+    }
+  }
+  std::partial_sort(best.begin(),
+                    best.begin() + std::min<size_t>(5, best.size()),
+                    best.end(), [](const Pair& x, const Pair& y) {
+                      return x.jaccard > y.jaccard;
+                    });
+  std::cout << "\nMost similar node pairs (by shared pivoted patterns):\n";
+  for (size_t i = 0; i < std::min<size_t>(5, best.size()); ++i) {
+    std::cout << "  (" << best[i].a << ", " << best[i].b
+              << ")  jaccard=" << best[i].jaccard << "\n";
+  }
+  if (best.empty()) {
+    std::cout << "  (no node satisfied two probes; rerun with another "
+                 "seed)\n";
+  }
+  return 0;
+}

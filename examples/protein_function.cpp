@@ -1,0 +1,72 @@
+// Function prediction in protein-protein-interaction networks (paper §2.2):
+// proteins with unknown function are matched against significant pivoted
+// patterns mined from the annotated part of the network; each matching
+// pattern's pivot label is a predicted function.
+//
+// This example builds a synthetic PPI-like network (Human stand-in scaled
+// down), extracts "significant patterns" around each function label, and
+// uses SmartPSI to find which unknown proteins satisfy which patterns.
+
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "core/smart_psi.h"
+#include "graph/datasets.h"
+#include "graph/query_extractor.h"
+
+using psi::graph::NodeId;
+
+int main() {
+  // A PPI-like stand-in: node labels play the role of functional
+  // annotations.
+  const psi::graph::Graph ppi =
+      psi::graph::MakeDataset(psi::graph::Dataset::kHuman, 0.25, 7);
+  std::cout << "PPI network: " << ppi.num_nodes() << " proteins, "
+            << ppi.num_edges() << " interactions, " << ppi.num_labels()
+            << " function labels\n";
+
+  // Mine "significant patterns": neighborhood subgraphs around proteins,
+  // pivoted at the protein of interest (here: extracted by random walk,
+  // standing in for a pattern-mining front end).
+  psi::graph::QueryExtractor extractor(ppi);
+  psi::util::Rng rng(2024);
+  const auto patterns = extractor.ExtractMany(/*size=*/4, /*count=*/6, rng);
+  std::cout << "Mined " << patterns.size()
+            << " significant pivoted patterns\n\n";
+
+  psi::core::SmartPsiEngine engine(ppi);
+
+  // For each pattern, the pivot's label is the function it predicts; every
+  // protein that matches the pattern at the pivot is predicted to carry
+  // that function.
+  std::map<NodeId, std::vector<psi::graph::Label>> predictions;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    const auto& pattern = patterns[i];
+    const psi::graph::Label function = pattern.label(pattern.pivot());
+    const auto result = engine.Evaluate(pattern);
+    std::cout << "Pattern " << i << " (function " << function << "): "
+              << result.valid_nodes.size() << " matching proteins, "
+              << result.total_seconds * 1e3 << " ms\n";
+    for (const NodeId protein : result.valid_nodes) {
+      predictions[protein].push_back(function);
+    }
+  }
+
+  // Report a few predictions.
+  std::cout << "\nSample predictions (protein -> supported functions):\n";
+  size_t shown = 0;
+  for (const auto& [protein, functions] : predictions) {
+    if (functions.size() < 2) continue;  // show multi-evidence cases
+    std::cout << "  protein " << protein << " <-";
+    for (const auto f : functions) std::cout << " fn" << f;
+    std::cout << "\n";
+    if (++shown == 5) break;
+  }
+  if (shown == 0) {
+    std::cout << "  (no protein matched two patterns; single-evidence "
+                 "predictions were made for "
+              << predictions.size() << " proteins)\n";
+  }
+  return 0;
+}

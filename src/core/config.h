@@ -1,0 +1,76 @@
+#ifndef SMARTPSI_CORE_CONFIG_H_
+#define SMARTPSI_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/classifier.h"
+#include "signature/signature_matrix.h"
+
+namespace psi::core {
+
+/// Tuning knobs for the SmartPSI engine (paper §4.2–4.3). Defaults follow
+/// the paper where it states values (10% training sample capped at 1000
+/// nodes, super-optimistic candidate cap 10, MaxTime = 2 × AvgT).
+struct SmartPsiConfig {
+  // --- Signatures -------------------------------------------------------
+  /// Builder for graph and query signatures (must match; engine-enforced).
+  signature::Method signature_method = signature::Method::kMatrix;
+  /// Maximum propagation depth D.
+  uint32_t signature_depth = 2;
+  /// Per-hop weight decay (paper: 1/2). Any value in (0, 1] keeps pruning
+  /// sound; smaller values weight close neighbors more heavily.
+  float signature_decay = signature::SignatureMatrix::kDefaultDecay;
+
+  // --- Training (Models α and β) ----------------------------------------
+  /// Fraction of candidate nodes evaluated to build training data.
+  double train_fraction = 0.1;
+  /// Hard cap on training nodes (paper §5.2 uses 1000).
+  size_t max_train_nodes = 1000;
+  /// Below this many candidates, skip ML entirely and evaluate everything
+  /// pessimistically with the heuristic plan (training would dominate).
+  size_t min_candidates_for_ml = 24;
+  /// Number of plans in Model β's pool (heuristic plan + random plans).
+  size_t plan_pool_size = 4;
+  /// Initial per-plan time limit during Model β training, and its growth
+  /// factor per escalation round (paper §4.2.2: "gradually increased").
+  double plan_time_limit_init_seconds = 0.01;
+  double plan_time_limit_growth = 4.0;
+  size_t plan_escalation_rounds = 3;
+  /// Learner backing Models α and β (paper: Random Forest; §5.4 shows it
+  /// beats SVM and NN on accuracy and build time).
+  ClassifierKind classifier = ClassifierKind::kRandomForest;
+  /// Random Forest size for both models (kRandomForest only).
+  size_t forest_trees = 20;
+
+  // --- Evaluation --------------------------------------------------------
+  /// Candidate cap of the super-optimistic first pass (paper uses 10).
+  size_t super_optimistic_limit = 10;
+  /// MaxTime(u) = timeout_factor × AvgT(method, plan) (paper §4.3 uses 2).
+  double timeout_factor = 2.0;
+  /// Floor for MaxTime so microsecond-scale averages cannot cause
+  /// pathological preemption thrash.
+  double min_preemption_seconds = 1e-3;
+  /// Enable Model β (otherwise: heuristic plan for everything).
+  bool enable_plan_model = true;
+  /// Enable the signature-keyed prediction cache (paper §4.2.3).
+  bool enable_cache = true;
+  /// Enable the 3-state detection-and-recovery executor (paper §4.3);
+  /// disabled, mispredictions simply run to completion.
+  bool enable_preemption = true;
+
+  /// Evaluate one representative per syntactic-equivalence class of data
+  /// nodes and copy its answer to the twins (BoostIso-style, see
+  /// graph/equivalence.h). Classes are computed once per engine, lazily.
+  bool exploit_equivalence = false;
+
+  // --- Infrastructure ----------------------------------------------------
+  /// Worker threads for signature construction and candidate evaluation.
+  size_t num_threads = 1;
+  /// Seed for all engine-internal randomness (sampling, forests, plans).
+  uint64_t seed = 0x5ca1ab1eULL;
+};
+
+}  // namespace psi::core
+
+#endif  // SMARTPSI_CORE_CONFIG_H_

@@ -1,0 +1,36 @@
+#include "core/prediction_cache.h"
+
+namespace psi::core {
+
+std::optional<PredictionCache::Entry> PredictionCache::Lookup(
+    uint64_t signature_hash) const {
+  const Shard& shard = shards_[ShardIndex(signature_hash)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(signature_hash);
+  if (it == shard.entries.end()) return std::nullopt;
+  return it->second;
+}
+
+void PredictionCache::Insert(uint64_t signature_hash, Entry entry) {
+  Shard& shard = shards_[ShardIndex(signature_hash)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.entries[signature_hash] = entry;
+}
+
+size_t PredictionCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+void PredictionCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries.clear();
+  }
+}
+
+}  // namespace psi::core

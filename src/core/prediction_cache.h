@@ -1,0 +1,59 @@
+#ifndef SMARTPSI_CORE_PREDICTION_CACHE_H_
+#define SMARTPSI_CORE_PREDICTION_CACHE_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+namespace psi::core {
+
+/// Signature-keyed prediction cache (paper §4.2.3). Nodes with identical
+/// neighborhood signatures are structurally indistinguishable to the
+/// models, so the confirmed (method, plan) decision of one is reused for
+/// the others without consulting the classifiers — and, because entries are
+/// written only after an evaluation *confirmed* the node type, cached
+/// decisions sidestep model mispredictions too.
+///
+/// Correctness is unaffected either way: every node is still evaluated;
+/// only the choice of method/plan comes from the cache.
+///
+/// Thread-safe; sharded 16 ways so parallel candidate evaluation does not
+/// serialize on one mutex (every candidate performs a lookup + insert).
+class PredictionCache {
+ public:
+  struct Entry {
+    /// Confirmed node type: true = valid (optimistic method is right).
+    bool valid;
+    /// Plan-pool index that completed the evaluation.
+    uint32_t plan_index;
+  };
+
+  /// Returns the cached decision for a signature hash, if any.
+  std::optional<Entry> Lookup(uint64_t signature_hash) const;
+
+  /// Records a confirmed decision (last writer wins).
+  void Insert(uint64_t signature_hash, Entry entry);
+
+  size_t size() const;
+  void Clear();
+
+ private:
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<uint64_t, Entry> entries;
+  };
+
+  /// The low bits feed unordered_map's bucketing; shard on high bits so the
+  /// two partitions are independent.
+  static size_t ShardIndex(uint64_t hash) { return (hash >> 60) % kShards; }
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace psi::core
+
+#endif  // SMARTPSI_CORE_PREDICTION_CACHE_H_

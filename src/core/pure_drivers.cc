@@ -1,0 +1,53 @@
+#include "core/pure_drivers.h"
+
+#include "core/query_context.h"
+#include "match/plan.h"
+#include "match/psi_evaluator.h"
+
+namespace psi::core {
+
+PureDriverResult EvaluatePure(const graph::Graph& g,
+                              const signature::SignatureMatrix& graph_sigs,
+                              const graph::QueryGraph& q,
+                              const PureDriverOptions& options) {
+  util::WallTimer timer;
+  PureDriverResult result;
+
+  const QueryContext ctx = PrepareQuery(g, graph_sigs, q);
+  if (!ctx.feasible || ctx.candidates.empty()) {
+    result.seconds = timer.Seconds();
+    return result;
+  }
+
+  const match::Plan plan = match::MakeHeuristicPlan(q, g, q.pivot());
+  match::PsiEvaluator evaluator(g, graph_sigs);
+  evaluator.BindQuery(q, ctx.query_sigs, plan);
+
+  match::PsiEvaluator::Options eval_options;
+  eval_options.super_optimistic_limit = options.super_optimistic_limit;
+  eval_options.deadline = options.deadline;
+  eval_options.stop = options.stop;
+
+  for (const graph::NodeId u : ctx.candidates) {
+    match::Outcome outcome;
+    if (options.strategy == PureStrategy::kOptimistic) {
+      outcome = evaluator.EvaluateNodeOptimisticStrategy(u, eval_options,
+                                                         &result.stats);
+    } else {
+      eval_options.mode = match::PsiMode::kPessimistic;
+      outcome = evaluator.EvaluateNode(u, eval_options, &result.stats);
+    }
+    if (outcome == match::Outcome::kValid) {
+      result.valid_nodes.push_back(u);
+    } else if (outcome == match::Outcome::kTimeout ||
+               outcome == match::Outcome::kStopped) {
+      result.complete = false;
+      break;
+    }
+  }
+  // Candidates are iterated in ascending order, so valid_nodes is sorted.
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace psi::core

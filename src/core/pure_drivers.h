@@ -1,0 +1,49 @@
+#ifndef SMARTPSI_CORE_PURE_DRIVERS_H_
+#define SMARTPSI_CORE_PURE_DRIVERS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/query_graph.h"
+#include "match/search_stats.h"
+#include "signature/signature_matrix.h"
+#include "util/stop_token.h"
+#include "util/timer.h"
+
+namespace psi::core {
+
+/// The single-method baselines of Figure 10: apply one PSI method to every
+/// candidate node, with the selectivity-heuristic plan.
+enum class PureStrategy {
+  /// Super-optimistic pass + full optimistic fallback on every node.
+  kOptimistic,
+  /// Signature-pruned pessimistic search on every node.
+  kPessimistic,
+};
+
+struct PureDriverResult {
+  std::vector<graph::NodeId> valid_nodes;  // sorted
+  /// False if the deadline/stop interrupted evaluation (valid_nodes is a
+  /// subset of the true answer).
+  bool complete = true;
+  double seconds = 0.0;
+  match::SearchStats stats;
+};
+
+struct PureDriverOptions {
+  PureStrategy strategy = PureStrategy::kPessimistic;
+  size_t super_optimistic_limit = 10;
+  util::Deadline deadline;
+  util::StopToken stop;
+};
+
+/// Evaluates the full PSI query with one fixed method. `graph_sigs` must
+/// cover `g`.
+PureDriverResult EvaluatePure(const graph::Graph& g,
+                              const signature::SignatureMatrix& graph_sigs,
+                              const graph::QueryGraph& q,
+                              const PureDriverOptions& options);
+
+}  // namespace psi::core
+
+#endif  // SMARTPSI_CORE_PURE_DRIVERS_H_

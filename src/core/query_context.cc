@@ -1,0 +1,25 @@
+#include "core/query_context.h"
+
+#include "match/candidates.h"
+
+namespace psi::core {
+
+QueryContext PrepareQuery(const graph::Graph& g,
+                          const signature::SignatureMatrix& graph_sigs,
+                          const graph::QueryGraph& q) {
+  QueryContext ctx;
+  for (graph::NodeId v = 0; v < q.num_nodes(); ++v) {
+    const graph::Label label = q.label(v);
+    if (label >= g.num_labels() || g.label_frequency(label) == 0) {
+      ctx.feasible = false;
+      return ctx;
+    }
+  }
+  ctx.query_sigs = signature::BuildSignatures(
+      q, graph_sigs.method(), graph_sigs.depth(), graph_sigs.num_labels(),
+      graph_sigs.decay());
+  ctx.candidates = match::ExtractPivotCandidates(g, q);
+  return ctx;
+}
+
+}  // namespace psi::core

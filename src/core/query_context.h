@@ -1,0 +1,34 @@
+#ifndef SMARTPSI_CORE_QUERY_CONTEXT_H_
+#define SMARTPSI_CORE_QUERY_CONTEXT_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/query_graph.h"
+#include "signature/builders.h"
+#include "signature/signature_matrix.h"
+
+namespace psi::core {
+
+/// Per-query preparation shared by every driver (SmartPSI, the pure
+/// optimistic/pessimistic drivers, the two-threaded baseline): query
+/// signatures in the data graph's label space plus the candidate pivot
+/// bindings.
+struct QueryContext {
+  signature::SignatureMatrix query_sigs;
+  std::vector<graph::NodeId> candidates;
+  /// False when some query node's label does not occur in the data graph
+  /// at all — no embedding can exist and the query answer is empty.
+  bool feasible = true;
+};
+
+/// Builds the context. Query signatures are built with the same method,
+/// depth and column count as `graph_sigs` so satisfaction tests and
+/// satisfiability scores are well-defined.
+QueryContext PrepareQuery(const graph::Graph& g,
+                          const signature::SignatureMatrix& graph_sigs,
+                          const graph::QueryGraph& q);
+
+}  // namespace psi::core
+
+#endif  // SMARTPSI_CORE_QUERY_CONTEXT_H_

@@ -1,0 +1,437 @@
+#include "core/smart_psi.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+#include <unordered_set>
+#include <cassert>
+#include <cmath>
+
+#include "core/query_context.h"
+#include "match/plan.h"
+#include "match/psi_evaluator.h"
+#include "core/classifier.h"
+#include "ml/dataset.h"
+#include "signature/builders.h"
+#include "util/stats.h"
+
+namespace psi::core {
+
+namespace {
+
+using match::Outcome;
+using match::PsiEvaluator;
+using match::PsiMode;
+
+/// Bundles one node evaluation under a mode: optimistic means the paper's
+/// full optimistic strategy (super-optimistic pass + complete fallback).
+Outcome RunMethod(PsiEvaluator& evaluator, graph::NodeId node, bool optimistic,
+                  size_t super_limit, util::Deadline deadline,
+                  match::SearchStats* stats) {
+  PsiEvaluator::Options options;
+  options.super_optimistic_limit = super_limit;
+  options.deadline = deadline;
+  if (optimistic) {
+    return evaluator.EvaluateNodeOptimisticStrategy(node, options, stats);
+  }
+  options.mode = PsiMode::kPessimistic;
+  return evaluator.EvaluateNode(node, options, stats);
+}
+
+/// Takes the earlier of two deadlines.
+util::Deadline MinDeadline(util::Deadline a, util::Deadline b) {
+  return a.RemainingSeconds() <= b.RemainingSeconds() ? a : b;
+}
+
+/// Per-worker accumulation merged after the parallel evaluation phase.
+struct WorkerState {
+  std::vector<graph::NodeId> valid;
+  match::SearchStats stats;
+  size_t cache_hits = 0;
+  size_t alpha_predictions = 0;
+  size_t alpha_correct = 0;
+  size_t method_recoveries = 0;
+  size_t plan_fallbacks = 0;
+  double predict_seconds = 0.0;
+  bool incomplete = false;
+};
+
+}  // namespace
+
+const graph::EquivalenceClasses& SmartPsiEngine::EquivalencePartition() {
+  if (equivalence_ == nullptr) {
+    equivalence_ = std::make_unique<graph::EquivalenceClasses>(
+        graph::ComputeSyntacticEquivalence(graph_));
+  }
+  return *equivalence_;
+}
+
+SmartPsiEngine::SmartPsiEngine(const graph::Graph& g, SmartPsiConfig config)
+    : graph_(g), config_(config), rng_(config.seed) {
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
+  }
+  util::WallTimer timer;
+  graph_sigs_ =
+      signature::BuildSignatures(g, config_.signature_method,
+                                 config_.signature_depth, g.num_labels(),
+                                 pool_.get(), config_.signature_decay);
+  signature_build_seconds_ = timer.Seconds();
+}
+
+SmartPsiEngine::SmartPsiEngine(const graph::Graph& g,
+                               signature::SignatureMatrix graph_sigs,
+                               SmartPsiConfig config)
+    : graph_(g), config_(config), rng_(config.seed) {
+  assert(graph_sigs.num_rows() == g.num_nodes());
+  assert(graph_sigs.num_labels() >= g.num_labels());
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
+  }
+  // Query signatures must be built exactly like the adopted graph ones.
+  config_.signature_method = graph_sigs.method();
+  config_.signature_depth = graph_sigs.depth();
+  config_.signature_decay = graph_sigs.decay();
+  graph_sigs_ = std::move(graph_sigs);
+}
+
+PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
+                                        util::Deadline deadline) {
+  assert(q.has_pivot());
+  util::WallTimer total_timer;
+  PsiQueryResult result;
+
+  const QueryContext ctx = PrepareQuery(graph_, graph_sigs_, q);
+  result.num_candidates = ctx.candidates.size();
+  if (!ctx.feasible || ctx.candidates.empty()) {
+    result.total_seconds = total_timer.Seconds();
+    return result;
+  }
+
+  util::Rng rng = rng_.Fork();
+  const std::vector<match::Plan> plan_pool = match::SamplePlanPool(
+      q, graph_, q.pivot(), std::max<size_t>(1, config_.plan_pool_size), rng);
+  const size_t num_plans = plan_pool.size();
+
+  // Optional BoostIso-style dedup: keep one representative per syntactic-
+  // equivalence class; twins inherit the representative's answer at the end.
+  std::vector<graph::NodeId> candidates = ctx.candidates;
+  std::vector<std::pair<uint32_t, graph::NodeId>> dropped_twins;
+  if (config_.exploit_equivalence) {
+    const graph::EquivalenceClasses& classes = EquivalencePartition();
+    std::unordered_map<uint32_t, graph::NodeId> first_in_class;
+    std::vector<graph::NodeId> unique;
+    unique.reserve(candidates.size());
+    for (const graph::NodeId u : candidates) {
+      const uint32_t c = classes.class_of[u];
+      if (first_in_class.emplace(c, u).second) {
+        unique.push_back(u);
+      } else {
+        dropped_twins.emplace_back(c, u);
+      }
+    }
+    candidates.swap(unique);
+  }
+
+  // Expansion of the twins' answers, shared by every return path below.
+  auto expand_twins = [&]() {
+    if (dropped_twins.empty()) return;
+    const graph::EquivalenceClasses& classes = EquivalencePartition();
+    std::unordered_set<uint32_t> valid_classes;
+    for (const graph::NodeId u : result.valid_nodes) {
+      valid_classes.insert(classes.class_of[u]);
+    }
+    for (const auto& [c, u] : dropped_twins) {
+      if (valid_classes.count(c) > 0) result.valid_nodes.push_back(u);
+    }
+    std::sort(result.valid_nodes.begin(), result.valid_nodes.end());
+  };
+
+  // ---------------------------------------------------------------------
+  // Tiny candidate sets: ML overhead would dominate (paper Table 4 shows
+  // it already hurts on small graphs) — evaluate everything pessimistically
+  // with the heuristic plan.
+  // ---------------------------------------------------------------------
+  if (candidates.size() < config_.min_candidates_for_ml) {
+    util::WallTimer eval_timer;
+    PsiEvaluator evaluator(graph_, graph_sigs_);
+    evaluator.BindQuery(q, ctx.query_sigs, plan_pool[0]);
+    for (const graph::NodeId u : candidates) {
+      const Outcome outcome =
+          RunMethod(evaluator, u, /*optimistic=*/false,
+                    config_.super_optimistic_limit, deadline, &result.search);
+      if (outcome == Outcome::kValid) {
+        result.valid_nodes.push_back(u);
+      } else if (outcome != Outcome::kInvalid) {
+        result.complete = false;
+        break;
+      }
+    }
+    result.eval_seconds = eval_timer.Seconds();
+    expand_twins();
+    result.total_seconds = total_timer.Seconds();
+    return result;
+  }
+
+  // ---------------------------------------------------------------------
+  // Phase 1 — training sample: ground-truth labels for Model α, best plans
+  // and per-plan average times for Model β / MaxTime (paper §4.2).
+  // ---------------------------------------------------------------------
+  util::WallTimer train_timer;
+  const size_t want_train = std::clamp<size_t>(
+      static_cast<size_t>(std::ceil(config_.train_fraction *
+                                    static_cast<double>(
+                                        candidates.size()))),
+      1, std::min(config_.max_train_nodes, candidates.size()));
+  std::vector<size_t> train_indices =
+      util::SampleWithoutReplacement(candidates.size(), want_train, rng);
+  std::vector<uint8_t> is_training(candidates.size(), 0);
+  for (const size_t i : train_indices) is_training[i] = 1;
+  result.num_training_nodes = train_indices.size();
+
+  const size_t num_features = graph_sigs_.num_labels();
+  ml::Dataset alpha_data(num_features);
+  ml::Dataset beta_data(num_features);
+  alpha_data.Reserve(train_indices.size());
+  beta_data.Reserve(train_indices.size());
+  std::vector<util::RunningStats> plan_times(num_plans);
+  util::RunningStats all_times;
+
+  PsiEvaluator trainer(graph_, graph_sigs_);
+  bool training_aborted = false;
+  for (const size_t idx : train_indices) {
+    const graph::NodeId u = candidates[idx];
+    bool decided = false;
+    bool node_valid = false;
+    int32_t best_plan = 0;
+    double best_time = 0.0;
+
+    // Escalating per-plan time limits (paper §4.2.2): try every plan under
+    // a small budget; if none finishes, grow the budget and retry.
+    double limit = config_.plan_time_limit_init_seconds;
+    for (size_t round = 0;
+         round < config_.plan_escalation_rounds && !decided; ++round) {
+      for (size_t p = 0; p < num_plans; ++p) {
+        trainer.BindQuery(q, ctx.query_sigs, plan_pool[p]);
+        // Once some plan finished in best_time, a competitor is only
+        // interesting if it beats that — cap its budget accordingly.
+        const double budget =
+            decided ? std::min(limit, best_time) : limit;
+        util::WallTimer plan_timer;
+        const Outcome outcome = RunMethod(
+            trainer, u, /*optimistic=*/false, config_.super_optimistic_limit,
+            MinDeadline(util::Deadline::After(budget), deadline),
+            &result.search);
+        const double seconds = plan_timer.Seconds();
+        if (outcome == Outcome::kValid || outcome == Outcome::kInvalid) {
+          plan_times[p].Add(seconds);
+          all_times.Add(seconds);
+          if (!decided || seconds < best_time) {
+            best_plan = static_cast<int32_t>(p);
+            best_time = seconds;
+          }
+          node_valid = outcome == Outcome::kValid;
+          decided = true;
+        }
+      }
+      limit *= config_.plan_time_limit_growth;
+      if (deadline.Expired()) break;
+    }
+    if (!decided) {
+      // No plan finished under any limit: heuristic plan, no plan budget.
+      trainer.BindQuery(q, ctx.query_sigs, plan_pool[0]);
+      util::WallTimer plan_timer;
+      const Outcome outcome =
+          RunMethod(trainer, u, /*optimistic=*/false,
+                    config_.super_optimistic_limit, deadline, &result.search);
+      if (outcome == Outcome::kValid || outcome == Outcome::kInvalid) {
+        plan_times[0].Add(plan_timer.Seconds());
+        all_times.Add(plan_timer.Seconds());
+        node_valid = outcome == Outcome::kValid;
+        best_plan = 0;
+        decided = true;
+      } else {
+        // Query deadline expired mid-training.
+        result.complete = false;
+        training_aborted = true;
+        break;
+      }
+    }
+
+    const auto row = graph_sigs_.row(u);
+    alpha_data.AddExample(row, node_valid ? 1 : 0);
+    beta_data.AddExample(row, best_plan);
+    if (node_valid) result.valid_nodes.push_back(u);
+    if (config_.enable_cache) {
+      cache_.Insert(signature::HashSignature(row),
+                    {node_valid, static_cast<uint32_t>(best_plan)});
+    }
+  }
+
+  Classifier alpha(config_.classifier);
+  Classifier beta(config_.classifier);
+  if (!training_aborted) {
+    alpha.Train(alpha_data, /*num_classes=*/2, config_.forest_trees, rng);
+    if (config_.enable_plan_model && num_plans > 1) {
+      beta.Train(beta_data, num_plans, config_.forest_trees, rng);
+    }
+  }
+  result.train_seconds = train_timer.Seconds();
+  if (training_aborted) {
+    std::sort(result.valid_nodes.begin(), result.valid_nodes.end());
+    expand_twins();
+    result.total_seconds = total_timer.Seconds();
+    return result;
+  }
+
+  // Per-plan MaxTime base: mean pessimistic time for that plan during
+  // training; fall back to the overall mean when a plan has no samples.
+  std::vector<double> plan_mean(num_plans, 0.0);
+  for (size_t p = 0; p < num_plans; ++p) {
+    plan_mean[p] =
+        plan_times[p].count() > 0 ? plan_times[p].mean() : all_times.mean();
+    plan_mean[p] = std::max(plan_mean[p], config_.min_preemption_seconds);
+  }
+
+  // ---------------------------------------------------------------------
+  // Phase 2 — predicted evaluation of the remaining candidates with the
+  // preemptive 3-state executor (paper §4.3).
+  // ---------------------------------------------------------------------
+  util::WallTimer eval_timer;
+  std::vector<size_t> remaining;
+  remaining.reserve(candidates.size() - train_indices.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!is_training[i]) remaining.push_back(i);
+  }
+
+  std::atomic<bool> global_incomplete{false};
+  auto evaluate_range = [&](size_t begin, size_t end, WorkerState& ws) {
+    PsiEvaluator evaluator(graph_, graph_sigs_);
+    for (size_t r = begin; r < end; ++r) {
+      if (global_incomplete.load(std::memory_order_relaxed)) return;
+      const graph::NodeId u = candidates[remaining[r]];
+      const auto row = graph_sigs_.row(u);
+
+      // --- Prediction (cache, then models) --------------------------
+      util::WallTimer predict_timer;
+      bool predicted_valid = false;
+      uint32_t plan_index = 0;
+      bool from_cache = false;
+      const uint64_t hash = signature::HashSignature(row);
+      if (config_.enable_cache) {
+        if (const auto entry = cache_.Lookup(hash)) {
+          predicted_valid = entry->valid;
+          plan_index = std::min<uint32_t>(entry->plan_index,
+                                          static_cast<uint32_t>(num_plans -
+                                                                1));
+          from_cache = true;
+          ++ws.cache_hits;
+        }
+      }
+      if (!from_cache) {
+        predicted_valid = alpha.Predict(row) == 1;
+        if (config_.enable_plan_model && beta.trained()) {
+          plan_index = static_cast<uint32_t>(
+              std::clamp<int32_t>(beta.Predict(row), 0,
+                                  static_cast<int32_t>(num_plans - 1)));
+        }
+      }
+      ws.predict_seconds += predict_timer.Seconds();
+
+      // --- Preemptive execution (3 states) ---------------------------
+      const double max_time = config_.timeout_factor * plan_mean[plan_index];
+      Outcome outcome;
+      uint32_t completed_plan = plan_index;
+      evaluator.BindQuery(q, ctx.query_sigs, plan_pool[plan_index]);
+      if (config_.enable_preemption) {
+        // State 1: predicted method + predicted plan, limited.
+        outcome = RunMethod(evaluator, u, predicted_valid,
+                            config_.super_optimistic_limit,
+                            MinDeadline(util::Deadline::After(max_time),
+                                        deadline),
+                            &ws.stats);
+        if (outcome == Outcome::kTimeout && !deadline.Expired()) {
+          // State 2: opposite method, restarted, still limited — recovers
+          // from Model α mispredictions.
+          ++ws.method_recoveries;
+          outcome = RunMethod(evaluator, u, !predicted_valid,
+                              config_.super_optimistic_limit,
+                              MinDeadline(util::Deadline::After(max_time),
+                                          deadline),
+                              &ws.stats);
+        }
+        if (outcome == Outcome::kTimeout && !deadline.Expired()) {
+          // State 3: predicted method + heuristic plan, no MaxTime —
+          // recovers from Model β mispredictions.
+          ++ws.plan_fallbacks;
+          completed_plan = 0;
+          evaluator.BindQuery(q, ctx.query_sigs, plan_pool[0]);
+          outcome = RunMethod(evaluator, u, predicted_valid,
+                              config_.super_optimistic_limit, deadline,
+                              &ws.stats);
+        }
+      } else {
+        outcome = RunMethod(evaluator, u, predicted_valid,
+                            config_.super_optimistic_limit, deadline,
+                            &ws.stats);
+      }
+
+      if (outcome != Outcome::kValid && outcome != Outcome::kInvalid) {
+        // Only the query deadline can get us here.
+        ws.incomplete = true;
+        global_incomplete.store(true, std::memory_order_relaxed);
+        return;
+      }
+      const bool actual_valid = outcome == Outcome::kValid;
+      if (actual_valid) ws.valid.push_back(u);
+      if (!from_cache) {
+        ++ws.alpha_predictions;
+        if (predicted_valid == actual_valid) ++ws.alpha_correct;
+      }
+      if (config_.enable_cache) {
+        cache_.Insert(hash, {actual_valid, completed_plan});
+      }
+    }
+  };
+
+  std::vector<WorkerState> workers;
+  if (pool_ != nullptr && remaining.size() > 1) {
+    const size_t chunks =
+        std::min(remaining.size(), pool_->num_threads() * 4);
+    workers.resize(chunks);
+    const size_t chunk_size = (remaining.size() + chunks - 1) / chunks;
+    std::atomic<size_t> next_worker{0};
+    for (size_t begin = 0; begin < remaining.size(); begin += chunk_size) {
+      const size_t end = std::min(remaining.size(), begin + chunk_size);
+      pool_->Submit([&, begin, end] {
+        const size_t w = next_worker.fetch_add(1);
+        evaluate_range(begin, end, workers[w]);
+      });
+    }
+    pool_->Wait();
+  } else {
+    workers.resize(1);
+    evaluate_range(0, remaining.size(), workers[0]);
+  }
+
+  for (const WorkerState& ws : workers) {
+    result.valid_nodes.insert(result.valid_nodes.end(), ws.valid.begin(),
+                              ws.valid.end());
+    result.search += ws.stats;
+    result.cache_hits += ws.cache_hits;
+    result.alpha_predictions += ws.alpha_predictions;
+    result.alpha_correct += ws.alpha_correct;
+    result.method_recoveries += ws.method_recoveries;
+    result.plan_fallbacks += ws.plan_fallbacks;
+    result.predict_seconds += ws.predict_seconds;
+    if (ws.incomplete) result.complete = false;
+  }
+  result.eval_seconds = eval_timer.Seconds() - result.predict_seconds;
+
+  std::sort(result.valid_nodes.begin(), result.valid_nodes.end());
+  expand_twins();
+  result.total_seconds = total_timer.Seconds();
+  return result;
+}
+
+}  // namespace psi::core

@@ -1,0 +1,90 @@
+#ifndef SMARTPSI_CORE_SMART_PSI_H_
+#define SMARTPSI_CORE_SMART_PSI_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/prediction_cache.h"
+#include "core/psi_result.h"
+#include "graph/equivalence.h"
+#include "graph/graph.h"
+#include "graph/query_graph.h"
+#include "signature/signature_matrix.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace psi::core {
+
+/// The Realist (paper §4): SmartPSI's query engine.
+///
+/// Construction loads the graph signatures (matrix-based by default). Each
+/// Evaluate() call then:
+///   1. extracts the candidate pivot bindings,
+///   2. evaluates a small random sample of them (10%, capped) with the
+///      pessimistic method to label training data, timing a pool of
+///      execution plans per node under escalating time limits,
+///   3. trains Model α (valid/invalid Random Forest) and Model β
+///      (best-plan Random Forest) on the neighborhood-signature features,
+///   4. evaluates every remaining candidate with the predicted method and
+///      plan under the preemptive 3-state detection-and-recovery executor
+///      (MaxTime = 2 × AvgT), consulting the signature-keyed prediction
+///      cache first,
+///   5. returns the exact set of valid nodes with full instrumentation.
+///
+/// Exactness does not depend on the models: both PSI methods explore the
+/// complete search space in the worst case, so a misprediction costs time,
+/// never correctness.
+///
+/// Thread-safe for concurrent Evaluate() calls only if config.num_threads
+/// == 1 and enable_cache == false; otherwise evaluate queries one at a time
+/// (the engine's internal pool already parallelizes within a query).
+class SmartPsiEngine {
+ public:
+  /// Builds graph signatures eagerly; `g` must outlive the engine.
+  explicit SmartPsiEngine(const graph::Graph& g,
+                          SmartPsiConfig config = SmartPsiConfig());
+
+  /// Adopts precomputed graph signatures (e.g. loaded with
+  /// signature::LoadSignatureFile) instead of building them. The config's
+  /// signature method/depth/decay are overridden from the matrix metadata;
+  /// the matrix must have one row per node of `g` and at least
+  /// g.num_labels() columns.
+  SmartPsiEngine(const graph::Graph& g, signature::SignatureMatrix graph_sigs,
+                 SmartPsiConfig config = SmartPsiConfig());
+
+  /// Evaluates one pivoted query. `deadline` bounds the whole call; on
+  /// expiry the result is marked incomplete.
+  PsiQueryResult Evaluate(const graph::QueryGraph& q,
+                          util::Deadline deadline = util::Deadline());
+
+  const signature::SignatureMatrix& graph_signatures() const {
+    return graph_sigs_;
+  }
+  const SmartPsiConfig& config() const { return config_; }
+  const graph::Graph& graph() const { return graph_; }
+
+  /// Seconds spent building the graph signatures at construction.
+  double signature_build_seconds() const { return signature_build_seconds_; }
+
+  /// Drops all cached predictions (e.g., between unrelated query batches).
+  void ClearCache() { cache_.Clear(); }
+
+ private:
+  /// Lazily computed equivalence partition (exploit_equivalence only).
+  const graph::EquivalenceClasses& EquivalencePartition();
+
+  const graph::Graph& graph_;
+  SmartPsiConfig config_;
+  std::unique_ptr<util::ThreadPool> pool_;  // null when num_threads <= 1
+  signature::SignatureMatrix graph_sigs_;
+  double signature_build_seconds_ = 0.0;
+  PredictionCache cache_;
+  std::unique_ptr<graph::EquivalenceClasses> equivalence_;
+  util::Rng rng_;
+};
+
+}  // namespace psi::core
+
+#endif  // SMARTPSI_CORE_SMART_PSI_H_

@@ -1,0 +1,149 @@
+#include "fsm/support.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "match/candidates.h"
+#include "match/plan.h"
+#include "match/psi_evaluator.h"
+#include "match/subgraph_enumerator.h"
+#include "signature/builders.h"
+
+namespace psi::fsm {
+
+const char* SupportMethodName(SupportMethod method) {
+  switch (method) {
+    case SupportMethod::kEnumeration:
+      return "enumeration";
+    case SupportMethod::kPsi:
+      return "psi";
+  }
+  return "unknown";
+}
+
+namespace {
+
+SupportResult EvaluateByEnumeration(const graph::Graph& g,
+                                    const graph::QueryGraph& pattern,
+                                    uint64_t min_support,
+                                    util::Deadline deadline) {
+  SupportResult result;
+  const size_t n = pattern.num_nodes();
+
+  // Root the plan at the most selective pattern node.
+  graph::NodeId root = 0;
+  double best = -1.0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const graph::Label label = pattern.label(v);
+    const double freq = label < g.num_labels()
+                            ? static_cast<double>(g.label_frequency(label))
+                            : 0.0;
+    const double score = freq / (1.0 + static_cast<double>(pattern.degree(v)));
+    if (best < 0.0 || score < best) {
+      best = score;
+      root = v;
+    }
+  }
+  const match::Plan plan = match::MakeHeuristicPlan(pattern, g, root);
+
+  std::vector<std::unordered_set<graph::NodeId>> images(n);
+  match::SubgraphEnumerator enumerator(g);
+  match::SubgraphEnumerator::Options options;
+  options.deadline = deadline;
+  const auto enumeration = enumerator.Enumerate(
+      pattern, plan,
+      [&](std::span<const graph::NodeId> mapping) {
+        bool all_reached = true;
+        for (size_t v = 0; v < n; ++v) {
+          images[v].insert(mapping[v]);
+          if (images[v].size() < min_support) all_reached = false;
+        }
+        // Once every node has min_support distinct images, MNI >= threshold
+        // is certain — stop enumerating.
+        return !all_reached;
+      },
+      options);
+
+  uint64_t mni = UINT64_MAX;
+  for (const auto& set : images) {
+    mni = std::min<uint64_t>(mni, set.size());
+  }
+  if (mni == UINT64_MAX) mni = 0;
+  result.support = mni;
+  result.frequent = mni >= min_support;
+  // The enumeration is "incomplete" both when we stopped on success and
+  // when the deadline fired; only the latter leaves the answer unknown.
+  result.complete = enumeration.complete || result.frequent;
+  return result;
+}
+
+SupportResult EvaluateByPsi(const graph::Graph& g,
+                            const signature::SignatureMatrix& graph_sigs,
+                            const graph::QueryGraph& pattern,
+                            uint64_t min_support, util::Deadline deadline) {
+  SupportResult result;
+  graph::QueryGraph pivoted = pattern;  // local copy to move the pivot
+
+  // Pattern signatures do not depend on the pivot: build once.
+  for (graph::NodeId v = 0; v < pattern.num_nodes(); ++v) {
+    if (pattern.label(v) >= g.num_labels() ||
+        g.label_frequency(pattern.label(v)) == 0) {
+      result.support = 0;
+      result.frequent = min_support == 0;
+      return result;
+    }
+  }
+  const signature::SignatureMatrix pattern_sigs = signature::BuildSignatures(
+      pivoted, graph_sigs.method(), graph_sigs.depth(),
+      graph_sigs.num_labels());
+
+  match::PsiEvaluator evaluator(g, graph_sigs);
+  match::PsiEvaluator::Options options;
+  options.mode = match::PsiMode::kPessimistic;
+  options.deadline = deadline;
+
+  uint64_t mni = UINT64_MAX;
+  for (graph::NodeId v = 0; v < pattern.num_nodes(); ++v) {
+    pivoted.set_pivot(v);
+    const match::Plan plan = match::MakeHeuristicPlan(pivoted, g, v);
+    evaluator.BindQuery(pivoted, pattern_sigs, plan);
+    const auto candidates = match::ExtractPivotCandidates(g, pivoted);
+    uint64_t count = 0;
+    for (const graph::NodeId u : candidates) {
+      const match::Outcome outcome = evaluator.EvaluateNode(u, options);
+      if (outcome == match::Outcome::kValid) {
+        ++count;
+        // This pattern node reached the threshold; MNI is decided by the
+        // weakest node, so move on.
+        if (count >= min_support) break;
+      } else if (outcome != match::Outcome::kInvalid) {
+        result.complete = false;
+        result.support = std::min<uint64_t>(mni, count);
+        return result;
+      }
+    }
+    mni = std::min<uint64_t>(mni, count);
+    if (mni < min_support) break;  // anti-monotone: pattern is infrequent
+  }
+  if (mni == UINT64_MAX) mni = 0;
+  result.support = mni;
+  result.frequent = mni >= min_support;
+  return result;
+}
+
+}  // namespace
+
+SupportResult EvaluateSupport(const graph::Graph& g,
+                              const signature::SignatureMatrix* graph_sigs,
+                              const graph::QueryGraph& pattern,
+                              uint64_t min_support, SupportMethod method,
+                              util::Deadline deadline) {
+  if (pattern.num_nodes() == 0) return SupportResult{};
+  if (method == SupportMethod::kEnumeration) {
+    return EvaluateByEnumeration(g, pattern, min_support, deadline);
+  }
+  return EvaluateByPsi(g, *graph_sigs, pattern, min_support, deadline);
+}
+
+}  // namespace psi::fsm

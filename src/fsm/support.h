@@ -1,0 +1,51 @@
+#ifndef SMARTPSI_FSM_SUPPORT_H_
+#define SMARTPSI_FSM_SUPPORT_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/query_graph.h"
+#include "signature/signature_matrix.h"
+#include "util/timer.h"
+
+namespace psi::fsm {
+
+/// How a pattern's MNI support is computed.
+enum class SupportMethod {
+  /// ScaleMine-style baseline: enumerate embeddings with plain subgraph
+  /// isomorphism and count distinct images per pattern node.
+  kEnumeration,
+  /// SmartPSI-style: one PSI evaluation per pattern node (stop at the
+  /// first embedding per candidate), with signature pruning.
+  kPsi,
+};
+
+const char* SupportMethodName(SupportMethod method);
+
+/// Result of one support evaluation, thresholded at `min_support`:
+/// MNI (minimum node image) support = min over pattern nodes v of the
+/// number of distinct data nodes that bind v in some embedding.
+struct SupportResult {
+  /// True iff MNI >= min_support.
+  bool frequent = false;
+  /// A lower bound on the MNI; exact when the evaluation ran to
+  /// completion, and >= min_support whenever `frequent`.
+  uint64_t support = 0;
+  /// False if the deadline interrupted the evaluation (frequent is then
+  /// "unknown = treated infrequent").
+  bool complete = true;
+};
+
+/// Evaluates MNI support of `pattern` (no pivot needed; every node is
+/// pivoted in turn) against `g`, stopping early as soon as frequency or
+/// infrequency is decided. `graph_sigs` is only used by kPsi (may be null
+/// for kEnumeration).
+SupportResult EvaluateSupport(const graph::Graph& g,
+                              const signature::SignatureMatrix* graph_sigs,
+                              const graph::QueryGraph& pattern,
+                              uint64_t min_support, SupportMethod method,
+                              util::Deadline deadline);
+
+}  // namespace psi::fsm
+
+#endif  // SMARTPSI_FSM_SUPPORT_H_

@@ -1,0 +1,145 @@
+#include "graph/equivalence.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace psi::graph {
+
+namespace {
+
+/// Disjoint-set forest with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(uint32_t a, uint32_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+/// FNV-1a over a word sequence.
+uint64_t HashWords(std::initializer_list<uint64_t> prefix,
+                   std::span<const uint64_t> words) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t w) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (w >> (byte * 8)) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const uint64_t w : prefix) mix(w);
+  for (const uint64_t w : words) mix(w);
+  return h;
+}
+
+}  // namespace
+
+EquivalenceClasses ComputeSyntacticEquivalence(const Graph& g) {
+  const size_t n = g.num_nodes();
+  UnionFind uf(n);
+
+  // Group by hash first; verify exact key equality against the group's
+  // first member to rule out hash collisions (keys can be large, so we
+  // avoid storing more than one materialized key per group).
+  std::unordered_map<uint64_t, NodeId> open_groups;
+  std::unordered_map<uint64_t, NodeId> closed_groups;
+  open_groups.reserve(n);
+  closed_groups.reserve(n);
+
+  std::vector<uint64_t> key_u;
+  std::vector<uint64_t> key_v;
+
+  // Open-twin key: (label, sorted (neighbor, edge label) pairs). Adjacency
+  // is already sorted by neighbor id in CSR form.
+  auto build_open_key = [&](NodeId u, std::vector<uint64_t>& out) {
+    out.clear();
+    const auto nbrs = g.neighbors(u);
+    const auto elabels = g.edge_labels(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      out.push_back((static_cast<uint64_t>(nbrs[i]) << 32) | elabels[i]);
+    }
+  };
+
+  // Closed-twin key: (label, uniform incident edge label, sorted closed
+  // neighborhood N(u) ∪ {u}); empty when incident labels are mixed.
+  auto build_closed_key = [&](NodeId u, std::vector<uint64_t>& out) -> bool {
+    const auto elabels = g.edge_labels(u);
+    if (elabels.empty()) return false;
+    for (const Label l : elabels) {
+      if (l != elabels[0]) return false;
+    }
+    out.clear();
+    const auto nbrs = g.neighbors(u);
+    out.push_back(elabels[0]);
+    size_t i = 0;
+    bool self_inserted = false;
+    for (; i < nbrs.size(); ++i) {
+      if (!self_inserted && nbrs[i] > u) {
+        out.push_back(u);
+        self_inserted = true;
+      }
+      out.push_back(nbrs[i]);
+    }
+    if (!self_inserted) out.push_back(u);
+    return true;
+  };
+
+  auto keys_equal = [&](NodeId a, NodeId b, bool closed) {
+    if (g.label(a) != g.label(b)) return false;
+    if (closed) {
+      if (!build_closed_key(a, key_u) || !build_closed_key(b, key_v)) {
+        return false;
+      }
+    } else {
+      build_open_key(a, key_u);
+      build_open_key(b, key_v);
+    }
+    return key_u == key_v;
+  };
+
+  for (NodeId u = 0; u < n; ++u) {
+    build_open_key(u, key_u);
+    const uint64_t open_hash = HashWords({g.label(u), 0}, key_u);
+    const auto [open_it, open_new] = open_groups.try_emplace(open_hash, u);
+    if (!open_new && keys_equal(open_it->second, u, /*closed=*/false)) {
+      uf.Union(open_it->second, u);
+    }
+
+    if (build_closed_key(u, key_u)) {
+      const uint64_t closed_hash = HashWords({g.label(u), 1}, key_u);
+      const auto [closed_it, closed_new] =
+          closed_groups.try_emplace(closed_hash, u);
+      if (!closed_new && keys_equal(closed_it->second, u, /*closed=*/true)) {
+        uf.Union(closed_it->second, u);
+      }
+    }
+  }
+
+  // Densify class ids, smallest member becomes the representative.
+  EquivalenceClasses classes;
+  classes.class_of.assign(n, UINT32_MAX);
+  std::unordered_map<uint32_t, uint32_t> root_to_class;
+  root_to_class.reserve(n);
+  for (NodeId u = 0; u < n; ++u) {
+    const uint32_t root = uf.Find(u);
+    const auto [it, inserted] = root_to_class.try_emplace(
+        root, static_cast<uint32_t>(classes.representative.size()));
+    if (inserted) classes.representative.push_back(u);
+    classes.class_of[u] = it->second;
+  }
+  return classes;
+}
+
+}  // namespace psi::graph

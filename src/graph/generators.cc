@@ -1,0 +1,203 @@
+#include "graph/generators.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace psi::graph {
+
+namespace {
+
+/// Packs an undirected edge into one 64-bit key for dedup sets.
+uint64_t EdgeKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+void AssignLabels(GraphBuilder& builder, size_t num_nodes,
+                  const LabelConfig& labels, util::Rng& rng) {
+  util::ZipfSampler sampler(std::max<size_t>(1, labels.num_labels),
+                            labels.zipf_exponent);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    builder.SetNodeLabel(u, static_cast<Label>(sampler.Sample(rng)));
+  }
+}
+
+Label SampleEdgeLabel(const LabelConfig& labels, util::Rng& rng) {
+  if (labels.num_edge_labels <= 1) return kDefaultEdgeLabel;
+  return static_cast<Label>(rng.NextBounded(labels.num_edge_labels));
+}
+
+}  // namespace
+
+Graph ErdosRenyi(size_t num_nodes, size_t num_edges, const LabelConfig& labels,
+                 util::Rng& rng) {
+  assert(num_nodes >= 2 || num_edges == 0);
+  const double max_edges =
+      static_cast<double>(num_nodes) * static_cast<double>(num_nodes - 1) / 2;
+  assert(static_cast<double>(num_edges) <= max_edges);
+  (void)max_edges;
+
+  GraphBuilder builder;
+  builder.Reserve(num_nodes, num_edges);
+  builder.AddNodes(num_nodes);
+  AssignLabels(builder, num_nodes, labels, rng);
+
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  while (seen.size() < num_edges) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    if (u == v) continue;
+    if (!seen.insert(EdgeKey(u, v)).second) continue;
+    builder.AddEdge(u, v, SampleEdgeLabel(labels, rng));
+  }
+  return std::move(builder).Build();
+}
+
+Graph BarabasiAlbert(size_t num_nodes, size_t edges_per_node,
+                     const LabelConfig& labels, util::Rng& rng) {
+  assert(num_nodes > edges_per_node && edges_per_node >= 1);
+  GraphBuilder builder;
+  builder.Reserve(num_nodes, num_nodes * edges_per_node);
+  builder.AddNodes(num_nodes);
+  AssignLabels(builder, num_nodes, labels, rng);
+
+  // `targets` holds one entry per edge endpoint, so uniform sampling from it
+  // is degree-proportional sampling.
+  std::vector<NodeId> targets;
+  targets.reserve(2 * num_nodes * edges_per_node);
+
+  // Seed clique over the first edges_per_node + 1 nodes.
+  const size_t seed_size = edges_per_node + 1;
+  for (NodeId u = 0; u < seed_size; ++u) {
+    for (NodeId v = u + 1; v < seed_size; ++v) {
+      builder.AddEdge(u, v, SampleEdgeLabel(labels, rng));
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+
+  std::unordered_set<NodeId> chosen;
+  for (NodeId u = static_cast<NodeId>(seed_size); u < num_nodes; ++u) {
+    chosen.clear();
+    while (chosen.size() < edges_per_node) {
+      const NodeId v = targets[rng.NextBounded(targets.size())];
+      if (v != u) chosen.insert(v);
+    }
+    for (const NodeId v : chosen) {
+      builder.AddEdge(u, v, SampleEdgeLabel(labels, rng));
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Graph ChungLuPowerLaw(size_t num_nodes, size_t num_edges,
+                      double power_exponent, const LabelConfig& labels,
+                      util::Rng& rng) {
+  assert(power_exponent > 1.0);
+  GraphBuilder builder;
+  builder.Reserve(num_nodes, num_edges);
+  builder.AddNodes(num_nodes);
+  AssignLabels(builder, num_nodes, labels, rng);
+
+  // Endpoint sampling by weight w_i ∝ (i+1)^(-1/(β-1)) via a Zipf sampler —
+  // the resulting expected degrees follow a power law with exponent β.
+  util::ZipfSampler endpoint(num_nodes, 1.0 / (power_exponent - 1.0));
+
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  // Bounded retry budget so dense requests cannot loop forever once the
+  // heavy head of the distribution saturates.
+  size_t attempts = 0;
+  const size_t max_attempts = num_edges * 20 + 1000;
+  while (seen.size() < num_edges && attempts < max_attempts) {
+    ++attempts;
+    const NodeId u = static_cast<NodeId>(endpoint.Sample(rng));
+    const NodeId v = static_cast<NodeId>(endpoint.Sample(rng));
+    if (u == v) continue;
+    if (!seen.insert(EdgeKey(u, v)).second) continue;
+    builder.AddEdge(u, v, SampleEdgeLabel(labels, rng));
+  }
+  return std::move(builder).Build();
+}
+
+Graph Rmat(size_t scale, size_t num_edges, double a, double b, double c,
+           const LabelConfig& labels, util::Rng& rng) {
+  const double d = 1.0 - a - b - c;
+  assert(a >= 0 && b >= 0 && c >= 0 && d >= -1e-9);
+  (void)d;
+  const size_t num_nodes = size_t{1} << scale;
+
+  GraphBuilder builder;
+  builder.Reserve(num_nodes, num_edges);
+  builder.AddNodes(num_nodes);
+  AssignLabels(builder, num_nodes, labels, rng);
+
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  size_t attempts = 0;
+  const size_t max_attempts = num_edges * 20 + 1000;
+  while (seen.size() < num_edges && attempts < max_attempts) {
+    ++attempts;
+    NodeId u = 0;
+    NodeId v = 0;
+    for (size_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    if (!seen.insert(EdgeKey(u, v)).second) continue;
+    builder.AddEdge(u, v, SampleEdgeLabel(labels, rng));
+  }
+  return std::move(builder).Build();
+}
+
+Graph RelabelWithHomophily(const Graph& g, double strength, size_t sweeps,
+                           util::Rng& rng) {
+  std::vector<Label> labels(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) labels[u] = g.label(u);
+  for (size_t sweep = 0; sweep < sweeps; ++sweep) {
+    // Snapshot semantics per sweep: all adoptions read the previous
+    // labeling, so the result is order-independent.
+    const std::vector<Label> previous = labels;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      const auto nbrs = g.neighbors(u);
+      if (nbrs.empty() || !rng.NextBool(strength)) continue;
+      labels[u] = previous[nbrs[rng.NextBounded(nbrs.size())]];
+    }
+  }
+
+  GraphBuilder builder;
+  builder.Reserve(g.num_nodes(), g.num_edges());
+  builder.AddNodes(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    builder.SetNodeLabel(u, labels[u]);
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto edge_labels = g.edge_labels(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (u < nbrs[i]) builder.AddEdge(u, nbrs[i], edge_labels[i]);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace psi::graph

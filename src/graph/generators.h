@@ -1,0 +1,62 @@
+#ifndef SMARTPSI_GRAPH_GENERATORS_H_
+#define SMARTPSI_GRAPH_GENERATORS_H_
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace psi::graph {
+
+/// Label assignment policy for synthetic graphs.
+struct LabelConfig {
+  /// Number of distinct node labels.
+  size_t num_labels = 1;
+  /// Zipf exponent of the label distribution (0 = uniform; real datasets in
+  /// the paper have heavily skewed label frequencies, ~0.8-1.2 works well).
+  double zipf_exponent = 0.8;
+  /// Number of distinct edge labels (1 = effectively unlabeled edges).
+  size_t num_edge_labels = 1;
+};
+
+/// G(n, m) Erdős–Rényi: exactly `num_edges` distinct undirected edges chosen
+/// uniformly (self-loops excluded). Requires num_edges <= n*(n-1)/2.
+Graph ErdosRenyi(size_t num_nodes, size_t num_edges, const LabelConfig& labels,
+                 util::Rng& rng);
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `edges_per_node` existing nodes with probability proportional to degree.
+Graph BarabasiAlbert(size_t num_nodes, size_t edges_per_node,
+                     const LabelConfig& labels, util::Rng& rng);
+
+/// Chung–Lu style power-law graph: samples `num_edges` edges with endpoint
+/// probability proportional to a target power-law weight sequence
+/// w_i ∝ (i+1)^(-1/(power_exponent-1)). Duplicates are dropped, so the
+/// realized edge count is slightly below `num_edges` for dense requests.
+/// Reproduces the heavy-tailed degree distributions of the paper's social
+/// graphs (YouTube/Twitter/Weibo stand-ins).
+Graph ChungLuPowerLaw(size_t num_nodes, size_t num_edges,
+                      double power_exponent, const LabelConfig& labels,
+                      util::Rng& rng);
+
+/// R-MAT recursive-matrix generator (Kronecker-like). `scale` gives
+/// 2^scale nodes; partition probabilities (a, b, c, d) must sum to 1.
+Graph Rmat(size_t scale, size_t num_edges, double a, double b, double c,
+           const LabelConfig& labels, util::Rng& rng);
+
+/// Rebuilds `g` with homophilous node labels: starting from the existing
+/// labels, runs `sweeps` passes in which each node adopts the label of a
+/// uniformly random neighbor with probability `strength` (in [0, 1]).
+/// Structure and edge labels are preserved.
+///
+/// Real labeled graphs (protein functions, citation areas, user locations)
+/// are strongly homophilous — adjacent nodes often share labels — which is
+/// what makes subgraph-isomorphism enumeration explode on frequent-label
+/// queries. Independent label assignment misses that regime entirely, so
+/// the dataset stand-ins apply this pass (see datasets.cc).
+Graph RelabelWithHomophily(const Graph& g, double strength, size_t sweeps,
+                           util::Rng& rng);
+
+}  // namespace psi::graph
+
+#endif  // SMARTPSI_GRAPH_GENERATORS_H_

@@ -1,0 +1,25 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace psi::graph {
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::optional<Label> Graph::EdgeLabelBetween(NodeId u, NodeId v) const {
+  const auto nbrs = neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return std::nullopt;
+  return edge_labels_[offsets_[u] + static_cast<size_t>(it - nbrs.begin())];
+}
+
+size_t Graph::max_degree() const {
+  size_t best = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u) best = std::max(best, degree(u));
+  return best;
+}
+
+}  // namespace psi::graph

@@ -1,0 +1,108 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace psi::graph {
+
+void GraphBuilder::Reserve(size_t nodes, size_t edges) {
+  node_labels_.reserve(nodes);
+  edges_.reserve(edges);
+}
+
+NodeId GraphBuilder::AddNode(Label label) {
+  node_labels_.push_back(label);
+  return static_cast<NodeId>(node_labels_.size() - 1);
+}
+
+void GraphBuilder::AddNodes(size_t count) {
+  node_labels_.resize(node_labels_.size() + count, 0);
+}
+
+void GraphBuilder::SetNodeLabel(NodeId u, Label label) {
+  assert(u < node_labels_.size());
+  node_labels_[u] = label;
+}
+
+bool GraphBuilder::AddEdge(NodeId u, NodeId v, Label label) {
+  assert(u < node_labels_.size() && v < node_labels_.size());
+  if (u == v) return false;
+  edges_.push_back({u, v, label});
+  return true;
+}
+
+Graph GraphBuilder::Build() && {
+  const size_t n = node_labels_.size();
+
+  // Normalize to (min, max) endpoint order, sort, and deduplicate keeping the
+  // first-added label for each undirected edge.
+  for (auto& e : edges_) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::stable_sort(edges_.begin(), edges_.end(),
+                   [](const Edge& a, const Edge& b) {
+                     return a.u != b.u ? a.u < b.u : a.v < b.v;
+                   });
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.u == b.u && a.v == b.v;
+                           }),
+               edges_.end());
+
+  Graph g;
+  g.node_labels_ = std::move(node_labels_);
+  g.offsets_.assign(n + 1, 0);
+  for (const auto& e : edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+
+  g.neighbors_.resize(edges_.size() * 2);
+  g.edge_labels_.resize(edges_.size() * 2);
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& e : edges_) {
+    g.neighbors_[cursor[e.u]] = e.v;
+    g.edge_labels_[cursor[e.u]++] = e.label;
+    g.neighbors_[cursor[e.v]] = e.u;
+    g.edge_labels_[cursor[e.v]++] = e.label;
+  }
+
+  // Sort each adjacency list by neighbor id, keeping edge labels aligned.
+  for (NodeId u = 0; u < n; ++u) {
+    const size_t begin = g.offsets_[u];
+    const size_t end = g.offsets_[u + 1];
+    const size_t deg = end - begin;
+    if (deg <= 1) continue;
+    std::vector<std::pair<NodeId, Label>> adj(deg);
+    for (size_t i = 0; i < deg; ++i) {
+      adj[i] = {g.neighbors_[begin + i], g.edge_labels_[begin + i]};
+    }
+    std::sort(adj.begin(), adj.end());
+    for (size_t i = 0; i < deg; ++i) {
+      g.neighbors_[begin + i] = adj[i].first;
+      g.edge_labels_[begin + i] = adj[i].second;
+    }
+  }
+
+  // Label index.
+  Label max_label = 0;
+  for (const Label l : g.node_labels_) max_label = std::max(max_label, l);
+  const size_t num_labels = n == 0 ? 0 : static_cast<size_t>(max_label) + 1;
+  g.label_offsets_.assign(num_labels + 1, 0);
+  for (const Label l : g.node_labels_) ++g.label_offsets_[l + 1];
+  std::partial_sum(g.label_offsets_.begin(), g.label_offsets_.end(),
+                   g.label_offsets_.begin());
+  g.nodes_by_label_.resize(n);
+  std::vector<uint64_t> lcursor(g.label_offsets_.begin(),
+                                g.label_offsets_.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    g.nodes_by_label_[lcursor[g.node_labels_[u]]++] = u;
+  }
+
+  edges_.clear();
+  return g;
+}
+
+}  // namespace psi::graph

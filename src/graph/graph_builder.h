@@ -1,0 +1,60 @@
+#ifndef SMARTPSI_GRAPH_GRAPH_BUILDER_H_
+#define SMARTPSI_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace psi::graph {
+
+/// Accumulates nodes and undirected edges, then finalizes a CSR Graph.
+///
+///   GraphBuilder b;
+///   NodeId a = b.AddNode(/*label=*/0);
+///   NodeId c = b.AddNode(/*label=*/1);
+///   b.AddEdge(a, c);
+///   Graph g = std::move(b).Build();
+///
+/// Self-loops are ignored; duplicate edges are deduplicated (first-added
+/// edge label wins). Build() is destructive — the builder is consumed.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Pre-sizes internal arrays (optional).
+  void Reserve(size_t nodes, size_t edges);
+
+  /// Adds a node and returns its id (ids are dense, in insertion order).
+  NodeId AddNode(Label label);
+
+  /// Adds `count` nodes with label 0; use SetNodeLabel to relabel.
+  void AddNodes(size_t count);
+
+  void SetNodeLabel(NodeId u, Label label);
+
+  /// Adds an undirected edge. Out-of-range endpoints are an error (assert);
+  /// self-loops are silently dropped. Returns false for dropped self-loops.
+  bool AddEdge(NodeId u, NodeId v, Label label = kDefaultEdgeLabel);
+
+  size_t num_nodes() const { return node_labels_.size(); }
+  size_t num_edges_added() const { return edges_.size(); }
+
+  /// Finalizes into an immutable Graph (sorting adjacency, deduplicating,
+  /// building the label index). Consumes the builder.
+  Graph Build() &&;
+
+ private:
+  struct Edge {
+    NodeId u;
+    NodeId v;
+    Label label;
+  };
+
+  std::vector<Label> node_labels_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace psi::graph
+
+#endif  // SMARTPSI_GRAPH_GRAPH_BUILDER_H_

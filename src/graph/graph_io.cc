@@ -1,0 +1,187 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "graph/graph_builder.h"
+
+namespace psi::graph {
+
+util::Result<Graph> ReadLg(std::istream& in) {
+  GraphBuilder builder;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == 't') continue;
+    std::istringstream fields(line);
+    char kind = 0;
+    fields >> kind;
+    if (kind == 'v') {
+      uint64_t id = 0;
+      uint64_t label = 0;
+      if (!(fields >> id >> label)) {
+        return util::Status::InvalidArgument(
+            "malformed vertex at line " + std::to_string(line_no));
+      }
+      if (id != builder.num_nodes()) {
+        return util::Status::InvalidArgument(
+            "non-dense vertex id at line " + std::to_string(line_no));
+      }
+      builder.AddNode(static_cast<Label>(label));
+    } else if (kind == 'e') {
+      uint64_t u = 0;
+      uint64_t v = 0;
+      if (!(fields >> u >> v)) {
+        return util::Status::InvalidArgument(
+            "malformed edge at line " + std::to_string(line_no));
+      }
+      uint64_t label = kDefaultEdgeLabel;
+      fields >> label;  // optional
+      if (u >= builder.num_nodes() || v >= builder.num_nodes()) {
+        return util::Status::InvalidArgument(
+            "edge endpoint out of range at line " + std::to_string(line_no));
+      }
+      builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v),
+                      static_cast<Label>(label));
+    } else {
+      return util::Status::InvalidArgument(
+          "unknown record '" + std::string(1, kind) + "' at line " +
+          std::to_string(line_no));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+util::Result<Graph> LoadLgFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open " + path);
+  return ReadLg(in);
+}
+
+void WriteLg(const Graph& g, std::ostream& out) {
+  out << "t 1\n";
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    out << "v " << u << " " << g.label(u) << "\n";
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto elabels = g.edge_labels(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (u < nbrs[i]) {
+        out << "e " << u << " " << nbrs[i] << " " << elabels[i] << "\n";
+      }
+    }
+  }
+}
+
+util::Status SaveLgFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot open " + path);
+  WriteLg(g, out);
+  return out ? util::Status::Ok()
+             : util::Status::IoError("write failed for " + path);
+}
+
+util::Result<std::vector<QueryGraph>> ReadQueries(std::istream& in) {
+  std::vector<QueryGraph> queries;
+  QueryGraph current;
+  bool in_block = false;
+  size_t line_no = 0;
+
+  auto finish_block = [&]() -> util::Status {
+    if (!in_block) return util::Status::Ok();
+    if (!current.has_pivot()) {
+      return util::Status::InvalidArgument(
+          "query block ending before line " + std::to_string(line_no) +
+          " has no pivot ('p') record");
+    }
+    queries.push_back(std::move(current));
+    current = QueryGraph();
+    return util::Status::Ok();
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    char kind = 0;
+    fields >> kind;
+    if (kind == 't') {
+      const util::Status status = finish_block();
+      if (!status.ok()) return status;
+      in_block = true;
+    } else if (kind == 'v') {
+      uint64_t id = 0;
+      uint64_t label = 0;
+      if (!in_block || !(fields >> id >> label) ||
+          id != current.num_nodes() || id >= QueryGraph::kMaxNodes) {
+        return util::Status::InvalidArgument(
+            "malformed vertex at line " + std::to_string(line_no));
+      }
+      current.AddNode(static_cast<Label>(label));
+    } else if (kind == 'e') {
+      uint64_t u = 0;
+      uint64_t v = 0;
+      if (!in_block || !(fields >> u >> v) || u >= current.num_nodes() ||
+          v >= current.num_nodes()) {
+        return util::Status::InvalidArgument(
+            "malformed edge at line " + std::to_string(line_no));
+      }
+      uint64_t label = kDefaultEdgeLabel;
+      fields >> label;  // optional
+      current.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v),
+                      static_cast<Label>(label));
+    } else if (kind == 'p') {
+      uint64_t pivot = 0;
+      if (!in_block || !(fields >> pivot) || pivot >= current.num_nodes()) {
+        return util::Status::InvalidArgument(
+            "malformed pivot at line " + std::to_string(line_no));
+      }
+      current.set_pivot(static_cast<NodeId>(pivot));
+    } else {
+      return util::Status::InvalidArgument(
+          "unknown record '" + std::string(1, kind) + "' at line " +
+          std::to_string(line_no));
+    }
+  }
+  const util::Status status = finish_block();
+  if (!status.ok()) return status;
+  return queries;
+}
+
+util::Result<std::vector<QueryGraph>> LoadQueryFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open " + path);
+  return ReadQueries(in);
+}
+
+void WriteQueries(const std::vector<QueryGraph>& queries, std::ostream& out) {
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const QueryGraph& q = queries[i];
+    out << "t " << i + 1 << "\n";
+    for (NodeId v = 0; v < q.num_nodes(); ++v) {
+      out << "v " << v << " " << q.label(v) << "\n";
+    }
+    for (NodeId v = 0; v < q.num_nodes(); ++v) {
+      for (const auto& [nbr, edge_label] : q.neighbors(v)) {
+        if (v < nbr) out << "e " << v << " " << nbr << " " << edge_label
+                         << "\n";
+      }
+    }
+    if (q.has_pivot()) out << "p " << q.pivot() << "\n";
+  }
+}
+
+util::Status SaveQueryFile(const std::vector<QueryGraph>& queries,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot open " + path);
+  WriteQueries(queries, out);
+  return out ? util::Status::Ok()
+             : util::Status::IoError("write failed for " + path);
+}
+
+}  // namespace psi::graph

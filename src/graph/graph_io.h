@@ -1,0 +1,62 @@
+#ifndef SMARTPSI_GRAPH_GRAPH_IO_H_
+#define SMARTPSI_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/query_graph.h"
+#include "util/status.h"
+
+namespace psi::graph {
+
+/// Text graph format used by the GraMi / ScaleMine / subgraph-isomorphism
+/// literature (".lg"):
+///
+///   # comment
+///   t 1                 (optional transaction header, ignored)
+///   v <id> <label>
+///   e <src> <dst> [<label>]
+///
+/// Node ids must be dense 0..n-1 and declared before use in edges.
+
+/// Parses a graph from a stream.
+util::Result<Graph> ReadLg(std::istream& in);
+
+/// Loads a graph from a file path.
+util::Result<Graph> LoadLgFile(const std::string& path);
+
+/// Writes `g` in .lg format.
+void WriteLg(const Graph& g, std::ostream& out);
+
+/// Saves `g` to a file path.
+util::Status SaveLgFile(const Graph& g, const std::string& path);
+
+/// Pivoted-query file format: a sequence of .lg transaction blocks, each
+/// introduced by a `t` line and extended with one `p <node id>` record
+/// naming the pivot:
+///
+///   t 1
+///   v 0 3
+///   v 1 5
+///   e 0 1
+///   p 0
+///   t 2
+///   ...
+///
+/// Queries without a `p` record are rejected. Node ids are block-local and
+/// dense.
+util::Result<std::vector<QueryGraph>> ReadQueries(std::istream& in);
+
+util::Result<std::vector<QueryGraph>> LoadQueryFile(const std::string& path);
+
+/// Writes queries in the format above (t records numbered from 1).
+void WriteQueries(const std::vector<QueryGraph>& queries, std::ostream& out);
+
+util::Status SaveQueryFile(const std::vector<QueryGraph>& queries,
+                           const std::string& path);
+
+}  // namespace psi::graph
+
+#endif  // SMARTPSI_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,57 @@
+#include "graph/query_extractor.h"
+
+#include <unordered_set>
+
+#include "graph/algorithms.h"
+
+namespace psi::graph {
+
+QueryGraph QueryExtractor::Extract(size_t size, util::Rng& rng) const {
+  if (size == 0 || size > QueryGraph::kMaxNodes ||
+      graph_.num_nodes() == 0) {
+    return QueryGraph();
+  }
+  for (size_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    const NodeId start =
+        static_cast<NodeId>(rng.NextBounded(graph_.num_nodes()));
+    if (graph_.degree(start) == 0 && size > 1) continue;
+
+    std::vector<NodeId> collected{start};
+    std::unordered_set<NodeId> in_set{start};
+    NodeId current = start;
+    size_t steps = 0;
+    while (collected.size() < size && steps < options_.max_steps_per_walk) {
+      ++steps;
+      if (rng.NextBool(options_.restart_probability)) {
+        current = start;
+        continue;
+      }
+      const auto nbrs = graph_.neighbors(current);
+      if (nbrs.empty()) {
+        current = start;
+        continue;
+      }
+      current = nbrs[rng.NextBounded(nbrs.size())];
+      if (in_set.insert(current).second) collected.push_back(current);
+    }
+    if (collected.size() != size) continue;
+
+    QueryGraph q = InducedSubgraph(graph_, collected);
+    q.set_pivot(static_cast<NodeId>(rng.NextBounded(q.num_nodes())));
+    return q;
+  }
+  return QueryGraph();
+}
+
+std::vector<QueryGraph> QueryExtractor::ExtractMany(size_t size, size_t count,
+                                                    util::Rng& rng) const {
+  std::vector<QueryGraph> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    QueryGraph q = Extract(size, rng);
+    if (q.num_nodes() == size) queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace psi::graph

@@ -1,0 +1,52 @@
+#ifndef SMARTPSI_GRAPH_QUERY_EXTRACTOR_H_
+#define SMARTPSI_GRAPH_QUERY_EXTRACTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/query_graph.h"
+#include "util/random.h"
+
+namespace psi::graph {
+
+/// Extracts pivoted query graphs from a data graph the way the paper's
+/// workload is built (§5.1): a random walk with restart collects a connected
+/// node set of the requested size, the induced subgraph becomes the query,
+/// and a random node of it becomes the pivot. Because queries are induced
+/// subgraphs of the data graph, every extracted query has at least one match.
+class QueryExtractor {
+ public:
+  struct Options {
+    /// Restart (teleport back to the walk's start node) probability.
+    double restart_probability = 0.15;
+    /// Give up on a walk after this many steps without reaching the target
+    /// size (then re-seed from a new start node).
+    size_t max_steps_per_walk = 10000;
+    /// Total attempts before Extract() fails (returns empty optional-like
+    /// query with 0 nodes).
+    size_t max_attempts = 64;
+  };
+
+  explicit QueryExtractor(const Graph& g) : graph_(g) {}
+  QueryExtractor(const Graph& g, Options options)
+      : graph_(g), options_(options) {}
+
+  /// Extracts one query with exactly `size` nodes (>=1) and a random pivot.
+  /// Returns a query with 0 nodes if the graph cannot yield one (e.g., all
+  /// components smaller than `size`).
+  QueryGraph Extract(size_t size, util::Rng& rng) const;
+
+  /// Extracts `count` queries of the given size. Queries that cannot be
+  /// extracted are skipped, so the result may be shorter than `count`.
+  std::vector<QueryGraph> ExtractMany(size_t size, size_t count,
+                                      util::Rng& rng) const;
+
+ private:
+  const Graph& graph_;
+  Options options_;
+};
+
+}  // namespace psi::graph
+
+#endif  // SMARTPSI_GRAPH_QUERY_EXTRACTOR_H_

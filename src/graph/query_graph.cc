@@ -1,0 +1,83 @@
+#include "graph/query_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace psi::graph {
+
+NodeId QueryGraph::AddNode(Label label) {
+  assert(labels_.size() < kMaxNodes);
+  labels_.push_back(label);
+  adjacency_.emplace_back();
+  adj_bits_.push_back(0);
+  return static_cast<NodeId>(labels_.size() - 1);
+}
+
+bool QueryGraph::AddEdge(NodeId u, NodeId v, Label label) {
+  assert(u < labels_.size() && v < labels_.size());
+  if (u == v || HasEdge(u, v)) return false;
+  adjacency_[u].emplace_back(v, label);
+  adjacency_[v].emplace_back(u, label);
+  adj_bits_[u] |= 1ULL << v;
+  adj_bits_[v] |= 1ULL << u;
+  ++num_edges_;
+  return true;
+}
+
+Label QueryGraph::EdgeLabel(NodeId u, NodeId v) const {
+  assert(HasEdge(u, v));
+  for (const auto& [nbr, label] : adjacency_[u]) {
+    if (nbr == v) return label;
+  }
+  assert(false && "edge missing despite bitset");
+  return kDefaultEdgeLabel;
+}
+
+bool QueryGraph::IsConnected() const {
+  if (labels_.empty()) return true;
+  uint64_t visited = 1ULL;  // node 0
+  uint64_t frontier = 1ULL;
+  while (frontier != 0) {
+    uint64_t next = 0;
+    for (size_t v = 0; v < labels_.size(); ++v) {
+      if ((frontier >> v) & 1ULL) next |= adj_bits_[v];
+    }
+    frontier = next & ~visited;
+    visited |= next;
+  }
+  const uint64_t all =
+      labels_.size() == 64 ? ~0ULL : (1ULL << labels_.size()) - 1;
+  return (visited & all) == all;
+}
+
+size_t QueryGraph::max_label_plus_one() const {
+  size_t result = 0;
+  for (const Label l : labels_) {
+    result = std::max(result, static_cast<size_t>(l) + 1);
+  }
+  return result;
+}
+
+std::string QueryGraph::ToString() const {
+  std::ostringstream oss;
+  oss << "Q(";
+  if (has_pivot()) {
+    oss << "pivot=" << pivot_;
+  } else {
+    oss << "no pivot";
+  }
+  oss << ")";
+  for (size_t v = 0; v < labels_.size(); ++v) {
+    oss << " " << v << ":" << labels_[v];
+  }
+  oss << " ;";
+  for (size_t v = 0; v < labels_.size(); ++v) {
+    for (const auto& [nbr, label] : adjacency_[v]) {
+      if (v < nbr) oss << " " << v << "-" << nbr << ":" << label;
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace psi::graph

@@ -1,0 +1,77 @@
+#ifndef SMARTPSI_GRAPH_QUERY_GRAPH_H_
+#define SMARTPSI_GRAPH_QUERY_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace psi::graph {
+
+/// Small mutable labeled graph used for queries and FSM patterns.
+///
+/// Holds at most kMaxNodes nodes so adjacency can be kept as per-node 64-bit
+/// bitsets, giving O(1) edge tests inside the matching hot loops. A query
+/// additionally carries a pivot node (paper Definition 2.1); patterns in the
+/// FSM module reuse the structure with the pivot unset.
+class QueryGraph {
+ public:
+  static constexpr size_t kMaxNodes = 64;
+
+  QueryGraph() = default;
+
+  /// Adds a node; returns its id. Asserts below kMaxNodes.
+  NodeId AddNode(Label label);
+
+  /// Adds an undirected edge. Duplicate edges and self-loops are rejected
+  /// (returns false).
+  bool AddEdge(NodeId u, NodeId v, Label label = kDefaultEdgeLabel);
+
+  size_t num_nodes() const { return labels_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  Label label(NodeId v) const { return labels_[v]; }
+  void set_label(NodeId v, Label label) { labels_[v] = label; }
+
+  size_t degree(NodeId v) const { return adjacency_[v].size(); }
+
+  /// Neighbors of `v` as (neighbor, edge label) pairs, insertion order.
+  const std::vector<std::pair<NodeId, Label>>& neighbors(NodeId v) const {
+    return adjacency_[v];
+  }
+
+  bool HasEdge(NodeId u, NodeId v) const {
+    return (adj_bits_[u] >> v) & 1ULL;
+  }
+
+  /// Label of edge (u, v); asserts the edge exists.
+  Label EdgeLabel(NodeId u, NodeId v) const;
+
+  /// Bitset of neighbors of `v` (bit i set iff edge (v, i) exists).
+  uint64_t neighbor_bits(NodeId v) const { return adj_bits_[v]; }
+
+  void set_pivot(NodeId v) { pivot_ = v; }
+  NodeId pivot() const { return pivot_; }
+  bool has_pivot() const { return pivot_ != kInvalidNode; }
+
+  /// True iff the graph is connected (empty graph counts as connected).
+  bool IsConnected() const;
+
+  /// Maximum node label value + 1 (0 for an empty graph).
+  size_t max_label_plus_one() const;
+
+  /// Human-readable dump: "Q(pivot=0) 0:A 1:B ; 0-1:x ...".
+  std::string ToString() const;
+
+ private:
+  size_t num_edges_ = 0;
+  std::vector<Label> labels_;
+  std::vector<std::vector<std::pair<NodeId, Label>>> adjacency_;
+  std::vector<uint64_t> adj_bits_;
+  NodeId pivot_ = kInvalidNode;
+};
+
+}  // namespace psi::graph
+
+#endif  // SMARTPSI_GRAPH_QUERY_GRAPH_H_

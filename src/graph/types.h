@@ -1,0 +1,23 @@
+#ifndef SMARTPSI_GRAPH_TYPES_H_
+#define SMARTPSI_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace psi::graph {
+
+/// Node identifier within one graph. Dense, 0-based.
+using NodeId = uint32_t;
+
+/// Node / edge label identifier. Dense, 0-based.
+using Label = uint32_t;
+
+/// Sentinel "no node" value (used for unmapped query nodes etc.).
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Default label for unlabeled edges.
+inline constexpr Label kDefaultEdgeLabel = 0;
+
+}  // namespace psi::graph
+
+#endif  // SMARTPSI_GRAPH_TYPES_H_

@@ -1,0 +1,21 @@
+#include "match/candidates.h"
+
+#include <cassert>
+
+namespace psi::match {
+
+std::vector<graph::NodeId> ExtractPivotCandidates(const graph::Graph& g,
+                                                  const graph::QueryGraph& q) {
+  assert(q.has_pivot());
+  std::vector<graph::NodeId> candidates;
+  const graph::NodeId pivot = q.pivot();
+  const graph::Label label = q.label(pivot);
+  if (label >= g.num_labels()) return candidates;
+  const size_t min_degree = q.degree(pivot);
+  for (const graph::NodeId u : g.nodes_with_label(label)) {
+    if (g.degree(u) >= min_degree) candidates.push_back(u);
+  }
+  return candidates;
+}
+
+}  // namespace psi::match

@@ -1,0 +1,19 @@
+#ifndef SMARTPSI_MATCH_CANDIDATES_H_
+#define SMARTPSI_MATCH_CANDIDATES_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/query_graph.h"
+
+namespace psi::match {
+
+/// Candidate pivot bindings for a pivoted query: all data nodes with the
+/// pivot's label and at least its degree (the candidate extraction step of
+/// the SmartPSI architecture, Figure 6). Sorted ascending.
+std::vector<graph::NodeId> ExtractPivotCandidates(const graph::Graph& g,
+                                                  const graph::QueryGraph& q);
+
+}  // namespace psi::match
+
+#endif  // SMARTPSI_MATCH_CANDIDATES_H_

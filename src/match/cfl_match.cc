@@ -1,0 +1,329 @@
+#include "match/cfl_match.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace psi::match {
+
+uint64_t TwoCoreMask(const graph::QueryGraph& q) {
+  const size_t n = q.num_nodes();
+  std::vector<size_t> degree(n);
+  for (graph::NodeId v = 0; v < n; ++v) degree[v] = q.degree(v);
+  uint64_t removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (((removed >> v) & 1ULL) == 0 && degree[v] <= 1) {
+        removed |= 1ULL << v;
+        changed = true;
+        for (const auto& [nbr, edge_label] : q.neighbors(v)) {
+          (void)edge_label;
+          if (((removed >> nbr) & 1ULL) == 0 && degree[nbr] > 0) {
+            --degree[nbr];
+          }
+        }
+      }
+    }
+  }
+  const uint64_t all = n == 64 ? ~0ULL : (1ULL << n) - 1;
+  return all & ~removed;
+}
+
+MatchingEngine::Result CflMatchEngine::Enumerate(const graph::QueryGraph& q,
+                                                 const Visitor& visitor,
+                                                 const Options& options,
+                                                 SearchStats* stats) {
+  Result result;
+  const size_t qn = q.num_nodes();
+  if (qn == 0) return result;
+  if (!q.IsConnected()) return result;
+
+  // ---- Decomposition & root selection ---------------------------------
+  uint64_t core = TwoCoreMask(q);
+  auto selectivity = [&](graph::NodeId v) {
+    const graph::Label label = q.label(v);
+    const double freq = label < graph_.num_labels()
+                            ? static_cast<double>(graph_.label_frequency(label))
+                            : 0.0;
+    return freq / (1.0 + static_cast<double>(q.degree(v)));
+  };
+  graph::NodeId root = graph::kInvalidNode;
+  double best = -1.0;
+  for (graph::NodeId v = 0; v < qn; ++v) {
+    if (core != 0 && ((core >> v) & 1ULL) == 0) continue;
+    const double score = selectivity(v);
+    if (best < 0.0 || score < best) {
+      best = score;
+      root = v;
+    }
+  }
+  if (core == 0) core = 1ULL << root;  // tree query: root acts as the core
+
+  // ---- BFS tree from the root ------------------------------------------
+  std::vector<graph::NodeId> bfs_order{root};
+  std::vector<graph::NodeId> parent(qn, graph::kInvalidNode);
+  parent[root] = root;
+  std::vector<graph::Label> parent_edge(qn, graph::kDefaultEdgeLabel);
+  for (size_t head = 0; head < bfs_order.size(); ++head) {
+    const graph::NodeId v = bfs_order[head];
+    for (const auto& [nbr, edge_label] : q.neighbors(v)) {
+      if (parent[nbr] == graph::kInvalidNode) {
+        parent[nbr] = v;
+        parent_edge[nbr] = edge_label;
+        bfs_order.push_back(nbr);
+      }
+    }
+  }
+  std::vector<std::vector<graph::NodeId>> tree_children(qn);
+  for (const graph::NodeId v : bfs_order) {
+    if (v != root) tree_children[parent[v]].push_back(v);
+  }
+
+  // ---- Neighbor-label-frequency (NLF) requirements ---------------------
+  // For each query node, the multiset of neighbor labels as sorted
+  // (label, count) pairs; a candidate needs at least `count` neighbors of
+  // each label.
+  std::vector<std::vector<std::pair<graph::Label, uint32_t>>> nlf(qn);
+  for (graph::NodeId v = 0; v < qn; ++v) {
+    std::vector<graph::Label> labels;
+    for (const auto& [nbr, edge_label] : q.neighbors(v)) {
+      (void)edge_label;
+      labels.push_back(q.label(nbr));
+    }
+    std::sort(labels.begin(), labels.end());
+    for (size_t i = 0; i < labels.size();) {
+      size_t j = i;
+      while (j < labels.size() && labels[j] == labels[i]) ++j;
+      nlf[v].emplace_back(labels[i], static_cast<uint32_t>(j - i));
+      i = j;
+    }
+  }
+  std::vector<uint32_t> label_counter(
+      std::max<size_t>(graph_.num_labels(), q.max_label_plus_one()), 0);
+  auto passes_nlf = [&](graph::NodeId v, graph::NodeId c) {
+    const auto nbrs = graph_.neighbors(c);
+    for (const graph::NodeId nb : nbrs) ++label_counter[graph_.label(nb)];
+    bool ok = true;
+    for (const auto& [label, need] : nlf[v]) {
+      if (label >= graph_.num_labels() || label_counter[label] < need) {
+        ok = false;
+        break;
+      }
+    }
+    for (const graph::NodeId nb : nbrs) --label_counter[graph_.label(nb)];
+    return ok;
+  };
+
+  // ---- CPI-style candidate space ---------------------------------------
+  std::vector<std::vector<graph::NodeId>> candidates(qn);
+  std::vector<std::vector<uint8_t>> member(
+      qn, std::vector<uint8_t>(graph_.num_nodes(), 0));
+
+  // Top-down construction.
+  const graph::Label root_label = q.label(root);
+  if (root_label >= graph_.num_labels()) return result;
+  for (const graph::NodeId u : graph_.nodes_with_label(root_label)) {
+    if (stats != nullptr) ++stats->candidates_examined;
+    if (graph_.degree(u) < q.degree(root)) continue;
+    if (!passes_nlf(root, u)) continue;
+    candidates[root].push_back(u);
+    member[root][u] = 1;
+  }
+  for (size_t i = 1; i < bfs_order.size(); ++i) {
+    const graph::NodeId v = bfs_order[i];
+    const graph::NodeId p = parent[v];
+    const graph::Label want_label = q.label(v);
+    const graph::Label want_edge = parent_edge[v];
+    const size_t want_degree = q.degree(v);
+    for (const graph::NodeId pc : candidates[p]) {
+      const auto nbrs = graph_.neighbors(pc);
+      const auto edge_labels = graph_.edge_labels(pc);
+      for (size_t k = 0; k < nbrs.size(); ++k) {
+        const graph::NodeId c = nbrs[k];
+        if (stats != nullptr) ++stats->candidates_examined;
+        if (member[v][c]) continue;
+        if (edge_labels[k] != want_edge) continue;
+        if (graph_.label(c) != want_label) continue;
+        if (graph_.degree(c) < want_degree) continue;
+        if (!passes_nlf(v, c)) continue;
+        candidates[v].push_back(c);
+        member[v][c] = 1;
+      }
+    }
+    if (candidates[v].empty()) return result;  // no embeddings at all
+  }
+
+  // Bottom-up refinement: a candidate of v must have, for each tree child
+  // w, at least one neighbor in w's candidate set. Iterate to a (cheap)
+  // fixpoint: two passes cover most of the benefit.
+  for (int pass = 0; pass < 2; ++pass) {
+    bool any_change = false;
+    for (size_t i = bfs_order.size(); i-- > 0;) {
+      const graph::NodeId v = bfs_order[i];
+      if (tree_children[v].empty()) continue;
+      auto& set = candidates[v];
+      const size_t before = set.size();
+      set.erase(std::remove_if(
+                    set.begin(), set.end(),
+                    [&](graph::NodeId c) {
+                      for (const graph::NodeId w : tree_children[v]) {
+                        bool found = false;
+                        for (const graph::NodeId nb : graph_.neighbors(c)) {
+                          if (member[w][nb]) {
+                            found = true;
+                            break;
+                          }
+                        }
+                        if (!found) {
+                          member[v][c] = 0;
+                          return true;
+                        }
+                      }
+                      return false;
+                    }),
+                set.end());
+      if (set.empty()) return result;
+      any_change |= set.size() != before;
+    }
+    if (!any_change) break;
+  }
+
+  // ---- Matching order: core first, ascending candidate-set size --------
+  Plan plan;
+  plan.order.push_back(root);
+  uint64_t placed = 1ULL << root;
+  while (plan.order.size() < qn) {
+    graph::NodeId pick = graph::kInvalidNode;
+    bool pick_in_core = false;
+    size_t pick_size = SIZE_MAX;
+    for (graph::NodeId v = 0; v < qn; ++v) {
+      if ((placed >> v) & 1ULL) continue;
+      if ((q.neighbor_bits(v) & placed) == 0) continue;
+      const bool in_core = (core >> v) & 1ULL;
+      const size_t size = candidates[v].size();
+      const bool better = pick == graph::kInvalidNode ||
+                          (in_core && !pick_in_core) ||
+                          (in_core == pick_in_core && size < pick_size);
+      if (better) {
+        pick = v;
+        pick_in_core = in_core;
+        pick_size = size;
+      }
+    }
+    assert(pick != graph::kInvalidNode);
+    plan.order.push_back(pick);
+    placed |= 1ULL << pick;
+  }
+
+  // ---- Enumeration over the candidate space ----------------------------
+  std::vector<size_t> position(qn);
+  for (size_t i = 0; i < qn; ++i) position[plan.order[i]] = i;
+  std::vector<graph::NodeId> mapping(qn, graph::kInvalidNode);
+  std::vector<graph::NodeId> mapped_stack(qn, graph::kInvalidNode);
+  struct Frame {
+    std::vector<graph::NodeId> frame_candidates;
+    size_t next = 0;
+  };
+  std::vector<Frame> frames(qn);
+
+  auto fill = [&](size_t level) {
+    const graph::NodeId v = plan.order[level];
+    auto& frame = frames[level];
+    frame.frame_candidates.clear();
+    frame.next = 0;
+    // Anchor on the mapped query neighbor with the smallest image degree
+    // and intersect its adjacency with v's candidate set.
+    graph::NodeId anchor = graph::kInvalidNode;
+    graph::Label anchor_edge = graph::kDefaultEdgeLabel;
+    size_t anchor_degree = SIZE_MAX;
+    for (const auto& [nbr, edge_label] : q.neighbors(v)) {
+      if (position[nbr] >= level) continue;
+      const size_t deg = graph_.degree(mapping[nbr]);
+      if (deg < anchor_degree) {
+        anchor_degree = deg;
+        anchor = nbr;
+        anchor_edge = edge_label;
+      }
+    }
+    assert(anchor != graph::kInvalidNode);
+    const auto nbrs = graph_.neighbors(mapping[anchor]);
+    const auto edge_labels = graph_.edge_labels(mapping[anchor]);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      const graph::NodeId c = nbrs[k];
+      if (edge_labels[k] != anchor_edge) continue;
+      if (!member[v][c]) continue;
+      bool ok = true;
+      for (size_t i = 0; i < level && ok; ++i) {
+        if (mapped_stack[i] == c) ok = false;
+      }
+      if (!ok) continue;
+      for (const auto& [nbr, edge_label] : q.neighbors(v)) {
+        if (position[nbr] >= level || nbr == anchor) continue;
+        const auto found = graph_.EdgeLabelBetween(mapping[nbr], c);
+        if (!found.has_value() || *found != edge_label) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) frame.frame_candidates.push_back(c);
+    }
+  };
+
+  frames[0].frame_candidates = candidates[root];
+  frames[0].next = 0;
+  size_t level = 0;
+  bool truncated = false;
+  uint32_t steps_until_check = 1024;
+  while (true) {
+    if (--steps_until_check == 0) {
+      steps_until_check = 1024;
+      if (options.stop.StopRequested() || options.deadline.Expired()) {
+        truncated = true;
+        break;
+      }
+    }
+    auto& frame = frames[level];
+    if (frame.next >= frame.frame_candidates.size()) {
+      if (level == 0) break;
+      --level;
+      const graph::NodeId v = plan.order[level];
+      mapping[v] = graph::kInvalidNode;
+      mapped_stack[level] = graph::kInvalidNode;
+      ++frames[level].next;
+      continue;
+    }
+    const graph::NodeId c = frame.frame_candidates[frame.next];
+    const graph::NodeId v = plan.order[level];
+    if (stats != nullptr) ++stats->recursive_calls;
+    mapping[v] = c;
+    mapped_stack[level] = c;
+    if (level + 1 == qn) {
+      ++result.embedding_count;
+      if (stats != nullptr) ++stats->embeddings_found;
+      bool keep_going = true;
+      if (visitor) keep_going = visitor(mapping);
+      mapping[v] = graph::kInvalidNode;
+      mapped_stack[level] = graph::kInvalidNode;
+      if (!keep_going || result.embedding_count >= options.max_embeddings) {
+        truncated = true;
+        break;
+      }
+      ++frame.next;
+      continue;
+    }
+    ++level;
+    fill(level);
+  }
+
+  result.complete = !truncated;
+  result.outcome =
+      result.embedding_count > 0 ? Outcome::kValid : Outcome::kInvalid;
+  if (truncated && result.embedding_count == 0) {
+    result.outcome = Outcome::kTimeout;
+  }
+  return result;
+}
+
+}  // namespace psi::match

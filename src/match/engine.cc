@@ -1,0 +1,51 @@
+#include "match/engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace psi::match {
+
+MatchingEngine::ProjectionResult MatchingEngine::ProjectPivot(
+    const graph::QueryGraph& q, const Options& options, SearchStats* stats) {
+  ProjectionResult projection;
+  std::unordered_set<graph::NodeId> distinct;
+  const graph::NodeId pivot = q.pivot();
+  const Result result = Enumerate(
+      q,
+      [&](std::span<const graph::NodeId> mapping) {
+        distinct.insert(mapping[pivot]);
+        return true;
+      },
+      options, stats);
+  projection.embedding_count = result.embedding_count;
+  projection.complete = result.complete;
+  projection.pivot_matches.assign(distinct.begin(), distinct.end());
+  std::sort(projection.pivot_matches.begin(), projection.pivot_matches.end());
+  return projection;
+}
+
+MatchingEngine::Result BasicEngine::Enumerate(const graph::QueryGraph& q,
+                                              const Visitor& visitor,
+                                              const Options& options,
+                                              SearchStats* stats) {
+  if (q.num_nodes() == 0) return Result{};
+  // Root at the query node with the rarest label (ties: higher degree).
+  graph::NodeId root = 0;
+  double best = -1.0;
+  for (graph::NodeId v = 0; v < q.num_nodes(); ++v) {
+    const graph::Label label = q.label(v);
+    const double freq = label < graph_.num_labels()
+                            ? static_cast<double>(graph_.label_frequency(label))
+                            : 0.0;
+    const double score = freq / (1.0 + static_cast<double>(q.degree(v)));
+    if (best < 0.0 || score < best) {
+      best = score;
+      root = v;
+    }
+  }
+  const Plan plan = MakeHeuristicPlan(q, graph_, root);
+  SubgraphEnumerator enumerator(graph_);
+  return enumerator.Enumerate(q, plan, visitor, options, stats);
+}
+
+}  // namespace psi::match

@@ -1,0 +1,57 @@
+#ifndef SMARTPSI_MATCH_ENGINE_H_
+#define SMARTPSI_MATCH_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "match/subgraph_enumerator.h"
+
+namespace psi::match {
+
+/// Common interface over the subgraph-isomorphism competitors evaluated in
+/// the paper (§5.2): each engine enumerates all embeddings of a query with
+/// its own filtering and ordering strategy. PSI-by-projection (what existing
+/// applications do) is provided on top of Enumerate().
+class MatchingEngine {
+ public:
+  using Options = SubgraphEnumerator::Options;
+  using Result = SubgraphEnumerator::EnumerationResult;
+  using Visitor = SubgraphEnumerator::Visitor;
+  using ProjectionResult = SubgraphEnumerator::ProjectionResult;
+
+  virtual ~MatchingEngine() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Enumerates embeddings of `q`; the engine chooses its own matching
+  /// order. `visitor` may be null.
+  virtual Result Enumerate(const graph::QueryGraph& q, const Visitor& visitor,
+                           const Options& options,
+                           SearchStats* stats = nullptr) = 0;
+
+  /// PSI by projection: enumerate everything, collect distinct pivot images
+  /// (sorted). Requires q.has_pivot().
+  ProjectionResult ProjectPivot(const graph::QueryGraph& q,
+                                const Options& options,
+                                SearchStats* stats = nullptr);
+};
+
+/// Plain backtracking with the selectivity-heuristic order — the
+/// lowest-common-denominator baseline (wraps SubgraphEnumerator).
+class BasicEngine : public MatchingEngine {
+ public:
+  explicit BasicEngine(const graph::Graph& g) : graph_(g) {}
+
+  std::string name() const override { return "Basic"; }
+
+  Result Enumerate(const graph::QueryGraph& q, const Visitor& visitor,
+                   const Options& options,
+                   SearchStats* stats = nullptr) override;
+
+ private:
+  const graph::Graph& graph_;
+};
+
+}  // namespace psi::match
+
+#endif  // SMARTPSI_MATCH_ENGINE_H_

@@ -1,0 +1,237 @@
+#include "match/psi_evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace psi::match {
+
+const char* PsiModeName(PsiMode mode) {
+  switch (mode) {
+    case PsiMode::kOptimistic:
+      return "optimistic";
+    case PsiMode::kSuperOptimistic:
+      return "super-optimistic";
+    case PsiMode::kPessimistic:
+      return "pessimistic";
+  }
+  return "unknown";
+}
+
+PsiEvaluator::PsiEvaluator(const graph::Graph& g,
+                           const signature::SignatureMatrix& graph_sigs)
+    : graph_(g), graph_sigs_(graph_sigs) {
+  assert(graph_sigs.num_rows() == g.num_nodes());
+}
+
+void PsiEvaluator::BindQuery(const graph::QueryGraph& q,
+                             const signature::SignatureMatrix& query_sigs,
+                             Plan plan) {
+  assert(q.has_pivot());
+  assert(query_sigs.num_rows() == q.num_nodes());
+  assert(query_sigs.num_labels() == graph_sigs_.num_labels());
+  assert(query_sigs.method() == graph_sigs_.method());
+  assert(query_sigs.decay() == graph_sigs_.decay());
+  assert(IsValidPlan(q, plan, q.pivot()));
+
+  query_ = &q;
+  query_sigs_ = &query_sigs;
+  plan_ = std::move(plan);
+
+  const size_t n = q.num_nodes();
+  backward_.assign(n, {});
+  std::vector<size_t> plan_position(n, 0);
+  for (size_t i = 0; i < n; ++i) plan_position[plan_.order[i]] = i;
+  for (size_t level = 1; level < n; ++level) {
+    const graph::NodeId v = plan_.order[level];
+    for (const auto& [nbr, edge_label] : q.neighbors(v)) {
+      if (plan_position[nbr] < level) {
+        backward_[level].push_back({nbr, edge_label});
+      }
+    }
+  }
+
+  mapping_.assign(n, graph::kInvalidNode);
+  mapped_stack_.assign(n, graph::kInvalidNode);
+  level_candidates_.resize(n);
+}
+
+bool PsiEvaluator::IsUsed(graph::NodeId data_node, size_t level) const {
+  for (size_t i = 0; i < level; ++i) {
+    if (mapped_stack_[i] == data_node) return true;
+  }
+  return false;
+}
+
+bool PsiEvaluator::ShouldAbort(const Options& options, Outcome* outcome) {
+  if (--steps_until_check_ != 0) return false;
+  steps_until_check_ = kCheckInterval;
+  if (options.stop.StopRequested()) {
+    *outcome = Outcome::kStopped;
+    return true;
+  }
+  if (options.deadline.Expired()) {
+    *outcome = Outcome::kTimeout;
+    return true;
+  }
+  return false;
+}
+
+void PsiEvaluator::GenerateCandidates(size_t level, SearchStats* stats) {
+  const graph::NodeId v = plan_.order[level];
+  auto& out = level_candidates_[level];
+  out.clear();
+
+  const auto& anchors = backward_[level];
+  assert(!anchors.empty() && "plans must be connected");
+
+  // Anchor on the mapped neighbor whose image has the smallest degree:
+  // its adjacency is the cheapest superset of the candidate set.
+  size_t anchor_index = 0;
+  size_t anchor_degree = SIZE_MAX;
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    const size_t deg = graph_.degree(mapping_[anchors[i].query_node]);
+    if (deg < anchor_degree) {
+      anchor_degree = deg;
+      anchor_index = i;
+    }
+  }
+  const BackwardNeighbor anchor = anchors[anchor_index];
+  const graph::NodeId anchor_image = mapping_[anchor.query_node];
+
+  const graph::Label want_label = query_->label(v);
+  const size_t want_degree = query_->degree(v);
+
+  const auto nbrs = graph_.neighbors(anchor_image);
+  const auto edge_labels = graph_.edge_labels(anchor_image);
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    const graph::NodeId c = nbrs[i];
+    if (stats != nullptr) ++stats->candidates_examined;
+    if (edge_labels[i] != anchor.edge_label) continue;
+    if (graph_.label(c) != want_label) continue;
+    if (graph_.degree(c) < want_degree) continue;
+    if (IsUsed(c, level)) continue;
+    // Verify edges to the remaining mapped query neighbors.
+    bool consistent = true;
+    for (size_t a = 0; a < anchors.size(); ++a) {
+      if (a == anchor_index) continue;
+      const auto edge_label =
+          graph_.EdgeLabelBetween(mapping_[anchors[a].query_node], c);
+      if (!edge_label.has_value() || *edge_label != anchors[a].edge_label) {
+        consistent = false;
+        break;
+      }
+    }
+    if (consistent) out.push_back(c);
+  }
+}
+
+Outcome PsiEvaluator::Search(size_t level, const Options& options,
+                             SearchStats* stats) {
+  if (stats != nullptr) ++stats->recursive_calls;
+  Outcome abort_outcome;
+  if (ShouldAbort(options, &abort_outcome)) return abort_outcome;
+
+  // Line 1: full mapping -> a first embedding exists; PSI stops here.
+  if (level == plan_.size()) return Outcome::kValid;
+
+  const graph::NodeId v = plan_.order[level];
+  GenerateCandidates(level, stats);
+  auto& candidates = level_candidates_[level];
+
+  // Line 4 (super optimistic): cap the candidate list *before* sorting so
+  // the sorting overhead is bounded too.
+  if (options.mode == PsiMode::kSuperOptimistic &&
+      candidates.size() > options.super_optimistic_limit) {
+    candidates.resize(options.super_optimistic_limit);
+  }
+
+  // Line 5 (optimist): visit high satisfiability scores first.
+  if (options.mode == PsiMode::kOptimistic ||
+      options.mode == PsiMode::kSuperOptimistic) {
+    if (candidates.size() > 1) {
+      score_buffer_.clear();
+      const auto required = query_sigs_->row(v);
+      for (const graph::NodeId c : candidates) {
+        score_buffer_.emplace_back(
+            static_cast<float>(
+                signature::SatisfiabilityScore(graph_sigs_.row(c), required)),
+            c);
+      }
+      std::stable_sort(score_buffer_.begin(), score_buffer_.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first > b.first;
+                       });
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        candidates[i] = score_buffer_[i].second;
+      }
+      if (stats != nullptr) ++stats->score_sorts;
+    }
+  }
+
+  for (size_t idx = 0; idx < candidates.size(); ++idx) {
+    const graph::NodeId c = candidates[idx];
+    // Line 7 (pessimist): prune candidates whose neighborhood signature
+    // cannot satisfy the query node's signature (Proposition 3.2).
+    if (options.mode == PsiMode::kPessimistic) {
+      if (stats != nullptr) ++stats->signature_checks;
+      if (!signature::Satisfies(graph_sigs_.row(c), query_sigs_->row(v))) {
+        if (stats != nullptr) ++stats->pruned_by_signature;
+        continue;
+      }
+    }
+    mapping_[v] = c;
+    mapped_stack_[level] = c;
+    const Outcome result = Search(level + 1, options, stats);
+    mapping_[v] = graph::kInvalidNode;
+    mapped_stack_[level] = graph::kInvalidNode;
+    if (result != Outcome::kInvalid) return result;
+    // Re-fill: deeper levels may have clobbered nothing (each level has its
+    // own buffer), but `candidates` is a reference to this level's buffer,
+    // which Search(level + 1) never touches — safe to continue iterating.
+  }
+  return Outcome::kInvalid;
+}
+
+Outcome PsiEvaluator::EvaluateNode(graph::NodeId candidate,
+                                   const Options& options,
+                                   SearchStats* stats) {
+  assert(query_ != nullptr && "BindQuery first");
+  const graph::NodeId pivot = query_->pivot();
+  if (stats != nullptr) ++stats->candidates_examined;
+  if (graph_.label(candidate) != query_->label(pivot)) {
+    return Outcome::kInvalid;
+  }
+  if (graph_.degree(candidate) < query_->degree(pivot)) {
+    return Outcome::kInvalid;
+  }
+  if (options.mode == PsiMode::kPessimistic) {
+    if (stats != nullptr) ++stats->signature_checks;
+    if (!signature::Satisfies(graph_sigs_.row(candidate),
+                              query_sigs_->row(pivot))) {
+      if (stats != nullptr) ++stats->pruned_by_signature;
+      return Outcome::kInvalid;
+    }
+  }
+  mapping_[pivot] = candidate;
+  mapped_stack_[0] = candidate;
+  const Outcome result = Search(1, options, stats);
+  mapping_[pivot] = graph::kInvalidNode;
+  mapped_stack_[0] = graph::kInvalidNode;
+  return result;
+}
+
+Outcome PsiEvaluator::EvaluateNodeOptimisticStrategy(graph::NodeId candidate,
+                                                     const Options& options,
+                                                     SearchStats* stats) {
+  Options super = options;
+  super.mode = PsiMode::kSuperOptimistic;
+  const Outcome quick = EvaluateNode(candidate, super, stats);
+  // kInvalid from the truncated search is inconclusive; everything else
+  // (valid / timeout / stopped) is final.
+  if (quick != Outcome::kInvalid) return quick;
+  Options full = options;
+  full.mode = PsiMode::kOptimistic;
+  return EvaluateNode(candidate, full, stats);
+}
+
+}  // namespace psi::match

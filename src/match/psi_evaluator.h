@@ -1,0 +1,124 @@
+#ifndef SMARTPSI_MATCH_PSI_EVALUATOR_H_
+#define SMARTPSI_MATCH_PSI_EVALUATOR_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/query_graph.h"
+#include "match/plan.h"
+#include "match/search_stats.h"
+#include "signature/signature_matrix.h"
+#include "util/stop_token.h"
+#include "util/timer.h"
+
+namespace psi::match {
+
+/// Evaluation method for one candidate node (paper §3.3–3.4, Algorithm 1).
+enum class PsiMode {
+  /// Greedy guided DFS: candidates sorted by satisfiability score,
+  /// descending. Fast to *confirm* valid nodes.
+  kOptimistic,
+  /// Optimistic plus a hard cap on the per-level candidate list (default
+  /// 10), minimizing sorting work. Incomplete on its own — a kInvalid
+  /// answer only means "not found in the truncated space"; the full
+  /// optimistic strategy (EvaluateNodeOptimisticStrategy) falls back.
+  kSuperOptimistic,
+  /// Unguided search with aggressive neighborhood-signature pruning
+  /// (Proposition 3.2). Fast to *refute* invalid nodes.
+  kPessimistic,
+};
+
+const char* PsiModeName(PsiMode mode);
+
+/// Evaluates whether single data nodes are valid pivot bindings for a
+/// pivoted query — the core of PSI: it stops at the *first* embedding.
+///
+/// Usage:
+///   PsiEvaluator eval(g, graph_sigs);
+///   eval.BindQuery(q, query_sigs, plan);       // plan.order[0] == q.pivot()
+///   for (NodeId u : candidates)
+///     if (eval.EvaluateNode(u, opts, &stats) == Outcome::kValid) ...
+///
+/// The evaluator owns reusable scratch buffers; it is cheap to rebind and
+/// must not be shared across threads concurrently. Query/plan/signature
+/// references must outlive the binding.
+class PsiEvaluator {
+ public:
+  struct Options {
+    PsiMode mode = PsiMode::kPessimistic;
+    /// Candidate cap for kSuperOptimistic (paper uses 10).
+    size_t super_optimistic_limit = 10;
+    util::Deadline deadline;
+    util::StopToken stop;
+  };
+
+  /// `graph_sigs` must have one row per node of `g`. Both must outlive the
+  /// evaluator.
+  PsiEvaluator(const graph::Graph& g,
+               const signature::SignatureMatrix& graph_sigs);
+
+  /// Binds the query to evaluate against. `query_sigs` must have one row
+  /// per query node, the same column count as the graph signatures, and be
+  /// built with the same Method/depth. `plan` must be valid for `q` rooted
+  /// at the pivot; it is copied, so a temporary is fine. `q` and
+  /// `query_sigs` are held by reference and must outlive the binding.
+  void BindQuery(const graph::QueryGraph& q,
+                 const signature::SignatureMatrix& query_sigs, Plan plan);
+
+  /// Evaluates one candidate with the bound query using `options.mode`.
+  Outcome EvaluateNode(graph::NodeId candidate, const Options& options,
+                       SearchStats* stats = nullptr);
+
+  /// The paper's full optimistic strategy (§3.3): first a super-optimistic
+  /// pass; if it finds a match the node is valid, otherwise rerun with the
+  /// complete optimistic search.
+  Outcome EvaluateNodeOptimisticStrategy(graph::NodeId candidate,
+                                         const Options& options,
+                                         SearchStats* stats = nullptr);
+
+ private:
+  struct BackwardNeighbor {
+    graph::NodeId query_node;  // earlier-in-plan query neighbor
+    graph::Label edge_label;
+  };
+
+  Outcome Search(size_t level, const Options& options, SearchStats* stats);
+
+  /// Fills level_candidates_[level] with data nodes consistent with all
+  /// already-mapped query neighbors of plan node `level`.
+  void GenerateCandidates(size_t level, SearchStats* stats);
+
+  bool IsUsed(graph::NodeId data_node, size_t level) const;
+
+  /// Polls deadline/stop every kCheckInterval steps.
+  bool ShouldAbort(const Options& options, Outcome* outcome);
+
+  static constexpr uint32_t kCheckInterval = 256;
+
+  const graph::Graph& graph_;
+  const signature::SignatureMatrix& graph_sigs_;
+
+  const graph::QueryGraph* query_ = nullptr;
+  const signature::SignatureMatrix* query_sigs_ = nullptr;
+  Plan plan_;
+
+  /// backward_[level] = query neighbors of plan.order[level] that appear
+  /// earlier in the plan (precomputed at BindQuery).
+  std::vector<std::vector<BackwardNeighbor>> backward_;
+
+  /// mapping_[query node] = data node or kInvalidNode.
+  std::vector<graph::NodeId> mapping_;
+
+  /// mapped_stack_[i] = data node mapped at plan level i (for used checks).
+  std::vector<graph::NodeId> mapped_stack_;
+
+  /// Per-level candidate buffers (reused across calls).
+  std::vector<std::vector<graph::NodeId>> level_candidates_;
+  std::vector<std::pair<float, graph::NodeId>> score_buffer_;
+
+  uint32_t steps_until_check_ = kCheckInterval;
+};
+
+}  // namespace psi::match
+
+#endif  // SMARTPSI_MATCH_PSI_EVALUATOR_H_

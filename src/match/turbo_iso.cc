@@ -1,0 +1,269 @@
+#include "match/turbo_iso.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace psi::match {
+
+namespace {
+
+/// Start vertex rank: rare label and high degree first (TurboIso §4.1).
+graph::NodeId ChooseStartVertex(const graph::QueryGraph& q,
+                                const graph::Graph& g) {
+  graph::NodeId best = 0;
+  double best_score = -1.0;
+  for (graph::NodeId v = 0; v < q.num_nodes(); ++v) {
+    const graph::Label label = q.label(v);
+    const double freq = label < g.num_labels()
+                            ? static_cast<double>(g.label_frequency(label))
+                            : 0.0;
+    const double score = freq / (1.0 + static_cast<double>(q.degree(v)));
+    if (best_score < 0.0 || score < best_score) {
+      best_score = score;
+      best = v;
+    }
+  }
+  return best;
+}
+
+struct BfsTree {
+  std::vector<graph::NodeId> order;    // BFS order, order[0] = root
+  std::vector<graph::NodeId> parent;   // per query node; root -> itself
+  std::vector<graph::Label> parent_edge_label;
+};
+
+BfsTree BuildBfsTree(const graph::QueryGraph& q, graph::NodeId root) {
+  BfsTree tree;
+  tree.parent.assign(q.num_nodes(), graph::kInvalidNode);
+  tree.parent_edge_label.assign(q.num_nodes(), graph::kDefaultEdgeLabel);
+  tree.order.push_back(root);
+  tree.parent[root] = root;
+  for (size_t head = 0; head < tree.order.size(); ++head) {
+    const graph::NodeId v = tree.order[head];
+    for (const auto& [nbr, edge_label] : q.neighbors(v)) {
+      if (tree.parent[nbr] == graph::kInvalidNode) {
+        tree.parent[nbr] = v;
+        tree.parent_edge_label[nbr] = edge_label;
+        tree.order.push_back(nbr);
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+MatchingEngine::Result TurboIsoEngine::RunRegions(
+    const graph::QueryGraph& q, graph::NodeId start, bool pivot_mode,
+    const Visitor& visitor, const Options& options, SearchStats* stats,
+    std::vector<graph::NodeId>* valid_nodes) {
+  Result result;
+  if (q.num_nodes() == 0) return result;
+  // Disconnected queries have no embeddings in any single region.
+  if (!q.IsConnected()) return result;
+
+  const BfsTree tree = BuildBfsTree(q, start);
+
+  // Scratch reused across regions.
+  std::vector<std::vector<graph::NodeId>> region(q.num_nodes());
+  std::vector<uint64_t> seen_epoch(graph_.num_nodes(), 0);
+  uint64_t epoch = 0;
+
+  std::vector<graph::NodeId> mapping(q.num_nodes(), graph::kInvalidNode);
+  std::vector<graph::NodeId> mapped_stack(q.num_nodes(),
+                                          graph::kInvalidNode);
+
+  const graph::Label start_label = q.label(start);
+  if (start_label >= graph_.num_labels()) return result;
+
+  bool truncated = false;
+  for (const graph::NodeId v_s : graph_.nodes_with_label(start_label)) {
+    if (options.stop.StopRequested() || options.deadline.Expired()) {
+      truncated = true;
+      break;
+    }
+    if (graph_.degree(v_s) < q.degree(start)) continue;
+
+    // --- Explore the candidate region rooted at v_s ------------------
+    bool region_alive = true;
+    region[start].assign(1, v_s);
+    for (size_t i = 1; i < tree.order.size() && region_alive; ++i) {
+      const graph::NodeId v = tree.order[i];
+      const graph::NodeId parent = tree.parent[v];
+      const graph::Label tree_edge_label = tree.parent_edge_label[v];
+      const graph::Label want_label = q.label(v);
+      const size_t want_degree = q.degree(v);
+      auto& out = region[v];
+      out.clear();
+      ++epoch;
+      for (const graph::NodeId p : region[parent]) {
+        const auto nbrs = graph_.neighbors(p);
+        const auto edge_labels = graph_.edge_labels(p);
+        for (size_t k = 0; k < nbrs.size(); ++k) {
+          const graph::NodeId c = nbrs[k];
+          if (stats != nullptr) ++stats->candidates_examined;
+          if (edge_labels[k] != tree_edge_label) continue;
+          if (graph_.label(c) != want_label) continue;
+          if (graph_.degree(c) < want_degree) continue;
+          if (seen_epoch[c] == epoch) continue;
+          seen_epoch[c] = epoch;
+          out.push_back(c);
+        }
+      }
+      if (out.empty()) region_alive = false;
+    }
+    if (!region_alive) continue;
+
+    // --- Region-local matching order: ascending candidate-set size, ---
+    // --- connectivity-preserving, start vertex first.                ---
+    Plan plan;
+    plan.order.push_back(start);
+    uint64_t placed = 1ULL << start;
+    while (plan.order.size() < q.num_nodes()) {
+      graph::NodeId pick = graph::kInvalidNode;
+      size_t pick_size = SIZE_MAX;
+      for (graph::NodeId v = 0; v < q.num_nodes(); ++v) {
+        if ((placed >> v) & 1ULL) continue;
+        if ((q.neighbor_bits(v) & placed) == 0) continue;
+        if (region[v].size() < pick_size) {
+          pick_size = region[v].size();
+          pick = v;
+        }
+      }
+      assert(pick != graph::kInvalidNode);
+      plan.order.push_back(pick);
+      placed |= 1ULL << pick;
+    }
+
+    // --- Enumerate inside the region --------------------------------
+    // Candidates per level come from the region sets; all mapped query
+    // neighbors (tree and non-tree edges) are verified.
+    struct Frame {
+      std::vector<graph::NodeId> candidates;
+      size_t next = 0;
+    };
+    std::vector<Frame> frames(q.num_nodes());
+    std::vector<size_t> position(q.num_nodes());
+    for (size_t i = 0; i < plan.order.size(); ++i) {
+      position[plan.order[i]] = i;
+    }
+
+    auto fill = [&](size_t level) {
+      const graph::NodeId v = plan.order[level];
+      auto& frame = frames[level];
+      frame.candidates.clear();
+      frame.next = 0;
+      for (const graph::NodeId c : region[v]) {
+        bool ok = true;
+        for (size_t i = 0; i < level && ok; ++i) {
+          if (mapped_stack[i] == c) ok = false;
+        }
+        if (!ok) continue;
+        for (const auto& [nbr, edge_label] : q.neighbors(v)) {
+          if (position[nbr] >= level) continue;  // not mapped yet
+          const auto found = graph_.EdgeLabelBetween(mapping[nbr], c);
+          if (!found.has_value() || *found != edge_label) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) frame.candidates.push_back(c);
+      }
+    };
+
+    frames[0].candidates.assign(1, v_s);
+    frames[0].next = 0;
+    size_t level = 0;
+    bool region_done = false;
+    uint64_t region_embeddings = 0;
+    uint32_t steps_until_check = 1024;
+    while (!region_done) {
+      if (--steps_until_check == 0) {
+        steps_until_check = 1024;
+        if (options.stop.StopRequested() || options.deadline.Expired()) {
+          truncated = true;
+          break;
+        }
+      }
+      auto& frame = frames[level];
+      if (frame.next >= frame.candidates.size()) {
+        if (level == 0) break;
+        --level;
+        const graph::NodeId v = plan.order[level];
+        mapping[v] = graph::kInvalidNode;
+        mapped_stack[level] = graph::kInvalidNode;
+        ++frames[level].next;
+        continue;
+      }
+      const graph::NodeId c = frame.candidates[frame.next];
+      const graph::NodeId v = plan.order[level];
+      if (stats != nullptr) ++stats->recursive_calls;
+      mapping[v] = c;
+      mapped_stack[level] = c;
+      if (level + 1 == q.num_nodes()) {
+        ++region_embeddings;
+        ++result.embedding_count;
+        if (stats != nullptr) ++stats->embeddings_found;
+        bool keep_going = true;
+        if (!pivot_mode && visitor) keep_going = visitor(mapping);
+        mapping[v] = graph::kInvalidNode;
+        mapped_stack[level] = graph::kInvalidNode;
+        if (pivot_mode) {
+          region_done = true;  // one embedding per pivot candidate
+        } else if (!keep_going ||
+                   result.embedding_count >= options.max_embeddings) {
+          truncated = true;
+          region_done = true;
+        } else {
+          ++frame.next;
+        }
+        continue;
+      }
+      ++level;
+      fill(level);
+    }
+    // Unwind any partial mapping before the next region.
+    while (level > 0) {
+      --level;
+      const graph::NodeId v = plan.order[level];
+      mapping[v] = graph::kInvalidNode;
+      mapped_stack[level] = graph::kInvalidNode;
+    }
+    if (pivot_mode && region_embeddings > 0 && valid_nodes != nullptr) {
+      valid_nodes->push_back(v_s);
+    }
+    if (truncated) break;
+  }
+
+  result.complete = !truncated;
+  result.outcome =
+      result.embedding_count > 0 ? Outcome::kValid : Outcome::kInvalid;
+  if (truncated && result.embedding_count == 0) {
+    result.outcome = Outcome::kTimeout;
+  }
+  return result;
+}
+
+MatchingEngine::Result TurboIsoEngine::Enumerate(const graph::QueryGraph& q,
+                                                 const Visitor& visitor,
+                                                 const Options& options,
+                                                 SearchStats* stats) {
+  if (q.num_nodes() == 0) return Result{};
+  const graph::NodeId start = ChooseStartVertex(q, graph_);
+  return RunRegions(q, start, /*pivot_mode=*/false, visitor, options, stats,
+                    nullptr);
+}
+
+TurboIsoEngine::PsiResult TurboIsoEngine::EvaluatePsi(
+    const graph::QueryGraph& q, const Options& options, SearchStats* stats) {
+  assert(q.has_pivot());
+  PsiResult psi;
+  const Result result = RunRegions(q, q.pivot(), /*pivot_mode=*/true,
+                                   Visitor(), options, stats,
+                                   &psi.valid_nodes);
+  psi.complete = result.complete;
+  std::sort(psi.valid_nodes.begin(), psi.valid_nodes.end());
+  return psi;
+}
+
+}  // namespace psi::match

@@ -1,0 +1,245 @@
+#include "match/ullmann.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace psi::match {
+
+namespace {
+
+/// Row-major bit matrix: one bitset over data nodes per query node.
+class CandidateMatrix {
+ public:
+  CandidateMatrix(size_t query_nodes, size_t data_nodes)
+      : words_per_row_((data_nodes + 63) / 64),
+        bits_(query_nodes * words_per_row_, 0) {}
+
+  void Set(size_t q, graph::NodeId u) {
+    bits_[q * words_per_row_ + u / 64] |= 1ULL << (u % 64);
+  }
+  void Clear(size_t q, graph::NodeId u) {
+    bits_[q * words_per_row_ + u / 64] &= ~(1ULL << (u % 64));
+  }
+  bool Test(size_t q, graph::NodeId u) const {
+    return (bits_[q * words_per_row_ + u / 64] >> (u % 64)) & 1ULL;
+  }
+  size_t CountRow(size_t q) const {
+    size_t count = 0;
+    for (size_t w = 0; w < words_per_row_; ++w) {
+      count += static_cast<size_t>(
+          __builtin_popcountll(bits_[q * words_per_row_ + w]));
+    }
+    return count;
+  }
+
+ private:
+  size_t words_per_row_;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace
+
+MatchingEngine::Result UllmannEngine::Enumerate(const graph::QueryGraph& q,
+                                                const Visitor& visitor,
+                                                const Options& options,
+                                                SearchStats* stats) {
+  Result result;
+  const size_t qn = q.num_nodes();
+  if (qn == 0) return result;
+  if (!q.IsConnected()) return result;
+  const size_t n = graph_.num_nodes();
+
+  // ---- Initial candidate matrix: label / degree / NLF ------------------
+  CandidateMatrix m(qn, n);
+  std::vector<std::vector<graph::NodeId>> rows(qn);
+  std::vector<uint32_t> label_counter(graph_.num_labels() + 1, 0);
+  for (graph::NodeId v = 0; v < qn; ++v) {
+    const graph::Label label = q.label(v);
+    if (label >= graph_.num_labels()) return result;
+    for (const graph::NodeId u : graph_.nodes_with_label(label)) {
+      if (stats != nullptr) ++stats->candidates_examined;
+      if (graph_.degree(u) < q.degree(v)) continue;
+      // Neighbor-label-frequency check.
+      for (const graph::NodeId nb : graph_.neighbors(u)) {
+        ++label_counter[graph_.label(nb)];
+      }
+      bool ok = true;
+      for (const auto& [nbr, edge_label] : q.neighbors(v)) {
+        (void)edge_label;
+        const graph::Label nl = q.label(nbr);
+        if (nl >= graph_.num_labels() || label_counter[nl] == 0) {
+          ok = false;
+          break;
+        }
+        --label_counter[nl];  // consume one unit per required neighbor
+      }
+      // Restore the counter.
+      for (const graph::NodeId nb : graph_.neighbors(u)) {
+        label_counter[graph_.label(nb)] = 0;
+      }
+      if (ok) m.Set(v, u);
+    }
+  }
+
+  // ---- Ullmann refinement to a fixpoint --------------------------------
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (graph::NodeId v = 0; v < qn; ++v) {
+      const graph::Label want = q.label(v);
+      for (const graph::NodeId u : graph_.nodes_with_label(want)) {
+        if (!m.Test(v, u)) continue;
+        // Every query neighbor of v needs a candidate adjacent to u with
+        // the right edge label.
+        bool supported = true;
+        for (const auto& [nbr, edge_label] : q.neighbors(v)) {
+          bool found = false;
+          const auto nbrs = graph_.neighbors(u);
+          const auto edge_labels = graph_.edge_labels(u);
+          for (size_t k = 0; k < nbrs.size(); ++k) {
+            if (edge_labels[k] == edge_label && m.Test(nbr, nbrs[k])) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            supported = false;
+            break;
+          }
+        }
+        if (!supported) {
+          m.Clear(v, u);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Materialize rows; empty row => no embeddings at all.
+  for (graph::NodeId v = 0; v < qn; ++v) {
+    for (const graph::NodeId u : graph_.nodes_with_label(q.label(v))) {
+      if (m.Test(v, u)) rows[v].push_back(u);
+    }
+    if (rows[v].empty()) return result;
+  }
+
+  // ---- Matching order: connected, ascending candidate count ------------
+  Plan plan;
+  {
+    graph::NodeId root = 0;
+    size_t best = SIZE_MAX;
+    for (graph::NodeId v = 0; v < qn; ++v) {
+      if (rows[v].size() < best) {
+        best = rows[v].size();
+        root = v;
+      }
+    }
+    plan.order.push_back(root);
+    uint64_t placed = 1ULL << root;
+    while (plan.order.size() < qn) {
+      graph::NodeId pick = graph::kInvalidNode;
+      size_t pick_size = SIZE_MAX;
+      for (graph::NodeId v = 0; v < qn; ++v) {
+        if ((placed >> v) & 1ULL) continue;
+        if ((q.neighbor_bits(v) & placed) == 0) continue;
+        if (rows[v].size() < pick_size) {
+          pick_size = rows[v].size();
+          pick = v;
+        }
+      }
+      assert(pick != graph::kInvalidNode);
+      plan.order.push_back(pick);
+      placed |= 1ULL << pick;
+    }
+  }
+  std::vector<size_t> position(qn);
+  for (size_t i = 0; i < qn; ++i) position[plan.order[i]] = i;
+
+  // ---- Backtracking over the refined rows -------------------------------
+  std::vector<graph::NodeId> mapping(qn, graph::kInvalidNode);
+  std::vector<graph::NodeId> mapped_stack(qn, graph::kInvalidNode);
+  struct Frame {
+    std::vector<graph::NodeId> candidates;
+    size_t next = 0;
+  };
+  std::vector<Frame> frames(qn);
+
+  auto fill = [&](size_t level) {
+    const graph::NodeId v = plan.order[level];
+    auto& frame = frames[level];
+    frame.candidates.clear();
+    frame.next = 0;
+    for (const graph::NodeId c : rows[v]) {
+      bool ok = true;
+      for (size_t i = 0; i < level && ok; ++i) {
+        if (mapped_stack[i] == c) ok = false;
+      }
+      if (!ok) continue;
+      for (const auto& [nbr, edge_label] : q.neighbors(v)) {
+        if (position[nbr] >= level) continue;
+        const auto found = graph_.EdgeLabelBetween(mapping[nbr], c);
+        if (!found.has_value() || *found != edge_label) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) frame.candidates.push_back(c);
+    }
+  };
+
+  frames[0].candidates = rows[plan.order[0]];
+  size_t level = 0;
+  bool truncated = false;
+  uint32_t steps_until_check = 1024;
+  while (true) {
+    if (--steps_until_check == 0) {
+      steps_until_check = 1024;
+      if (options.stop.StopRequested() || options.deadline.Expired()) {
+        truncated = true;
+        break;
+      }
+    }
+    auto& frame = frames[level];
+    if (frame.next >= frame.candidates.size()) {
+      if (level == 0) break;
+      --level;
+      const graph::NodeId v = plan.order[level];
+      mapping[v] = graph::kInvalidNode;
+      mapped_stack[level] = graph::kInvalidNode;
+      ++frames[level].next;
+      continue;
+    }
+    const graph::NodeId c = frame.candidates[frame.next];
+    const graph::NodeId v = plan.order[level];
+    if (stats != nullptr) ++stats->recursive_calls;
+    mapping[v] = c;
+    mapped_stack[level] = c;
+    if (level + 1 == qn) {
+      ++result.embedding_count;
+      if (stats != nullptr) ++stats->embeddings_found;
+      bool keep_going = true;
+      if (visitor) keep_going = visitor(mapping);
+      mapping[v] = graph::kInvalidNode;
+      mapped_stack[level] = graph::kInvalidNode;
+      if (!keep_going || result.embedding_count >= options.max_embeddings) {
+        truncated = true;
+        break;
+      }
+      ++frame.next;
+      continue;
+    }
+    ++level;
+    fill(level);
+  }
+
+  result.complete = !truncated;
+  result.outcome =
+      result.embedding_count > 0 ? Outcome::kValid : Outcome::kInvalid;
+  if (truncated && result.embedding_count == 0) {
+    result.outcome = Outcome::kTimeout;
+  }
+  return result;
+}
+
+}  // namespace psi::match

@@ -1,0 +1,36 @@
+#ifndef SMARTPSI_MATCH_ULLMANN_H_
+#define SMARTPSI_MATCH_ULLMANN_H_
+
+#include "match/engine.h"
+
+namespace psi::match {
+
+/// Ullmann's algorithm (JACM 1976) — the first practical subgraph
+/// isomorphism procedure and the classic baseline of the field (paper §6.1).
+///
+/// A candidate bit-matrix M (query node × data node) is initialized with
+/// label / degree / neighbor-label-frequency filters and refined to a
+/// fixpoint with Ullmann's condition: M[i][u] survives only if every query
+/// neighbor j of i has some candidate adjacent to u. Enumeration then
+/// backtracks over the refined rows in ascending-candidate-count order.
+///
+/// Simplification vs. the original: refinement runs at the root only, not
+/// at every search node (the usual engineering trade-off; re-refinement
+/// costs more than it prunes on labeled graphs).
+class UllmannEngine : public MatchingEngine {
+ public:
+  explicit UllmannEngine(const graph::Graph& g) : graph_(g) {}
+
+  std::string name() const override { return "Ullmann"; }
+
+  Result Enumerate(const graph::QueryGraph& q, const Visitor& visitor,
+                   const Options& options,
+                   SearchStats* stats = nullptr) override;
+
+ private:
+  const graph::Graph& graph_;
+};
+
+}  // namespace psi::match
+
+#endif  // SMARTPSI_MATCH_ULLMANN_H_

@@ -1,0 +1,226 @@
+#include "match/vf2.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace psi::match {
+
+namespace {
+
+/// All VF2 state shared down the recursion.
+struct Vf2State {
+  const graph::Graph& g;
+  const graph::QueryGraph& q;
+  const MatchingEngine::Visitor& visitor;
+  const MatchingEngine::Options& options;
+  SearchStats* stats;
+
+  std::vector<graph::NodeId> core_q;   // query -> data
+  std::vector<graph::NodeId> core_d;   // data -> query
+  std::vector<uint32_t> t1_depth;      // query frontier entry depth (0=out)
+  std::vector<uint32_t> t2_depth;      // data frontier entry depth (0=out)
+
+  uint64_t embeddings = 0;
+  bool truncated = false;
+  uint32_t steps_until_check = 1024;
+
+  Vf2State(const graph::Graph& graph, const graph::QueryGraph& query,
+           const MatchingEngine::Visitor& vis,
+           const MatchingEngine::Options& opts, SearchStats* st)
+      : g(graph),
+        q(query),
+        visitor(vis),
+        options(opts),
+        stats(st),
+        core_q(query.num_nodes(), graph::kInvalidNode),
+        core_d(graph.num_nodes(), graph::kInvalidNode),
+        t1_depth(query.num_nodes(), 0),
+        t2_depth(graph.num_nodes(), 0) {}
+
+  bool InCoreQ(graph::NodeId v) const {
+    return core_q[v] != graph::kInvalidNode;
+  }
+  bool InCoreD(graph::NodeId u) const {
+    return core_d[u] != graph::kInvalidNode;
+  }
+};
+
+/// The classic VF2 feasibility rules for the pair (n, m).
+bool Feasible(const Vf2State& s, graph::NodeId n, graph::NodeId m) {
+  if (s.q.label(n) != s.g.label(m)) return false;
+  if (s.g.degree(m) < s.q.degree(n)) return false;
+
+  // Consistency + query-side counts.
+  size_t term1 = 0;
+  size_t new1 = 0;
+  for (const auto& [nbr, edge_label] : s.q.neighbors(n)) {
+    if (s.InCoreQ(nbr)) {
+      const auto found = s.g.EdgeLabelBetween(s.core_q[nbr], m);
+      if (!found.has_value() || *found != edge_label) return false;
+    } else if (s.t1_depth[nbr] != 0) {
+      ++term1;
+    } else {
+      ++new1;
+    }
+  }
+
+  // Data-side counts (1-look-ahead).
+  size_t term2 = 0;
+  size_t new2 = 0;
+  for (const graph::NodeId nb : s.g.neighbors(m)) {
+    if (s.InCoreD(nb)) continue;  // consistency already verified above
+    if (s.t2_depth[nb] != 0) {
+      ++term2;
+    } else {
+      ++new2;
+    }
+  }
+  if (term1 > term2) return false;
+  if (term1 + new1 > term2 + new2) return false;
+  return true;
+}
+
+/// Adds (n, m) to the state at `depth` (1-based) and updates frontiers.
+void Push(Vf2State& s, graph::NodeId n, graph::NodeId m, uint32_t depth) {
+  s.core_q[n] = m;
+  s.core_d[m] = n;
+  if (s.t1_depth[n] == 0) s.t1_depth[n] = depth;
+  if (s.t2_depth[m] == 0) s.t2_depth[m] = depth;
+  for (const auto& [nbr, edge_label] : s.q.neighbors(n)) {
+    (void)edge_label;
+    if (s.t1_depth[nbr] == 0) s.t1_depth[nbr] = depth;
+  }
+  for (const graph::NodeId nb : s.g.neighbors(m)) {
+    if (s.t2_depth[nb] == 0) s.t2_depth[nb] = depth;
+  }
+}
+
+/// Reverts Push(n, m, depth).
+void Pop(Vf2State& s, graph::NodeId n, graph::NodeId m, uint32_t depth) {
+  for (const auto& [nbr, edge_label] : s.q.neighbors(n)) {
+    (void)edge_label;
+    if (s.t1_depth[nbr] == depth) s.t1_depth[nbr] = 0;
+  }
+  for (const graph::NodeId nb : s.g.neighbors(m)) {
+    if (s.t2_depth[nb] == depth) s.t2_depth[nb] = 0;
+  }
+  if (s.t1_depth[n] == depth) s.t1_depth[n] = 0;
+  if (s.t2_depth[m] == depth) s.t2_depth[m] = 0;
+  s.core_q[n] = graph::kInvalidNode;
+  s.core_d[m] = graph::kInvalidNode;
+}
+
+/// Returns false to stop the whole enumeration.
+bool Match(Vf2State& s, uint32_t depth) {
+  if (--s.steps_until_check == 0) {
+    s.steps_until_check = 1024;
+    if (s.options.stop.StopRequested() || s.options.deadline.Expired()) {
+      s.truncated = true;
+      return false;
+    }
+  }
+  const size_t qn = s.q.num_nodes();
+  if (depth == qn) {
+    ++s.embeddings;
+    if (s.stats != nullptr) ++s.stats->embeddings_found;
+    bool keep_going = true;
+    if (s.visitor) keep_going = s.visitor(s.core_q);
+    if (!keep_going || s.embeddings >= s.options.max_embeddings) {
+      s.truncated = true;
+      return false;
+    }
+    return true;
+  }
+
+  // Next query node: the smallest frontier node (or smallest unmapped node
+  // when the frontier is empty, i.e., at the root).
+  graph::NodeId n = graph::kInvalidNode;
+  for (graph::NodeId v = 0; v < qn; ++v) {
+    if (!s.InCoreQ(v) && s.t1_depth[v] != 0) {
+      n = v;
+      break;
+    }
+  }
+  const bool from_frontier = n != graph::kInvalidNode;
+  if (!from_frontier) {
+    for (graph::NodeId v = 0; v < qn; ++v) {
+      if (!s.InCoreQ(v)) {
+        n = v;
+        break;
+      }
+    }
+  }
+  assert(n != graph::kInvalidNode);
+
+  auto try_pair = [&](graph::NodeId m) -> bool {
+    if (s.InCoreD(m)) return true;
+    if (s.stats != nullptr) ++s.stats->candidates_examined;
+    if (!Feasible(s, n, m)) return true;
+    if (s.stats != nullptr) ++s.stats->recursive_calls;
+    Push(s, n, m, depth + 1);
+    const bool keep_going = Match(s, depth + 1);
+    Pop(s, n, m, depth + 1);
+    return keep_going;
+  };
+
+  if (from_frontier) {
+    // Candidates: T2 nodes adjacent (with the right edge label) to the
+    // image of some mapped query neighbor of n — walk the cheapest image's
+    // adjacency.
+    graph::NodeId anchor = graph::kInvalidNode;
+    graph::Label anchor_edge = graph::kDefaultEdgeLabel;
+    size_t anchor_degree = SIZE_MAX;
+    for (const auto& [nbr, edge_label] : s.q.neighbors(n)) {
+      if (!s.InCoreQ(nbr)) continue;
+      const size_t deg = s.g.degree(s.core_q[nbr]);
+      if (deg < anchor_degree) {
+        anchor_degree = deg;
+        anchor = nbr;
+        anchor_edge = edge_label;
+      }
+    }
+    assert(anchor != graph::kInvalidNode);
+    const graph::NodeId image = s.core_q[anchor];
+    const auto nbrs = s.g.neighbors(image);
+    const auto edge_labels = s.g.edge_labels(image);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      if (edge_labels[k] != anchor_edge) continue;
+      if (!try_pair(nbrs[k])) return false;
+    }
+  } else {
+    const graph::Label label = s.q.label(n);
+    if (label >= s.g.num_labels()) return true;
+    for (const graph::NodeId m : s.g.nodes_with_label(label)) {
+      if (!try_pair(m)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+MatchingEngine::Result Vf2Engine::Enumerate(const graph::QueryGraph& q,
+                                            const Visitor& visitor,
+                                            const Options& options,
+                                            SearchStats* stats) {
+  Result result;
+  if (q.num_nodes() == 0) return result;
+  if (!q.IsConnected()) return result;
+
+  Vf2State state(graph_, q, visitor, options, stats);
+  Match(state, 0);
+
+  result.embedding_count = state.embeddings;
+  result.complete = !state.truncated;
+  // Visitor-initiated stops and max_embeddings also set `truncated`; only
+  // flag incompleteness for external interruption when nothing was found.
+  result.outcome =
+      result.embedding_count > 0 ? Outcome::kValid : Outcome::kInvalid;
+  if (state.truncated && result.embedding_count == 0) {
+    result.outcome = Outcome::kTimeout;
+  }
+  return result;
+}
+
+}  // namespace psi::match

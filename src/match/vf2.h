@@ -1,0 +1,32 @@
+#ifndef SMARTPSI_MATCH_VF2_H_
+#define SMARTPSI_MATCH_VF2_H_
+
+#include "match/engine.h"
+
+namespace psi::match {
+
+/// VF2 (Cordella et al., TPAMI 2004) for labeled undirected subgraph
+/// isomorphism. State-space search with the classic candidate-pair rule —
+/// extend from the frontier (terminal sets) of the partial mapping — plus
+/// the 1-look-ahead feasibility cuts:
+///   * consistency: every mapped query neighbor of n maps to a data
+///     neighbor of m with the same edge label,
+///   * terminal count: |T(query) ∩ adj(n)| <= |T(data) ∩ adj(m)|,
+///   * remainder count: the same for nodes not yet on either frontier.
+class Vf2Engine : public MatchingEngine {
+ public:
+  explicit Vf2Engine(const graph::Graph& g) : graph_(g) {}
+
+  std::string name() const override { return "VF2"; }
+
+  Result Enumerate(const graph::QueryGraph& q, const Visitor& visitor,
+                   const Options& options,
+                   SearchStats* stats = nullptr) override;
+
+ private:
+  const graph::Graph& graph_;
+};
+
+}  // namespace psi::match
+
+#endif  // SMARTPSI_MATCH_VF2_H_

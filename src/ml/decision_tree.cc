@@ -1,0 +1,197 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace psi::ml {
+
+namespace {
+
+/// Gini impurity of a class-count histogram with `total` samples.
+double Gini(std::span<const size_t> counts, size_t total) {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (const size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+void DecisionTree::Train(const Dataset& data, std::span<const size_t> indices,
+                         size_t num_classes, const TreeConfig& config,
+                         util::Rng& rng) {
+  assert(num_classes >= 1);
+  num_classes_ = num_classes;
+  nodes_.clear();
+  if (indices.empty()) {
+    // Degenerate: a single leaf predicting class 0.
+    Node leaf;
+    leaf.distribution.assign(num_classes, 0.0f);
+    nodes_.push_back(std::move(leaf));
+    return;
+  }
+  std::vector<size_t> work(indices.begin(), indices.end());
+  nodes_.reserve(work.size());
+  BuildNode(data, work, 0, work.size(), 0, config, rng);
+}
+
+int32_t DecisionTree::BuildNode(const Dataset& data,
+                                std::vector<size_t>& indices, size_t begin,
+                                size_t end, size_t depth,
+                                const TreeConfig& config, util::Rng& rng) {
+  const int32_t node_index = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  // Class histogram for this node.
+  std::vector<size_t> counts(num_classes_, 0);
+  for (size_t i = begin; i < end; ++i) ++counts[data.label(indices[i])];
+  const size_t total = end - begin;
+  int32_t majority = 0;
+  for (size_t c = 1; c < num_classes_; ++c) {
+    if (counts[c] > counts[majority]) majority = static_cast<int32_t>(c);
+  }
+  nodes_[node_index].majority = majority;
+
+  const bool pure =
+      counts[majority] == total;  // single class, nothing to split
+  if (pure || depth >= config.max_depth || total < config.min_samples_split) {
+    auto& leaf = nodes_[node_index];
+    leaf.distribution.resize(num_classes_);
+    for (size_t c = 0; c < num_classes_; ++c) {
+      leaf.distribution[c] =
+          static_cast<float>(counts[c]) / static_cast<float>(total);
+    }
+    return node_index;
+  }
+
+  // Candidate features: all, or a random subset (Random Forest mode).
+  const size_t num_features = data.num_features();
+  std::vector<size_t> feature_order(num_features);
+  for (size_t f = 0; f < num_features; ++f) feature_order[f] = f;
+  size_t features_to_try = config.features_per_split == 0
+                               ? num_features
+                               : std::min(config.features_per_split,
+                                          num_features);
+  if (features_to_try < num_features) util::Shuffle(feature_order, rng);
+
+  const double parent_gini = Gini(counts, total);
+  double best_gain = 1e-12;
+  int32_t best_feature = -1;
+  float best_threshold = 0.0f;
+
+  std::vector<std::pair<float, int32_t>> column(total);
+  std::vector<size_t> left_counts(num_classes_);
+  for (size_t fi = 0; fi < features_to_try; ++fi) {
+    const size_t f = feature_order[fi];
+    for (size_t i = 0; i < total; ++i) {
+      const size_t idx = indices[begin + i];
+      column[i] = {data.row(idx)[f], data.label(idx)};
+    }
+    std::sort(column.begin(), column.end());
+    if (column.front().first == column.back().first) continue;  // constant
+
+    std::fill(left_counts.begin(), left_counts.end(), 0);
+    size_t left_total = 0;
+    for (size_t i = 0; i + 1 < total; ++i) {
+      ++left_counts[column[i].second];
+      ++left_total;
+      if (column[i].first == column[i + 1].first) continue;
+      const size_t right_total = total - left_total;
+      if (left_total < config.min_samples_leaf ||
+          right_total < config.min_samples_leaf) {
+        continue;
+      }
+      // Weighted child impurity; right counts derived from parent counts.
+      double right_sum_sq = 0.0;
+      double left_sum_sq = 0.0;
+      for (size_t c = 0; c < num_classes_; ++c) {
+        const double lc = static_cast<double>(left_counts[c]);
+        const double rc = static_cast<double>(counts[c] - left_counts[c]);
+        left_sum_sq += lc * lc;
+        right_sum_sq += rc * rc;
+      }
+      const double left_gini =
+          1.0 - left_sum_sq / (static_cast<double>(left_total) *
+                               static_cast<double>(left_total));
+      const double right_gini =
+          1.0 - right_sum_sq / (static_cast<double>(right_total) *
+                                static_cast<double>(right_total));
+      const double weighted =
+          (static_cast<double>(left_total) * left_gini +
+           static_cast<double>(right_total) * right_gini) /
+          static_cast<double>(total);
+      const double gain = parent_gini - weighted;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int32_t>(f);
+        // Split at the left value itself ("x <= v_i"): unlike a float
+        // midpoint, this can never round onto the right value and produce
+        // an empty partition.
+        best_threshold = column[i].first;
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    auto& leaf = nodes_[node_index];
+    leaf.distribution.resize(num_classes_);
+    for (size_t c = 0; c < num_classes_; ++c) {
+      leaf.distribution[c] =
+          static_cast<float>(counts[c]) / static_cast<float>(total);
+    }
+    return node_index;
+  }
+
+  // Partition indices[begin, end) in place: <= threshold left.
+  const auto mid_it = std::partition(
+      indices.begin() + begin, indices.begin() + end, [&](size_t idx) {
+        return data.row(idx)[best_feature] <= best_threshold;
+      });
+  const size_t mid = static_cast<size_t>(mid_it - indices.begin());
+  assert(mid > begin && mid < end && "split must separate samples");
+
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  const int32_t left =
+      BuildNode(data, indices, begin, mid, depth + 1, config, rng);
+  const int32_t right =
+      BuildNode(data, indices, mid, end, depth + 1, config, rng);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+const DecisionTree::Node& DecisionTree::Descend(
+    std::span<const float> features) const {
+  assert(!nodes_.empty());
+  const Node* node = &nodes_[0];
+  while (node->feature >= 0) {
+    node = features[node->feature] <= node->threshold
+               ? &nodes_[node->left]
+               : &nodes_[node->right];
+  }
+  return *node;
+}
+
+int32_t DecisionTree::Predict(std::span<const float> features) const {
+  return Descend(features).majority;
+}
+
+void DecisionTree::AccumulateVotes(std::span<const float> features,
+                                   std::span<double> votes) const {
+  const Node& leaf = Descend(features);
+  assert(votes.size() == num_classes_);
+  if (leaf.distribution.empty()) {
+    votes[leaf.majority] += 1.0;
+    return;
+  }
+  for (size_t c = 0; c < num_classes_; ++c) {
+    votes[c] += leaf.distribution[c];
+  }
+}
+
+}  // namespace psi::ml

@@ -1,0 +1,70 @@
+#ifndef SMARTPSI_ML_DECISION_TREE_H_
+#define SMARTPSI_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/random.h"
+
+namespace psi::ml {
+
+struct TreeConfig {
+  size_t max_depth = 12;
+  size_t min_samples_leaf = 1;
+  size_t min_samples_split = 2;
+  /// Features considered per split; 0 = all (a single CART tree),
+  /// sqrt(F) when used inside a Random Forest.
+  size_t features_per_split = 0;
+};
+
+/// CART classification tree with Gini-impurity splits and axis-aligned
+/// thresholds. The building block of RandomForest (the classifier SmartPSI
+/// uses for both Model α and Model β).
+class DecisionTree {
+ public:
+  /// Fits the tree on `data` restricted to `indices` (with multiplicity —
+  /// bootstrap samples repeat indices). `num_classes` fixes the label
+  /// range [0, num_classes).
+  void Train(const Dataset& data, std::span<const size_t> indices,
+             size_t num_classes, const TreeConfig& config, util::Rng& rng);
+
+  /// Predicted class for a feature vector.
+  int32_t Predict(std::span<const float> features) const;
+
+  /// Adds this tree's vote distribution (leaf class frequencies) into
+  /// `votes` (size num_classes).
+  void AccumulateVotes(std::span<const float> features,
+                       std::span<double> votes) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  bool trained() const { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    /// -1 for leaves.
+    int32_t feature = -1;
+    float threshold = 0.0f;
+    /// Children indices (leaves: unused).
+    int32_t left = -1;
+    int32_t right = -1;
+    /// Majority class at this node.
+    int32_t majority = 0;
+    /// Class distribution at the leaf (normalized), empty for inner nodes.
+    std::vector<float> distribution;
+  };
+
+  int32_t BuildNode(const Dataset& data, std::vector<size_t>& indices,
+                    size_t begin, size_t end, size_t depth,
+                    const TreeConfig& config, util::Rng& rng);
+
+  const Node& Descend(std::span<const float> features) const;
+
+  size_t num_classes_ = 0;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace psi::ml
+
+#endif  // SMARTPSI_ML_DECISION_TREE_H_

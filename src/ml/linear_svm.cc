@@ -1,0 +1,82 @@
+#include "ml/linear_svm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace psi::ml {
+
+void LinearSvm::Train(const Dataset& data, size_t num_classes,
+                      const SvmConfig& config, util::Rng& rng) {
+  std::vector<size_t> all(data.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  Train(data, all, num_classes, config, rng);
+}
+
+void LinearSvm::Train(const Dataset& data, std::span<const size_t> indices,
+                      size_t num_classes, const SvmConfig& config,
+                      util::Rng& rng) {
+  assert(num_classes >= 1);
+  num_classes_ = num_classes;
+  num_features_ = data.num_features();
+  weights_.assign(num_classes, std::vector<double>(num_features_, 0.0));
+  biases_.assign(num_classes, 0.0);
+  if (indices.empty()) return;
+
+  // One Pegasos run per class (one-vs-rest): minimize
+  //   λ/2 ||w||² + (1/n) Σ max(0, 1 - y (w·x + b)).
+  std::vector<size_t> order(indices.begin(), indices.end());
+  for (size_t c = 0; c < num_classes; ++c) {
+    auto& w = weights_[c];
+    double& b = biases_[c];
+    // Start the step counter one epoch in: Pegasos' 1/(λt) rate is huge for
+    // small t and the unregularized bias never recovers from those jumps.
+    size_t t = order.size();
+    for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+      util::Shuffle(order, rng);
+      for (const size_t idx : order) {
+        ++t;
+        const double eta = 1.0 / (config.lambda * static_cast<double>(t));
+        const auto x = data.row(idx);
+        const double y = data.label(idx) == static_cast<int32_t>(c) ? 1.0
+                                                                    : -1.0;
+        double margin = b;
+        for (size_t f = 0; f < num_features_; ++f) {
+          margin += w[f] * static_cast<double>(x[f]);
+        }
+        const double scale = 1.0 - eta * config.lambda;
+        for (double& wf : w) wf *= scale;
+        if (y * margin < 1.0) {
+          for (size_t f = 0; f < num_features_; ++f) {
+            w[f] += eta * y * static_cast<double>(x[f]);
+          }
+          b += eta * y;
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> LinearSvm::DecisionFunction(
+    std::span<const float> features) const {
+  assert(features.size() == num_features_);
+  std::vector<double> margins(num_classes_, 0.0);
+  for (size_t c = 0; c < num_classes_; ++c) {
+    double m = biases_[c];
+    const auto& w = weights_[c];
+    for (size_t f = 0; f < num_features_; ++f) {
+      m += w[f] * static_cast<double>(features[f]);
+    }
+    margins[c] = m;
+  }
+  return margins;
+}
+
+int32_t LinearSvm::Predict(std::span<const float> features) const {
+  assert(trained());
+  const std::vector<double> margins = DecisionFunction(features);
+  return static_cast<int32_t>(
+      std::max_element(margins.begin(), margins.end()) - margins.begin());
+}
+
+}  // namespace psi::ml

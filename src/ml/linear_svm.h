@@ -1,0 +1,50 @@
+#ifndef SMARTPSI_ML_LINEAR_SVM_H_
+#define SMARTPSI_ML_LINEAR_SVM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/random.h"
+
+namespace psi::ml {
+
+struct SvmConfig {
+  /// Regularization strength (Pegasos λ).
+  double lambda = 1e-3;
+  /// Passes over the training set.
+  size_t epochs = 20;
+};
+
+/// Linear SVM trained with the Pegasos stochastic sub-gradient solver,
+/// extended to multi-class via one-vs-rest. One of the alternative learners
+/// the paper compares against Random Forest in §5.4 (SVM ≈ 90% accuracy on
+/// Human vs RF ≈ 95%).
+class LinearSvm {
+ public:
+  void Train(const Dataset& data, size_t num_classes, const SvmConfig& config,
+             util::Rng& rng);
+
+  void Train(const Dataset& data, std::span<const size_t> indices,
+             size_t num_classes, const SvmConfig& config, util::Rng& rng);
+
+  int32_t Predict(std::span<const float> features) const;
+
+  /// Raw one-vs-rest margins (size num_classes).
+  std::vector<double> DecisionFunction(std::span<const float> features) const;
+
+  bool trained() const { return !weights_.empty(); }
+  size_t num_classes() const { return num_classes_; }
+
+ private:
+  size_t num_classes_ = 0;
+  size_t num_features_ = 0;
+  /// weights_[c] has num_features entries; biases_[c] the intercept.
+  std::vector<std::vector<double>> weights_;
+  std::vector<double> biases_;
+};
+
+}  // namespace psi::ml
+
+#endif  // SMARTPSI_ML_LINEAR_SVM_H_

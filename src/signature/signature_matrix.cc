@@ -1,0 +1,63 @@
+#include "signature/signature_matrix.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace psi::signature {
+
+namespace {
+constexpr float kSatisfactionEpsilon = 1e-5f;
+}  // namespace
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kExploration:
+      return "exploration";
+    case Method::kMatrix:
+      return "matrix";
+  }
+  return "unknown";
+}
+
+bool Satisfies(std::span<const float> candidate,
+               std::span<const float> required) {
+  assert(candidate.size() == required.size());
+  for (size_t l = 0; l < required.size(); ++l) {
+    if (required[l] > 0.0f &&
+        candidate[l] + kSatisfactionEpsilon < required[l]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double SatisfiabilityScore(std::span<const float> candidate,
+                           std::span<const float> required) {
+  assert(candidate.size() == required.size());
+  double sum = 0.0;
+  size_t terms = 0;
+  for (size_t l = 0; l < required.size(); ++l) {
+    if (required[l] > 0.0f) {
+      sum += static_cast<double>(candidate[l]) /
+             static_cast<double>(required[l]);
+      ++terms;
+    }
+  }
+  return terms == 0 ? 0.0 : sum / static_cast<double>(terms);
+}
+
+uint64_t HashSignature(std::span<const float> row) {
+  // FNV-1a over 1/1024-quantized weights.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const float w : row) {
+    const auto q = static_cast<int64_t>(std::llround(w * 1024.0f));
+    uint64_t bits = static_cast<uint64_t>(q);
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (bits >> (byte * 8)) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace psi::signature

@@ -1,0 +1,102 @@
+#ifndef SMARTPSI_SIGNATURE_SIGNATURE_MATRIX_H_
+#define SMARTPSI_SIGNATURE_SIGNATURE_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace psi::signature {
+
+/// How a signature matrix was produced. Pruning and scoring are only sound
+/// when the query-side and data-side signatures come from the same method
+/// (enforced by the SmartPSI engine; see DESIGN.md §5).
+enum class Method {
+  /// Per-node BFS, label weight = sum over reached nodes of 2^-dist using
+  /// shortest-path distances (paper §3.1, the "traditional" approach).
+  kExploration,
+  /// Iterative propagation NS^i = NS^{i-1} + ½·A·NS^{i-1} (paper's
+  /// optimized matrix-based approach; weights count walks, not shortest
+  /// paths, which the paper notes may differ from exploration weights).
+  kMatrix,
+};
+
+const char* MethodName(Method method);
+
+/// Dense row-major (num_rows × num_labels) float matrix of neighborhood
+/// signatures: row u, column l = weight of label l around node u
+/// (Definition 3.1). Rows are the ML feature vectors of SmartPSI.
+class SignatureMatrix {
+ public:
+  /// Per-hop weight decay the paper uses (2^-d distance weighting).
+  static constexpr float kDefaultDecay = 0.5f;
+
+  SignatureMatrix() = default;
+
+  SignatureMatrix(size_t num_rows, size_t num_labels, Method method,
+                  uint32_t depth, float decay = kDefaultDecay)
+      : num_rows_(num_rows),
+        num_labels_(num_labels),
+        method_(method),
+        depth_(depth),
+        decay_(decay),
+        data_(num_rows * num_labels, 0.0f) {}
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_labels() const { return num_labels_; }
+  Method method() const { return method_; }
+  uint32_t depth() const { return depth_; }
+
+  /// Per-hop decay factor used at construction. Proposition 3.2 pruning is
+  /// sound for any decay in (0, 1] as long as query- and data-side
+  /// signatures use the same value (the evaluator asserts this).
+  float decay() const { return decay_; }
+
+  std::span<float> row(size_t i) {
+    return {data_.data() + i * num_labels_, num_labels_};
+  }
+  std::span<const float> row(size_t i) const {
+    return {data_.data() + i * num_labels_, num_labels_};
+  }
+
+  float at(size_t i, size_t l) const { return data_[i * num_labels_ + l]; }
+  float& at(size_t i, size_t l) { return data_[i * num_labels_ + l]; }
+
+  /// Swaps the backing stores of two equally-shaped matrices (double
+  /// buffering inside the matrix builder).
+  void SwapData(SignatureMatrix& other) { data_.swap(other.data_); }
+
+ private:
+  size_t num_rows_ = 0;
+  size_t num_labels_ = 0;
+  Method method_ = Method::kExploration;
+  uint32_t depth_ = 0;
+  float decay_ = kDefaultDecay;
+  std::vector<float> data_;
+};
+
+/// Satisfaction test (paper §3.2): `candidate` satisfies `required` iff for
+/// every label with required weight > 0 the candidate weight is >= it.
+/// A small epsilon keeps float rounding from pruning exact-equality matches
+/// (a node can always match itself). Spans must have equal length.
+bool Satisfies(std::span<const float> candidate,
+               std::span<const float> required);
+
+/// Satisfiability score (paper §3.3):
+///   SS(u, v) = avg over labels l with NS_v(l) > 0 of NS_u(l) / NS_v(l).
+/// Higher scores mean the candidate's neighborhood over-covers the query
+/// node's requirements; the optimist visits high scores first. Returns 0 for
+/// an all-zero `required` row.
+double SatisfiabilityScore(std::span<const float> candidate,
+                           std::span<const float> required);
+
+/// Hash of a signature row after quantization (weights are multiples of
+/// 2^-depth for exploration signatures; matrix weights are quantized to
+/// 1/1024). Two nodes with equal hashes almost surely have identical
+/// neighborhoods at the signature's resolution — the key of SmartPSI's
+/// prediction cache (paper §4.2.3).
+uint64_t HashSignature(std::span<const float> row);
+
+}  // namespace psi::signature
+
+#endif  // SMARTPSI_SIGNATURE_SIGNATURE_MATRIX_H_

@@ -1,0 +1,52 @@
+#ifndef SMARTPSI_UTIL_STOP_TOKEN_H_
+#define SMARTPSI_UTIL_STOP_TOKEN_H_
+
+#include <atomic>
+
+namespace psi::util {
+
+/// Cooperative cancellation flag shared between an initiator and one or more
+/// workers. Used by the two-threaded baseline (the winning thread stops the
+/// loser) and by deadline enforcement in the preemptive executor.
+///
+/// The flag is monotonic: once requested, a stop cannot be rescinded except
+/// via Reset(), which must only be called when no worker is observing the
+/// token.
+class StopSource {
+ public:
+  StopSource() : stop_(false) {}
+
+  StopSource(const StopSource&) = delete;
+  StopSource& operator=(const StopSource&) = delete;
+
+  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+  bool StopRequested() const { return stop_.load(std::memory_order_relaxed); }
+
+  /// Rearms the source for reuse. Caller must guarantee quiescence.
+  void Reset() { stop_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> stop_;
+};
+
+/// Lightweight view over a StopSource (or over nothing, in which case it
+/// never reports a stop). Cheap to copy into recursive search frames.
+class StopToken {
+ public:
+  /// A token that never stops.
+  StopToken() : source_(nullptr) {}
+
+  explicit StopToken(const StopSource* source) : source_(source) {}
+
+  bool StopRequested() const {
+    return source_ != nullptr && source_->StopRequested();
+  }
+
+ private:
+  const StopSource* source_;
+};
+
+}  // namespace psi::util
+
+#endif  // SMARTPSI_UTIL_STOP_TOKEN_H_

@@ -1,0 +1,36 @@
+#ifndef SMARTPSI_UTIL_TABLE_PRINTER_H_
+#define SMARTPSI_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace psi::util {
+
+/// Renders fixed-width text tables for the bench harnesses, so each bench
+/// binary prints rows shaped like the paper's tables and figure series.
+///
+///   TablePrinter t({"Query size", "TurboIso", "SmartPSI"});
+///   t.AddRow({"4", "5.4 hrs", "27 sec"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Writes the table (header, separator, rows) to `out`.
+  void Print(std::ostream& out) const;
+
+  /// Returns the rendered table as a string.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace psi::util
+
+#endif  // SMARTPSI_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,58 @@
+#ifndef SMARTPSI_UTIL_THREAD_POOL_H_
+#define SMARTPSI_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace psi::util {
+
+/// Fixed-size worker pool with a single shared FIFO queue.
+///
+/// This is the parallel substrate for signature construction, SmartPSI's
+/// multi-candidate evaluation, and the FSM miner (where the worker count
+/// stands in for the paper's "compute nodes" axis in Figure 12).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1 enforced).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task. Safe to call from worker threads.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task (including tasks submitted by tasks)
+  /// has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Splits [0, count) into contiguous chunks and runs
+  /// `body(begin, end)` across the pool, blocking until done.
+  void ParallelFor(size_t count, const std::function<void(size_t, size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;  // queued + executing
+  bool shutting_down_ = false;
+};
+
+}  // namespace psi::util
+
+#endif  // SMARTPSI_UTIL_THREAD_POOL_H_

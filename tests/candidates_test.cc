@@ -1,0 +1,54 @@
+#include "match/candidates.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_fixtures.h"
+
+namespace psi::match {
+namespace {
+
+TEST(ExtractPivotCandidatesTest, Figure1TriangleQuery) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const graph::QueryGraph q = psi::testing::MakeFigure1Query();
+  // Pivot v1 has label A (nodes u1=0 and u6=5) and degree 2; both data
+  // nodes have degree >= 2.
+  const auto candidates = ExtractPivotCandidates(g, q);
+  EXPECT_EQ(candidates, (std::vector<graph::NodeId>{0, 5}));
+}
+
+TEST(ExtractPivotCandidatesTest, DegreeFilter) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  graph::QueryGraph q;
+  const graph::NodeId v = q.AddNode(psi::testing::kA);
+  for (int i = 0; i < 3; ++i) {
+    const graph::NodeId w = q.AddNode(psi::testing::kB);
+    q.AddEdge(v, w);
+  }
+  q.set_pivot(v);
+  // Pivot degree 3: only u1 (degree 4) qualifies; u6 has degree 2.
+  const auto candidates = ExtractPivotCandidates(g, q);
+  EXPECT_EQ(candidates, (std::vector<graph::NodeId>{0}));
+}
+
+TEST(ExtractPivotCandidatesTest, UnknownLabelIsEmpty) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  graph::QueryGraph q;
+  q.AddNode(99);
+  q.set_pivot(0);
+  EXPECT_TRUE(ExtractPivotCandidates(g, q).empty());
+}
+
+TEST(ExtractPivotCandidatesTest, ResultSorted) {
+  const graph::Graph g = psi::testing::MakeRandomGraph(500, 1200, 3, 77);
+  graph::QueryGraph q;
+  q.AddNode(0);
+  q.set_pivot(0);
+  const auto candidates = ExtractPivotCandidates(g, q);
+  EXPECT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+  EXPECT_EQ(candidates.size(), g.label_frequency(0));
+}
+
+}  // namespace
+}  // namespace psi::match

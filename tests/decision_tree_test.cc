@@ -1,0 +1,129 @@
+#include "ml/decision_tree.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace psi::ml {
+namespace {
+
+/// Linearly separable blobs: class = x0 > 0.
+Dataset MakeSeparable(size_t n, util::Rng& rng) {
+  Dataset data(2);
+  for (size_t i = 0; i < n; ++i) {
+    const bool positive = rng.NextBool(0.5);
+    const float x0 =
+        static_cast<float>(rng.NextGaussian() * 0.3 + (positive ? 1.0 : -1.0));
+    const float x1 = static_cast<float>(rng.NextGaussian());
+    data.AddExample(std::vector<float>{x0, x1}, positive ? 1 : 0);
+  }
+  return data;
+}
+
+std::vector<size_t> AllIndices(size_t n) {
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  return idx;
+}
+
+TEST(DecisionTreeTest, FitsSeparableData) {
+  util::Rng rng(1);
+  const Dataset data = MakeSeparable(400, rng);
+  DecisionTree tree;
+  tree.Train(data, AllIndices(data.size()), 2, TreeConfig(), rng);
+  ASSERT_TRUE(tree.trained());
+  size_t correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (tree.Predict(data.row(i)) == data.label(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / data.size(), 0.95);
+}
+
+TEST(DecisionTreeTest, PureDataSingleLeaf) {
+  Dataset data(1);
+  util::Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    data.AddExample(std::vector<float>{static_cast<float>(i)}, 1);
+  }
+  DecisionTree tree;
+  tree.Train(data, AllIndices(10), 2, TreeConfig(), rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_EQ(tree.Predict(std::vector<float>{3.0f}), 1);
+}
+
+TEST(DecisionTreeTest, EmptyTrainingPredictsZero) {
+  Dataset data(1);
+  DecisionTree tree;
+  util::Rng rng(3);
+  tree.Train(data, {}, 2, TreeConfig(), rng);
+  EXPECT_EQ(tree.Predict(std::vector<float>{0.5f}), 0);
+}
+
+TEST(DecisionTreeTest, MaxDepthZeroIsMajorityVote) {
+  Dataset data(1);
+  util::Rng rng(4);
+  for (int i = 0; i < 7; ++i) data.AddExample(std::vector<float>{0.0f}, 1);
+  for (int i = 0; i < 3; ++i) data.AddExample(std::vector<float>{1.0f}, 0);
+  DecisionTree tree;
+  TreeConfig config;
+  config.max_depth = 0;
+  tree.Train(data, AllIndices(10), 2, config, rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_EQ(tree.Predict(std::vector<float>{1.0f}), 1);  // majority
+}
+
+TEST(DecisionTreeTest, MultiClass) {
+  // Three classes split by thresholds on one feature.
+  Dataset data(1);
+  util::Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    const float x = static_cast<float>(i);
+    data.AddExample(std::vector<float>{x}, i < 20 ? 0 : (i < 40 ? 1 : 2));
+  }
+  DecisionTree tree;
+  tree.Train(data, AllIndices(60), 3, TreeConfig(), rng);
+  EXPECT_EQ(tree.Predict(std::vector<float>{5.0f}), 0);
+  EXPECT_EQ(tree.Predict(std::vector<float>{30.0f}), 1);
+  EXPECT_EQ(tree.Predict(std::vector<float>{55.0f}), 2);
+}
+
+TEST(DecisionTreeTest, ConstantFeaturesBecomeLeaf) {
+  Dataset data(2);
+  util::Rng rng(6);
+  for (int i = 0; i < 10; ++i) {
+    data.AddExample(std::vector<float>{1.0f, 2.0f}, i % 2);
+  }
+  DecisionTree tree;
+  tree.Train(data, AllIndices(10), 2, TreeConfig(), rng);
+  // No split possible: one node only.
+  EXPECT_EQ(tree.num_nodes(), 1u);
+}
+
+TEST(DecisionTreeTest, VotesSumToOnePerTree) {
+  util::Rng rng(7);
+  const Dataset data = MakeSeparable(100, rng);
+  DecisionTree tree;
+  tree.Train(data, AllIndices(data.size()), 2, TreeConfig(), rng);
+  std::vector<double> votes(2, 0.0);
+  tree.AccumulateVotes(data.row(0), votes);
+  EXPECT_NEAR(votes[0] + votes[1], 1.0, 1e-6);
+}
+
+TEST(DecisionTreeTest, AdjacentFloatValuesSplitSafely) {
+  // Regression guard: splitting between two adjacent floats must not
+  // produce an empty partition (threshold equals the left value).
+  Dataset data(1);
+  util::Rng rng(8);
+  const float a = 1.0f;
+  const float b = std::nextafter(a, 2.0f);
+  for (int i = 0; i < 5; ++i) data.AddExample(std::vector<float>{a}, 0);
+  for (int i = 0; i < 5; ++i) data.AddExample(std::vector<float>{b}, 1);
+  DecisionTree tree;
+  tree.Train(data, AllIndices(10), 2, TreeConfig(), rng);
+  EXPECT_EQ(tree.Predict(std::vector<float>{a}), 0);
+  EXPECT_EQ(tree.Predict(std::vector<float>{b}), 1);
+}
+
+}  // namespace
+}  // namespace psi::ml

@@ -1,0 +1,214 @@
+#include <memory>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "match/cfl_match.h"
+#include "match/engine.h"
+#include "match/turbo_iso.h"
+#include "match/ullmann.h"
+#include "match/vf2.h"
+#include "graph/query_extractor.h"
+#include "tests/test_fixtures.h"
+
+namespace psi::match {
+namespace {
+
+TEST(TurboIsoTest, Figure1TriangleCount) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const graph::QueryGraph q = psi::testing::MakeFigure1Query();
+  TurboIsoEngine engine(g);
+  const auto result =
+      engine.Enumerate(q, nullptr, MatchingEngine::Options());
+  EXPECT_EQ(result.embedding_count, 5u);
+  EXPECT_TRUE(result.complete);
+}
+
+TEST(TurboIsoTest, ProjectPivotMatchesPaper) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const graph::QueryGraph q = psi::testing::MakeFigure1Query();
+  TurboIsoEngine engine(g);
+  const auto projection = engine.ProjectPivot(q, MatchingEngine::Options());
+  EXPECT_EQ(projection.pivot_matches, (std::vector<graph::NodeId>{0, 5}));
+}
+
+TEST(TurboIsoPlusTest, EvaluatePsiMatchesPaperWithoutFullEnumeration) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const graph::QueryGraph q = psi::testing::MakeFigure1Query();
+  TurboIsoEngine engine(g);
+  SearchStats stats;
+  const auto psi =
+      engine.EvaluatePsi(q, MatchingEngine::Options(), &stats);
+  EXPECT_EQ(psi.valid_nodes, (std::vector<graph::NodeId>{0, 5}));
+  EXPECT_TRUE(psi.complete);
+  // TurboIso+ stops at the first embedding per candidate: it must find at
+  // most one embedding per valid node.
+  EXPECT_LE(stats.embeddings_found, 2u);
+}
+
+TEST(CflMatchTest, Figure1TriangleCount) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const graph::QueryGraph q = psi::testing::MakeFigure1Query();
+  CflMatchEngine engine(g);
+  const auto result =
+      engine.Enumerate(q, nullptr, MatchingEngine::Options());
+  EXPECT_EQ(result.embedding_count, 5u);
+}
+
+TEST(CflMatchTest, TwoCoreOfTriangleWithTail) {
+  // Triangle 0-1-2 with tail 2-3: core = {0,1,2}.
+  graph::QueryGraph q;
+  for (int i = 0; i < 4; ++i) q.AddNode(0);
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(0, 2);
+  q.AddEdge(2, 3);
+  EXPECT_EQ(TwoCoreMask(q), 0b0111ULL);
+}
+
+TEST(CflMatchTest, TwoCoreOfTreeIsEmpty) {
+  graph::QueryGraph q;
+  for (int i = 0; i < 4; ++i) q.AddNode(0);
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(1, 3);
+  EXPECT_EQ(TwoCoreMask(q), 0ULL);
+}
+
+TEST(UllmannTest, Figure1TriangleCount) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const graph::QueryGraph q = psi::testing::MakeFigure1Query();
+  UllmannEngine engine(g);
+  const auto result =
+      engine.Enumerate(q, nullptr, MatchingEngine::Options());
+  EXPECT_EQ(result.embedding_count, 5u);
+  EXPECT_TRUE(result.complete);
+}
+
+TEST(UllmannTest, ProjectPivotMatchesPaper) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const graph::QueryGraph q = psi::testing::MakeFigure1Query();
+  UllmannEngine engine(g);
+  const auto projection = engine.ProjectPivot(q, MatchingEngine::Options());
+  EXPECT_EQ(projection.pivot_matches, (std::vector<graph::NodeId>{0, 5}));
+}
+
+TEST(Vf2Test, Figure1TriangleCount) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const graph::QueryGraph q = psi::testing::MakeFigure1Query();
+  Vf2Engine engine(g);
+  const auto result =
+      engine.Enumerate(q, nullptr, MatchingEngine::Options());
+  EXPECT_EQ(result.embedding_count, 5u);
+  EXPECT_TRUE(result.complete);
+}
+
+TEST(Vf2Test, MaxEmbeddingsTruncates) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const graph::QueryGraph q = psi::testing::MakeFigure1Query();
+  Vf2Engine engine(g);
+  MatchingEngine::Options options;
+  options.max_embeddings = 2;
+  const auto result = engine.Enumerate(q, nullptr, options);
+  EXPECT_EQ(result.embedding_count, 2u);
+  EXPECT_FALSE(result.complete);
+}
+
+TEST(Vf2Test, SingleNodeQuery) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  graph::QueryGraph q;
+  q.AddNode(psi::testing::kB);
+  q.set_pivot(0);
+  Vf2Engine engine(g);
+  const auto result =
+      engine.Enumerate(q, nullptr, MatchingEngine::Options());
+  EXPECT_EQ(result.embedding_count, 2u);  // u2, u5
+}
+
+TEST(BasicEngineTest, Figure1TriangleCount) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const graph::QueryGraph q = psi::testing::MakeFigure1Query();
+  BasicEngine engine(g);
+  const auto result =
+      engine.Enumerate(q, nullptr, MatchingEngine::Options());
+  EXPECT_EQ(result.embedding_count, 5u);
+}
+
+TEST(EnginesTest, DisconnectedQueryHasNoEmbeddings) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  graph::QueryGraph q;
+  q.AddNode(psi::testing::kA);
+  q.AddNode(psi::testing::kB);  // no edge
+  q.set_pivot(0);
+  TurboIsoEngine turbo(g);
+  CflMatchEngine cfl(g);
+  EXPECT_EQ(turbo.Enumerate(q, nullptr, MatchingEngine::Options())
+                .embedding_count,
+            0u);
+  EXPECT_EQ(
+      cfl.Enumerate(q, nullptr, MatchingEngine::Options()).embedding_count,
+      0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-engine property: all engines count the same number of embeddings on
+// random graphs and random queries.
+// ---------------------------------------------------------------------------
+class EngineAgreementTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t>> {};
+
+TEST_P(EngineAgreementTest, AllEnginesCountTheSameEmbeddings) {
+  const auto [seed, query_size] = GetParam();
+  const graph::Graph g = psi::testing::MakeRandomGraph(250, 700, 4, seed);
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(seed * 1000 + 17);
+  const graph::QueryGraph q = extractor.Extract(query_size, rng);
+  if (q.num_nodes() != query_size) GTEST_SKIP() << "extraction failed";
+
+  BasicEngine basic(g);
+  TurboIsoEngine turbo(g);
+  CflMatchEngine cfl(g);
+  UllmannEngine ullmann(g);
+  Vf2Engine vf2(g);
+  MatchingEngine::Options options;
+  options.max_embeddings = 2'000'000;
+
+  const auto basic_count =
+      basic.Enumerate(q, nullptr, options).embedding_count;
+  const auto turbo_count =
+      turbo.Enumerate(q, nullptr, options).embedding_count;
+  const auto cfl_count = cfl.Enumerate(q, nullptr, options).embedding_count;
+  const auto ullmann_count =
+      ullmann.Enumerate(q, nullptr, options).embedding_count;
+  const auto vf2_count = vf2.Enumerate(q, nullptr, options).embedding_count;
+  EXPECT_EQ(basic_count, turbo_count) << q.ToString();
+  EXPECT_EQ(basic_count, cfl_count) << q.ToString();
+  EXPECT_EQ(basic_count, ullmann_count) << q.ToString();
+  EXPECT_EQ(basic_count, vf2_count) << q.ToString();
+  EXPECT_GE(basic_count, 1u);  // induced query always embeds
+}
+
+TEST_P(EngineAgreementTest, TurboIsoPlusMatchesProjection) {
+  const auto [seed, query_size] = GetParam();
+  const graph::Graph g = psi::testing::MakeRandomGraph(250, 700, 4, seed);
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(seed * 2000 + 29);
+  const graph::QueryGraph q = extractor.Extract(query_size, rng);
+  if (q.num_nodes() != query_size) GTEST_SKIP() << "extraction failed";
+
+  BasicEngine basic(g);
+  TurboIsoEngine turbo(g);
+  const auto projection = basic.ProjectPivot(q, MatchingEngine::Options());
+  const auto psi = turbo.EvaluatePsi(q, MatchingEngine::Options());
+  ASSERT_TRUE(projection.complete);
+  ASSERT_TRUE(psi.complete);
+  EXPECT_EQ(psi.valid_nodes, projection.pivot_matches) << q.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, EngineAgreementTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6),
+                       ::testing::Values(3, 4, 5)));
+
+}  // namespace
+}  // namespace psi::match

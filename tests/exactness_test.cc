@@ -1,0 +1,174 @@
+// The paper's central exactness claim (§1): every PSI evaluation path —
+// optimistic, super-optimistic + fallback, pessimistic — returns exactly the
+// set of pivot bindings that enumerate-and-project produces, for both
+// signature methods. This suite is the library's strongest safety net.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "graph/query_extractor.h"
+#include "match/candidates.h"
+#include "match/engine.h"
+#include "match/plan.h"
+#include "match/psi_evaluator.h"
+#include "match/cfl_match.h"
+#include "match/turbo_iso.h"
+#include "match/ullmann.h"
+#include "match/vf2.h"
+#include "signature/builders.h"
+#include "tests/test_fixtures.h"
+
+namespace psi::match {
+namespace {
+
+using ExactnessParam =
+    std::tuple<uint64_t /*seed*/, size_t /*query size*/, signature::Method>;
+
+class ExactnessTest : public ::testing::TestWithParam<ExactnessParam> {};
+
+std::vector<graph::NodeId> EvaluateAll(PsiEvaluator& evaluator,
+                                       const std::vector<graph::NodeId>& cands,
+                                       PsiMode mode) {
+  std::vector<graph::NodeId> valid;
+  PsiEvaluator::Options options;
+  options.mode = mode;
+  for (const graph::NodeId u : cands) {
+    if (evaluator.EvaluateNode(u, options) == Outcome::kValid) {
+      valid.push_back(u);
+    }
+  }
+  return valid;
+}
+
+TEST_P(ExactnessTest, AllPsiModesMatchEnumerationGroundTruth) {
+  const auto [seed, query_size, method] = GetParam();
+  const graph::Graph g = psi::testing::MakeRandomGraph(300, 1000, 4, seed);
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(seed * 7919 + 3);
+  const graph::QueryGraph q = extractor.Extract(query_size, rng);
+  if (q.num_nodes() != query_size) GTEST_SKIP() << "extraction failed";
+
+  // Ground truth by full enumeration + projection.
+  BasicEngine basic(g);
+  const auto truth = basic.ProjectPivot(q, MatchingEngine::Options());
+  ASSERT_TRUE(truth.complete);
+
+  const auto gs = signature::BuildSignatures(g, method, 2, g.num_labels());
+  const auto qs = signature::BuildSignatures(q, method, 2, g.num_labels());
+  const auto candidates = ExtractPivotCandidates(g, q);
+
+  PsiEvaluator evaluator(g, gs);
+  const Plan plan = MakeHeuristicPlan(q, g, q.pivot());
+  evaluator.BindQuery(q, qs, plan);
+
+  EXPECT_EQ(EvaluateAll(evaluator, candidates, PsiMode::kOptimistic),
+            truth.pivot_matches)
+      << "optimistic " << q.ToString();
+  EXPECT_EQ(EvaluateAll(evaluator, candidates, PsiMode::kPessimistic),
+            truth.pivot_matches)
+      << "pessimistic " << q.ToString();
+
+  // Full optimistic strategy (super-optimistic + fallback).
+  std::vector<graph::NodeId> strategy_valid;
+  PsiEvaluator::Options options;
+  for (const graph::NodeId u : candidates) {
+    if (evaluator.EvaluateNodeOptimisticStrategy(u, options) ==
+        Outcome::kValid) {
+      strategy_valid.push_back(u);
+    }
+  }
+  EXPECT_EQ(strategy_valid, truth.pivot_matches)
+      << "strategy " << q.ToString();
+}
+
+TEST_P(ExactnessTest, ResultIndependentOfPlan) {
+  const auto [seed, query_size, method] = GetParam();
+  const graph::Graph g = psi::testing::MakeRandomGraph(200, 650, 3, seed);
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(seed * 104729 + 11);
+  const graph::QueryGraph q = extractor.Extract(query_size, rng);
+  if (q.num_nodes() != query_size) GTEST_SKIP() << "extraction failed";
+
+  const auto gs = signature::BuildSignatures(g, method, 2, g.num_labels());
+  const auto qs = signature::BuildSignatures(q, method, 2, g.num_labels());
+  const auto candidates = ExtractPivotCandidates(g, q);
+  PsiEvaluator evaluator(g, gs);
+
+  std::vector<graph::NodeId> reference;
+  for (int trial = 0; trial < 4; ++trial) {
+    const Plan plan = trial == 0 ? MakeHeuristicPlan(q, g, q.pivot())
+                                 : MakeRandomPlan(q, q.pivot(), rng);
+    evaluator.BindQuery(q, qs, plan);
+    const auto valid =
+        EvaluateAll(evaluator, candidates, PsiMode::kPessimistic);
+    if (trial == 0) {
+      reference = valid;
+    } else {
+      EXPECT_EQ(valid, reference) << plan.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, ExactnessTest,
+    ::testing::Combine(::testing::Values(10, 20, 30, 40, 50, 60, 70),
+                       ::testing::Values(3, 4, 5, 6),
+                       ::testing::Values(signature::Method::kExploration,
+                                         signature::Method::kMatrix)));
+
+class EdgeLabelExactnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Edge labels participate in every matching step (candidate anchoring,
+// consistency checks, the enumeration engines). All PSI paths and all
+// enumeration engines must agree on edge-labeled graphs too.
+TEST_P(EdgeLabelExactnessTest, AllPathsAgreeWithEdgeLabels) {
+  util::Rng gen_rng(GetParam());
+  graph::LabelConfig labels;
+  labels.num_labels = 3;
+  labels.zipf_exponent = 0.4;
+  labels.num_edge_labels = 3;
+  const graph::Graph g = graph::ErdosRenyi(250, 900, labels, gen_rng);
+
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(GetParam() * 31337 + 5);
+  const graph::QueryGraph q = extractor.Extract(4, rng);
+  if (q.num_nodes() != 4) GTEST_SKIP() << "extraction failed";
+
+  BasicEngine basic(g);
+  const auto truth = basic.ProjectPivot(q, MatchingEngine::Options());
+  ASSERT_TRUE(truth.complete);
+  ASSERT_FALSE(truth.pivot_matches.empty());
+
+  const auto gs = signature::BuildSignatures(g, signature::Method::kMatrix,
+                                             2, g.num_labels());
+  const auto qs = signature::BuildSignatures(q, signature::Method::kMatrix,
+                                             2, g.num_labels());
+  const auto candidates = ExtractPivotCandidates(g, q);
+  PsiEvaluator evaluator(g, gs);
+  evaluator.BindQuery(q, qs, MakeHeuristicPlan(q, g, q.pivot()));
+  EXPECT_EQ(EvaluateAll(evaluator, candidates, PsiMode::kOptimistic),
+            truth.pivot_matches);
+  EXPECT_EQ(EvaluateAll(evaluator, candidates, PsiMode::kPessimistic),
+            truth.pivot_matches);
+
+  TurboIsoEngine turbo(g);
+  const auto turbo_psi = turbo.EvaluatePsi(q, MatchingEngine::Options());
+  EXPECT_EQ(turbo_psi.valid_nodes, truth.pivot_matches);
+
+  CflMatchEngine cfl(g);
+  UllmannEngine ullmann(g);
+  Vf2Engine vf2(g);
+  EXPECT_EQ(cfl.ProjectPivot(q, MatchingEngine::Options()).pivot_matches,
+            truth.pivot_matches);
+  EXPECT_EQ(ullmann.ProjectPivot(q, MatchingEngine::Options()).pivot_matches,
+            truth.pivot_matches);
+  EXPECT_EQ(vf2.ProjectPivot(q, MatchingEngine::Options()).pivot_matches,
+            truth.pivot_matches);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeLabelExactnessTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace psi::match

@@ -1,0 +1,139 @@
+#include "fsm/miner.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "fsm/canonical.h"
+#include "tests/test_fixtures.h"
+
+namespace psi::fsm {
+namespace {
+
+std::multiset<std::string> CodesOf(const FsmResult& result) {
+  std::multiset<std::string> codes;
+  for (const MinedPattern& m : result.frequent) {
+    codes.insert(CanonicalCode(m.pattern));
+  }
+  return codes;
+}
+
+TEST(FsmMinerTest, Figure1LowThreshold) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  FsmConfig config;
+  config.min_support = 2;
+  config.max_edges = 3;
+  const FsmResult result = FsmMiner(g, config).Mine();
+  EXPECT_TRUE(result.complete);
+  // At minimum the A-B, A-C and B-C edges are frequent (each has two
+  // distinct endpoints per side in Figure 1).
+  EXPECT_GE(result.frequent.size(), 3u);
+  for (const MinedPattern& m : result.frequent) {
+    EXPECT_GE(m.support, 2u);
+    EXPECT_LE(m.pattern.num_edges(), 3u);
+  }
+}
+
+TEST(FsmMinerTest, HighThresholdYieldsNothing) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  FsmConfig config;
+  config.min_support = 100;
+  const FsmResult result = FsmMiner(g, config).Mine();
+  EXPECT_TRUE(result.frequent.empty());
+}
+
+TEST(FsmMinerTest, MethodsProduceIdenticalPatternSets) {
+  // The paper's §5.5 claim in miniature: ScaleMine+SmartPSI finds exactly
+  // the same frequent patterns as subgraph-iso ScaleMine, faster.
+  const graph::Graph g = psi::testing::MakeRandomGraph(250, 700, 3, 55);
+  FsmConfig enum_config;
+  enum_config.min_support = 25;
+  enum_config.max_edges = 3;
+  enum_config.method = SupportMethod::kEnumeration;
+  const FsmResult by_enum = FsmMiner(g, enum_config).Mine();
+
+  FsmConfig psi_config = enum_config;
+  psi_config.method = SupportMethod::kPsi;
+  const FsmResult by_psi = FsmMiner(g, psi_config).Mine();
+
+  EXPECT_TRUE(by_enum.complete);
+  EXPECT_TRUE(by_psi.complete);
+  EXPECT_EQ(CodesOf(by_enum), CodesOf(by_psi));
+  EXPECT_FALSE(by_enum.frequent.empty());
+}
+
+TEST(FsmMinerTest, ThreadCountDoesNotChangeResult) {
+  const graph::Graph g = psi::testing::MakeRandomGraph(200, 600, 3, 56);
+  FsmConfig config;
+  config.min_support = 20;
+  config.max_edges = 3;
+  config.method = SupportMethod::kPsi;
+  config.num_threads = 1;
+  const FsmResult serial = FsmMiner(g, config).Mine();
+  config.num_threads = 4;
+  const FsmResult parallel = FsmMiner(g, config).Mine();
+  EXPECT_EQ(CodesOf(serial), CodesOf(parallel));
+}
+
+TEST(FsmMinerTest, MaxEdgesBoundsPatternSize) {
+  const graph::Graph g = psi::testing::MakeRandomGraph(200, 800, 2, 57);
+  FsmConfig config;
+  config.min_support = 10;
+  config.max_edges = 2;
+  const FsmResult result = FsmMiner(g, config).Mine();
+  for (const MinedPattern& m : result.frequent) {
+    EXPECT_LE(m.pattern.num_edges(), 2u);
+  }
+}
+
+TEST(FsmMinerTest, AllMinedPatternsConnected) {
+  const graph::Graph g = psi::testing::MakeRandomGraph(200, 600, 3, 58);
+  FsmConfig config;
+  config.min_support = 15;
+  config.max_edges = 3;
+  const FsmResult result = FsmMiner(g, config).Mine();
+  for (const MinedPattern& m : result.frequent) {
+    EXPECT_TRUE(m.pattern.IsConnected());
+  }
+}
+
+TEST(FsmMinerTest, NoDuplicatePatterns) {
+  const graph::Graph g = psi::testing::MakeRandomGraph(200, 600, 3, 59);
+  FsmConfig config;
+  config.min_support = 15;
+  config.max_edges = 3;
+  const FsmResult result = FsmMiner(g, config).Mine();
+  std::set<std::string> codes;
+  for (const MinedPattern& m : result.frequent) {
+    EXPECT_TRUE(codes.insert(CanonicalCode(m.pattern)).second)
+        << "duplicate " << m.pattern.ToString();
+  }
+}
+
+TEST(FsmMinerTest, AntiMonotoneSupports) {
+  // Every extension of a pattern has support <= the parent's true MNI; we
+  // check the weaker, directly-observable invariant: every mined pattern
+  // meets the threshold.
+  const graph::Graph g = psi::testing::MakeRandomGraph(200, 700, 2, 60);
+  FsmConfig config;
+  config.min_support = 12;
+  config.max_edges = 3;
+  const FsmResult result = FsmMiner(g, config).Mine();
+  for (const MinedPattern& m : result.frequent) {
+    EXPECT_GE(m.support, config.min_support);
+  }
+}
+
+TEST(FsmMinerTest, ExpiredDeadlineMarksIncomplete) {
+  const graph::Graph g = psi::testing::MakeRandomGraph(300, 1200, 2, 61);
+  FsmConfig config;
+  config.min_support = 2;
+  config.max_edges = 4;
+  const FsmResult result =
+      FsmMiner(g, config).Mine(util::Deadline::After(-1.0));
+  EXPECT_FALSE(result.complete);
+}
+
+}  // namespace
+}  // namespace psi::fsm

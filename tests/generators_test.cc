@@ -1,0 +1,117 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+
+namespace psi::graph {
+namespace {
+
+LabelConfig ThreeLabels() {
+  LabelConfig c;
+  c.num_labels = 3;
+  c.zipf_exponent = 0.8;
+  return c;
+}
+
+TEST(ErdosRenyiTest, ExactCounts) {
+  util::Rng rng(1);
+  const Graph g = ErdosRenyi(100, 250, ThreeLabels(), rng);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 250u);
+  EXPECT_LE(g.num_labels(), 3u);
+}
+
+TEST(ErdosRenyiTest, Deterministic) {
+  util::Rng rng1(7);
+  util::Rng rng2(7);
+  const Graph a = ErdosRenyi(50, 100, ThreeLabels(), rng1);
+  const Graph b = ErdosRenyi(50, 100, ThreeLabels(), rng2);
+  for (NodeId u = 0; u < 50; ++u) {
+    EXPECT_EQ(a.label(u), b.label(u));
+    const auto na = a.neighbors(u);
+    const auto nb = b.neighbors(u);
+    ASSERT_EQ(na.size(), nb.size());
+    for (size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+}
+
+TEST(ErdosRenyiTest, ZeroEdges) {
+  util::Rng rng(2);
+  const Graph g = ErdosRenyi(10, 0, ThreeLabels(), rng);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(BarabasiAlbertTest, SizeAndAttachment) {
+  util::Rng rng(3);
+  const Graph g = BarabasiAlbert(200, 3, ThreeLabels(), rng);
+  EXPECT_EQ(g.num_nodes(), 200u);
+  // Seed clique (4 nodes, 6 edges) + 196 nodes × 3 edges.
+  EXPECT_EQ(g.num_edges(), 6u + 196u * 3u);
+  // Preferential attachment: early nodes should be hubs.
+  size_t early_degree = 0;
+  size_t late_degree = 0;
+  for (NodeId u = 0; u < 10; ++u) early_degree += g.degree(u);
+  for (NodeId u = 190; u < 200; ++u) late_degree += g.degree(u);
+  EXPECT_GT(early_degree, late_degree);
+}
+
+TEST(BarabasiAlbertTest, Connected) {
+  util::Rng rng(4);
+  const Graph g = BarabasiAlbert(100, 2, ThreeLabels(), rng);
+  size_t components = 0;
+  ConnectedComponents(g, &components);
+  EXPECT_EQ(components, 1u);
+}
+
+TEST(ChungLuTest, HeavyTail) {
+  util::Rng rng(5);
+  const Graph g = ChungLuPowerLaw(2000, 6000, 2.2, ThreeLabels(), rng);
+  EXPECT_EQ(g.num_nodes(), 2000u);
+  EXPECT_GT(g.num_edges(), 5000u);  // duplicates may drop a few
+  const DegreeStats stats = ComputeDegreeStats(g);
+  // Power-law: the hub should greatly exceed the median.
+  EXPECT_GT(static_cast<double>(stats.max), 10.0 * (stats.median + 1.0));
+}
+
+TEST(ChungLuTest, BoundedRetriesTerminate) {
+  util::Rng rng(6);
+  // Absurdly dense request: must terminate with fewer edges, not loop.
+  const Graph g = ChungLuPowerLaw(20, 5000, 2.0, ThreeLabels(), rng);
+  EXPECT_LE(g.num_edges(), 190u);  // at most n(n-1)/2
+}
+
+TEST(RmatTest, SizeAndSkew) {
+  util::Rng rng(8);
+  const Graph g = Rmat(10, 4000, 0.57, 0.19, 0.19, ThreeLabels(), rng);
+  EXPECT_EQ(g.num_nodes(), 1024u);
+  EXPECT_GT(g.num_edges(), 3000u);
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_GT(stats.max, 3 * static_cast<size_t>(stats.mean));
+}
+
+TEST(LabelAssignmentTest, ZipfSkewShowsInFrequencies) {
+  util::Rng rng(9);
+  LabelConfig labels;
+  labels.num_labels = 10;
+  labels.zipf_exponent = 1.2;
+  const Graph g = ErdosRenyi(5000, 10000, labels, rng);
+  EXPECT_GT(g.label_frequency(0), g.label_frequency(9) * 3);
+}
+
+TEST(EdgeLabelTest, MultipleEdgeLabelsGenerated) {
+  util::Rng rng(10);
+  LabelConfig labels = ThreeLabels();
+  labels.num_edge_labels = 4;
+  const Graph g = ErdosRenyi(100, 400, labels, rng);
+  std::vector<bool> seen(4, false);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Label l : g.edge_labels(u)) seen[l] = true;
+  }
+  int distinct = 0;
+  for (const bool s : seen) distinct += s ? 1 : 0;
+  EXPECT_GE(distinct, 3);
+}
+
+}  // namespace
+}  // namespace psi::graph

@@ -1,0 +1,172 @@
+#include "graph/graph_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_fixtures.h"
+
+namespace psi::graph {
+namespace {
+
+TEST(GraphIoTest, ParseSimpleLg) {
+  std::istringstream in(
+      "# comment\n"
+      "t 1\n"
+      "v 0 2\n"
+      "v 1 3\n"
+      "e 0 1 5\n");
+  const auto result = ReadLg(in);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Graph& g = result.value();
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.label(0), 2u);
+  EXPECT_EQ(g.label(1), 3u);
+  EXPECT_EQ(*g.EdgeLabelBetween(0, 1), 5u);
+}
+
+TEST(GraphIoTest, EdgeLabelOptional) {
+  std::istringstream in("v 0 0\nv 1 0\ne 0 1\n");
+  const auto result = ReadLg(in);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result.value().EdgeLabelBetween(0, 1), kDefaultEdgeLabel);
+}
+
+TEST(GraphIoTest, RejectsNonDenseVertexIds) {
+  std::istringstream in("v 1 0\n");
+  const auto result = ReadLg(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::Status::Code::kInvalidArgument);
+}
+
+TEST(GraphIoTest, RejectsEdgeToUnknownVertex) {
+  std::istringstream in("v 0 0\ne 0 5\n");
+  const auto result = ReadLg(in);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(GraphIoTest, RejectsUnknownRecord) {
+  std::istringstream in("x 1 2\n");
+  const auto result = ReadLg(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(GraphIoTest, RejectsMalformedVertex) {
+  std::istringstream in("v 0\n");
+  ASSERT_FALSE(ReadLg(in).ok());
+}
+
+TEST(GraphIoTest, RoundTripPreservesGraph) {
+  const Graph original = testing::MakeFigure1Graph();
+  std::ostringstream out;
+  WriteLg(original, out);
+  std::istringstream in(out.str());
+  const auto reloaded = ReadLg(in);
+  ASSERT_TRUE(reloaded.ok());
+  const Graph& g = reloaded.value();
+  ASSERT_EQ(g.num_nodes(), original.num_nodes());
+  ASSERT_EQ(g.num_edges(), original.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(g.label(u), original.label(u));
+    const auto a = g.neighbors(u);
+    const auto b = original.neighbors(u);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  const Graph original = testing::MakeFigure1Graph();
+  const std::string path = ::testing::TempDir() + "/psi_io_test.lg";
+  ASSERT_TRUE(SaveLgFile(original, path).ok());
+  const auto reloaded = LoadLgFile(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded.value().num_edges(), original.num_edges());
+}
+
+TEST(GraphIoTest, MissingFileIsIoError) {
+  const auto result = LoadLgFile("/nonexistent/path/graph.lg");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::Status::Code::kIoError);
+}
+
+TEST(GraphIoTest, EmptyInputYieldsEmptyGraph) {
+  std::istringstream in("");
+  const auto result = ReadLg(in);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_nodes(), 0u);
+}
+
+TEST(QueryIoTest, ParseTwoQueries) {
+  std::istringstream in(
+      "t 1\n"
+      "v 0 3\n"
+      "v 1 5\n"
+      "e 0 1 2\n"
+      "p 0\n"
+      "t 2\n"
+      "v 0 1\n"
+      "p 0\n");
+  const auto result = ReadQueries(in);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& queries = result.value();
+  ASSERT_EQ(queries.size(), 2u);
+  EXPECT_EQ(queries[0].num_nodes(), 2u);
+  EXPECT_EQ(queries[0].label(0), 3u);
+  EXPECT_EQ(queries[0].EdgeLabel(0, 1), 2u);
+  EXPECT_EQ(queries[0].pivot(), 0u);
+  EXPECT_EQ(queries[1].num_nodes(), 1u);
+  EXPECT_TRUE(queries[1].has_pivot());
+}
+
+TEST(QueryIoTest, MissingPivotRejected) {
+  std::istringstream in("t 1\nv 0 3\n");
+  ASSERT_FALSE(ReadQueries(in).ok());
+}
+
+TEST(QueryIoTest, PivotOutOfRangeRejected) {
+  std::istringstream in("t 1\nv 0 3\np 4\n");
+  ASSERT_FALSE(ReadQueries(in).ok());
+}
+
+TEST(QueryIoTest, RecordsOutsideBlockRejected) {
+  std::istringstream in("v 0 3\n");
+  ASSERT_FALSE(ReadQueries(in).ok());
+}
+
+TEST(QueryIoTest, EmptyInputYieldsNoQueries) {
+  std::istringstream in("");
+  const auto result = ReadQueries(in);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST(QueryIoTest, RoundTrip) {
+  std::vector<QueryGraph> original;
+  original.push_back(testing::MakeFigure1Query());
+  original.push_back(testing::MakeFigure2Query());
+  std::ostringstream out;
+  WriteQueries(original, out);
+  std::istringstream in(out.str());
+  const auto reloaded = ReadQueries(in);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  ASSERT_EQ(reloaded.value().size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reloaded.value()[i].ToString(), original[i].ToString());
+  }
+}
+
+TEST(QueryIoTest, FileRoundTrip) {
+  std::vector<QueryGraph> original{testing::MakeFigure1Query()};
+  const std::string path = ::testing::TempDir() + "/psi_queries_test.lg";
+  ASSERT_TRUE(SaveQueryFile(original, path).ok());
+  const auto reloaded = LoadQueryFile(path);
+  ASSERT_TRUE(reloaded.ok());
+  ASSERT_EQ(reloaded.value().size(), 1u);
+  EXPECT_EQ(reloaded.value()[0].ToString(), original[0].ToString());
+}
+
+}  // namespace
+}  // namespace psi::graph

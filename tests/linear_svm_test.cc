@@ -1,0 +1,90 @@
+#include "ml/linear_svm.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace psi::ml {
+namespace {
+
+Dataset MakeLinearlySeparable(size_t n, util::Rng& rng) {
+  Dataset data(2);
+  for (size_t i = 0; i < n; ++i) {
+    const bool positive = rng.NextBool(0.5);
+    const float x0 = static_cast<float>(rng.NextGaussian() * 0.4 +
+                                        (positive ? 2.0 : -2.0));
+    const float x1 = static_cast<float>(rng.NextGaussian());
+    data.AddExample(std::vector<float>{x0, x1}, positive ? 1 : 0);
+  }
+  return data;
+}
+
+TEST(LinearSvmTest, FitsSeparableData) {
+  util::Rng rng(1);
+  const Dataset data = MakeLinearlySeparable(400, rng);
+  LinearSvm svm;
+  svm.Train(data, 2, SvmConfig(), rng);
+  ASSERT_TRUE(svm.trained());
+  size_t correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (svm.Predict(data.row(i)) == data.label(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / data.size(), 0.95);
+}
+
+TEST(LinearSvmTest, DecisionFunctionOrdering) {
+  util::Rng rng(2);
+  const Dataset data = MakeLinearlySeparable(400, rng);
+  LinearSvm svm;
+  svm.Train(data, 2, SvmConfig(), rng);
+  // A point deep in the positive blob should have a larger class-1 margin.
+  const auto margins = svm.DecisionFunction(std::vector<float>{3.0f, 0.0f});
+  EXPECT_GT(margins[1], margins[0]);
+}
+
+TEST(LinearSvmTest, MultiClassOneVsRest) {
+  Dataset data(2);
+  util::Rng rng(3);
+  // Three well-separated clusters.
+  const float centers[3][2] = {{0.0f, 3.0f}, {3.0f, -2.0f}, {-3.0f, -2.0f}};
+  for (int i = 0; i < 450; ++i) {
+    const int cls = i % 3;
+    data.AddExample(
+        std::vector<float>{
+            centers[cls][0] + static_cast<float>(rng.NextGaussian() * 0.3f),
+            centers[cls][1] + static_cast<float>(rng.NextGaussian() * 0.3f)},
+        cls);
+  }
+  LinearSvm svm;
+  svm.Train(data, 3, SvmConfig(), rng);
+  size_t correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (svm.Predict(data.row(i)) == data.label(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / data.size(), 0.9);
+}
+
+TEST(LinearSvmTest, EmptyTrainingPredictsSomething) {
+  Dataset data(2);
+  LinearSvm svm;
+  util::Rng rng(4);
+  svm.Train(data, 2, SvmConfig(), rng);
+  EXPECT_GE(svm.Predict(std::vector<float>{1.0f, 1.0f}), 0);
+}
+
+TEST(LinearSvmTest, DeterministicGivenSeed) {
+  util::Rng rng_data(5);
+  const Dataset data = MakeLinearlySeparable(200, rng_data);
+  LinearSvm a;
+  LinearSvm b;
+  util::Rng rng_a(42);
+  util::Rng rng_b(42);
+  a.Train(data, 2, SvmConfig(), rng_a);
+  b.Train(data, 2, SvmConfig(), rng_b);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(a.Predict(data.row(i)), b.Predict(data.row(i)));
+  }
+}
+
+}  // namespace
+}  // namespace psi::ml

@@ -1,0 +1,107 @@
+#include "ml/neural_net.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace psi::ml {
+namespace {
+
+TEST(NeuralNetTest, FitsXor) {
+  // XOR is the classic non-linearly-separable sanity check for an MLP.
+  Dataset data(2);
+  util::Rng noise(1);
+  for (int i = 0; i < 400; ++i) {
+    const int a = static_cast<int>(noise.NextBounded(2));
+    const int b = static_cast<int>(noise.NextBounded(2));
+    const float jitter_a = static_cast<float>(noise.NextGaussian() * 0.05);
+    const float jitter_b = static_cast<float>(noise.NextGaussian() * 0.05);
+    data.AddExample(
+        std::vector<float>{static_cast<float>(a) + jitter_a,
+                           static_cast<float>(b) + jitter_b},
+        a ^ b);
+  }
+  NeuralNet net;
+  MlpConfig config;
+  config.hidden_units = 16;
+  config.epochs = 60;
+  config.learning_rate = 0.1;
+  util::Rng rng(2);
+  net.Train(data, 2, config, rng);
+  ASSERT_TRUE(net.trained());
+  size_t correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (net.Predict(data.row(i)) == data.label(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / data.size(), 0.9);
+}
+
+TEST(NeuralNetTest, ProbabilitiesAreSoftmax) {
+  Dataset data(1);
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    data.AddExample(std::vector<float>{static_cast<float>(i % 2)}, i % 2);
+  }
+  NeuralNet net;
+  net.Train(data, 2, MlpConfig(), rng);
+  const auto probs = net.PredictProba(std::vector<float>{1.0f});
+  ASSERT_EQ(probs.size(), 2u);
+  EXPECT_NEAR(probs[0] + probs[1], 1.0, 1e-9);
+  EXPECT_GT(probs[1], probs[0]);
+}
+
+TEST(NeuralNetTest, MultiClass) {
+  Dataset data(2);
+  util::Rng rng(4);
+  const float centers[3][2] = {{0.0f, 2.0f}, {2.0f, -2.0f}, {-2.0f, -2.0f}};
+  for (int i = 0; i < 600; ++i) {
+    const int cls = i % 3;
+    data.AddExample(
+        std::vector<float>{
+            centers[cls][0] + static_cast<float>(rng.NextGaussian() * 0.3),
+            centers[cls][1] + static_cast<float>(rng.NextGaussian() * 0.3)},
+        cls);
+  }
+  NeuralNet net;
+  MlpConfig config;
+  config.epochs = 40;
+  net.Train(data, 3, config, rng);
+  size_t correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (net.Predict(data.row(i)) == data.label(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / data.size(), 0.9);
+}
+
+TEST(NeuralNetTest, EmptyTrainingStillPredicts) {
+  Dataset data(2);
+  NeuralNet net;
+  util::Rng rng(5);
+  net.Train(data, 2, MlpConfig(), rng);
+  const int32_t p = net.Predict(std::vector<float>{0.5f, 0.5f});
+  EXPECT_GE(p, 0);
+  EXPECT_LT(p, 2);
+}
+
+TEST(NeuralNetTest, DeterministicGivenSeed) {
+  Dataset data(1);
+  util::Rng data_rng(6);
+  for (int i = 0; i < 100; ++i) {
+    data.AddExample(
+        std::vector<float>{static_cast<float>(data_rng.NextGaussian())},
+        i % 2);
+  }
+  NeuralNet a;
+  NeuralNet b;
+  util::Rng rng_a(7);
+  util::Rng rng_b(7);
+  a.Train(data, 2, MlpConfig(), rng_a);
+  b.Train(data, 2, MlpConfig(), rng_b);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(a.Predict(data.row(i)), b.Predict(data.row(i)));
+  }
+}
+
+}  // namespace
+}  // namespace psi::ml

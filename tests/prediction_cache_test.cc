@@ -1,0 +1,59 @@
+#include "core/prediction_cache.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace psi::core {
+namespace {
+
+TEST(PredictionCacheTest, MissThenHit) {
+  PredictionCache cache;
+  EXPECT_FALSE(cache.Lookup(42).has_value());
+  cache.Insert(42, {true, 3});
+  const auto entry = cache.Lookup(42);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_TRUE(entry->valid);
+  EXPECT_EQ(entry->plan_index, 3u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PredictionCacheTest, LastWriterWins) {
+  PredictionCache cache;
+  cache.Insert(7, {true, 0});
+  cache.Insert(7, {false, 2});
+  const auto entry = cache.Lookup(7);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_FALSE(entry->valid);
+  EXPECT_EQ(entry->plan_index, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PredictionCacheTest, Clear) {
+  PredictionCache cache;
+  cache.Insert(1, {true, 0});
+  cache.Insert(2, {false, 1});
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(1).has_value());
+}
+
+TEST(PredictionCacheTest, ConcurrentInsertLookup) {
+  PredictionCache cache;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (uint64_t i = 0; i < 500; ++i) {
+        cache.Insert(t * 1000 + i, {i % 2 == 0, static_cast<uint32_t>(i % 4)});
+        cache.Lookup(i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(cache.size(), 2000u);
+}
+
+}  // namespace
+}  // namespace psi::core

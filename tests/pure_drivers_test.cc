@@ -1,0 +1,92 @@
+#include "core/pure_drivers.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/query_extractor.h"
+#include "match/engine.h"
+#include "signature/builders.h"
+#include "tests/test_fixtures.h"
+
+namespace psi::core {
+namespace {
+
+TEST(PureDriversTest, Figure1BothStrategies) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const auto gs = signature::BuildSignatures(
+      g, signature::Method::kMatrix, 2, g.num_labels());
+  const graph::QueryGraph q = psi::testing::MakeFigure1Query();
+  for (const PureStrategy strategy :
+       {PureStrategy::kOptimistic, PureStrategy::kPessimistic}) {
+    PureDriverOptions options;
+    options.strategy = strategy;
+    const PureDriverResult result = EvaluatePure(g, gs, q, options);
+    EXPECT_EQ(result.valid_nodes, (std::vector<graph::NodeId>{0, 5}));
+    EXPECT_TRUE(result.complete);
+    EXPECT_GE(result.seconds, 0.0);
+  }
+}
+
+TEST(PureDriversTest, InfeasibleQueryEmpty) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const auto gs = signature::BuildSignatures(
+      g, signature::Method::kMatrix, 2, g.num_labels());
+  graph::QueryGraph q;
+  q.AddNode(50);
+  q.set_pivot(0);
+  PureDriverOptions options;
+  const PureDriverResult result = EvaluatePure(g, gs, q, options);
+  EXPECT_TRUE(result.valid_nodes.empty());
+  EXPECT_TRUE(result.complete);
+}
+
+class PureDriverAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PureDriverAgreementTest, BothStrategiesMatchGroundTruth) {
+  const graph::Graph g =
+      psi::testing::MakeRandomGraph(250, 800, 4, GetParam());
+  const auto gs = signature::BuildSignatures(
+      g, signature::Method::kMatrix, 2, g.num_labels());
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(GetParam() + 1);
+  const graph::QueryGraph q = extractor.Extract(4, rng);
+  if (q.num_nodes() != 4) GTEST_SKIP();
+
+  match::BasicEngine basic(g);
+  const auto truth =
+      basic.ProjectPivot(q, match::MatchingEngine::Options());
+  ASSERT_TRUE(truth.complete);
+
+  for (const PureStrategy strategy :
+       {PureStrategy::kOptimistic, PureStrategy::kPessimistic}) {
+    PureDriverOptions options;
+    options.strategy = strategy;
+    const PureDriverResult result = EvaluatePure(g, gs, q, options);
+    EXPECT_EQ(result.valid_nodes, truth.pivot_matches);
+    EXPECT_TRUE(result.complete);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PureDriverAgreementTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(PureDriversTest, DeadlineMarksIncomplete) {
+  const graph::Graph g = psi::testing::MakeRandomGraph(500, 3000, 2, 99);
+  const auto gs = signature::BuildSignatures(
+      g, signature::Method::kMatrix, 2, g.num_labels());
+  graph::QueryGraph q;
+  graph::NodeId prev = q.AddNode(0);
+  q.set_pivot(prev);
+  for (int i = 0; i < 5; ++i) {
+    const graph::NodeId next = q.AddNode(0);
+    q.AddEdge(prev, next);
+    prev = next;
+  }
+  PureDriverOptions options;
+  options.strategy = PureStrategy::kPessimistic;
+  options.deadline = util::Deadline::After(-1.0);
+  const PureDriverResult result = EvaluatePure(g, gs, q, options);
+  EXPECT_FALSE(result.complete);
+}
+
+}  // namespace
+}  // namespace psi::core

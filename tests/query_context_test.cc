@@ -1,0 +1,50 @@
+#include "core/query_context.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_fixtures.h"
+
+namespace psi::core {
+namespace {
+
+TEST(QueryContextTest, FeasibleQuery) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const auto gs = signature::BuildSignatures(
+      g, signature::Method::kMatrix, 2, g.num_labels());
+  const graph::QueryGraph q = psi::testing::MakeFigure1Query();
+  const QueryContext ctx = PrepareQuery(g, gs, q);
+  EXPECT_TRUE(ctx.feasible);
+  EXPECT_EQ(ctx.candidates, (std::vector<graph::NodeId>{0, 5}));
+  EXPECT_EQ(ctx.query_sigs.num_rows(), q.num_nodes());
+  EXPECT_EQ(ctx.query_sigs.num_labels(), gs.num_labels());
+  EXPECT_EQ(ctx.query_sigs.method(), gs.method());
+}
+
+TEST(QueryContextTest, UnknownLabelInfeasible) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const auto gs = signature::BuildSignatures(
+      g, signature::Method::kExploration, 2, g.num_labels());
+  graph::QueryGraph q;
+  const graph::NodeId a = q.AddNode(psi::testing::kA);
+  const graph::NodeId x = q.AddNode(77);  // label absent from g
+  q.AddEdge(a, x);
+  q.set_pivot(a);
+  const QueryContext ctx = PrepareQuery(g, gs, q);
+  EXPECT_FALSE(ctx.feasible);
+  EXPECT_TRUE(ctx.candidates.empty());
+}
+
+TEST(QueryContextTest, SignatureMethodFollowsGraphSignatures) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const graph::QueryGraph q = psi::testing::MakeFigure1Query();
+  for (const auto method :
+       {signature::Method::kExploration, signature::Method::kMatrix}) {
+    const auto gs = signature::BuildSignatures(g, method, 2, g.num_labels());
+    const QueryContext ctx = PrepareQuery(g, gs, q);
+    EXPECT_EQ(ctx.query_sigs.method(), method);
+    EXPECT_EQ(ctx.query_sigs.depth(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace psi::core

@@ -1,0 +1,101 @@
+#include "graph/query_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "match/plan.h"
+#include "match/subgraph_enumerator.h"
+#include "tests/test_fixtures.h"
+
+namespace psi::graph {
+namespace {
+
+TEST(QueryExtractorTest, ExtractsRequestedSize) {
+  const Graph g = testing::MakeRandomGraph(500, 1500, 4, 11);
+  QueryExtractor extractor(g);
+  util::Rng rng(1);
+  for (const size_t size : {2u, 4u, 6u, 8u}) {
+    const QueryGraph q = extractor.Extract(size, rng);
+    EXPECT_EQ(q.num_nodes(), size);
+  }
+}
+
+TEST(QueryExtractorTest, QueriesAreConnectedWithPivot) {
+  const Graph g = testing::MakeRandomGraph(500, 1500, 4, 12);
+  QueryExtractor extractor(g);
+  util::Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const QueryGraph q = extractor.Extract(5, rng);
+    ASSERT_EQ(q.num_nodes(), 5u);
+    EXPECT_TRUE(q.IsConnected());
+    EXPECT_TRUE(q.has_pivot());
+    EXPECT_LT(q.pivot(), q.num_nodes());
+  }
+}
+
+TEST(QueryExtractorTest, ExtractedQueryAlwaysHasAMatch) {
+  // Induced subgraphs of the data graph must embed at least once.
+  const Graph g = testing::MakeRandomGraph(200, 600, 3, 13);
+  QueryExtractor extractor(g);
+  util::Rng rng(3);
+  match::SubgraphEnumerator enumerator(g);
+  for (int i = 0; i < 10; ++i) {
+    const QueryGraph q = extractor.Extract(4, rng);
+    ASSERT_EQ(q.num_nodes(), 4u);
+    const match::Plan plan = match::MakeHeuristicPlan(q, g, q.pivot());
+    match::SubgraphEnumerator::Options options;
+    options.max_embeddings = 1;
+    const auto result = enumerator.Enumerate(q, plan, nullptr, options);
+    EXPECT_GE(result.embedding_count, 1u) << q.ToString();
+  }
+}
+
+TEST(QueryExtractorTest, SizeOneQuery) {
+  const Graph g = testing::MakeFigure1Graph();
+  QueryExtractor extractor(g);
+  util::Rng rng(4);
+  const QueryGraph q = extractor.Extract(1, rng);
+  EXPECT_EQ(q.num_nodes(), 1u);
+  EXPECT_TRUE(q.has_pivot());
+}
+
+TEST(QueryExtractorTest, ImpossibleSizeReturnsEmpty) {
+  GraphBuilder b;
+  b.AddNodes(3);  // no edges at all
+  const Graph g = std::move(b).Build();
+  QueryExtractor extractor(g);
+  util::Rng rng(5);
+  const QueryGraph q = extractor.Extract(2, rng);
+  EXPECT_EQ(q.num_nodes(), 0u);
+}
+
+TEST(QueryExtractorTest, OversizedRequestReturnsEmpty) {
+  const Graph g = testing::MakeFigure1Graph();
+  QueryExtractor extractor(g);
+  util::Rng rng(6);
+  EXPECT_EQ(extractor.Extract(QueryGraph::kMaxNodes + 1, rng).num_nodes(),
+            0u);
+  EXPECT_EQ(extractor.Extract(0, rng).num_nodes(), 0u);
+}
+
+TEST(QueryExtractorTest, ExtractManyCount) {
+  const Graph g = testing::MakeRandomGraph(300, 900, 3, 14);
+  QueryExtractor extractor(g);
+  util::Rng rng(7);
+  const auto queries = extractor.ExtractMany(5, 25, rng);
+  EXPECT_EQ(queries.size(), 25u);
+  for (const auto& q : queries) EXPECT_EQ(q.num_nodes(), 5u);
+}
+
+TEST(QueryExtractorTest, DeterministicInSeed) {
+  const Graph g = testing::MakeRandomGraph(300, 900, 3, 15);
+  QueryExtractor extractor(g);
+  util::Rng rng1(8);
+  util::Rng rng2(8);
+  const QueryGraph a = extractor.Extract(5, rng1);
+  const QueryGraph b = extractor.Extract(5, rng2);
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+}  // namespace
+}  // namespace psi::graph

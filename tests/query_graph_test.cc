@@ -1,0 +1,108 @@
+#include "graph/query_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_fixtures.h"
+
+namespace psi::graph {
+namespace {
+
+TEST(QueryGraphTest, BuildBasics) {
+  QueryGraph q;
+  const NodeId a = q.AddNode(3);
+  const NodeId b = q.AddNode(5);
+  EXPECT_TRUE(q.AddEdge(a, b, 2));
+  EXPECT_EQ(q.num_nodes(), 2u);
+  EXPECT_EQ(q.num_edges(), 1u);
+  EXPECT_EQ(q.label(a), 3u);
+  EXPECT_EQ(q.degree(a), 1u);
+  EXPECT_TRUE(q.HasEdge(a, b));
+  EXPECT_TRUE(q.HasEdge(b, a));
+  EXPECT_EQ(q.EdgeLabel(a, b), 2u);
+  EXPECT_EQ(q.EdgeLabel(b, a), 2u);
+}
+
+TEST(QueryGraphTest, RejectsSelfLoopsAndDuplicates) {
+  QueryGraph q;
+  const NodeId a = q.AddNode(0);
+  const NodeId b = q.AddNode(0);
+  EXPECT_FALSE(q.AddEdge(a, a));
+  EXPECT_TRUE(q.AddEdge(a, b));
+  EXPECT_FALSE(q.AddEdge(b, a));  // duplicate in reverse
+  EXPECT_EQ(q.num_edges(), 1u);
+}
+
+TEST(QueryGraphTest, NeighborBits) {
+  const QueryGraph q = testing::MakeFigure2Query();
+  // v1 is adjacent to v0, v2, v3.
+  EXPECT_EQ(q.neighbor_bits(1), (1ULL << 0) | (1ULL << 2) | (1ULL << 3));
+}
+
+TEST(QueryGraphTest, PivotManagement) {
+  QueryGraph q;
+  q.AddNode(0);
+  EXPECT_FALSE(q.has_pivot());
+  q.set_pivot(0);
+  EXPECT_TRUE(q.has_pivot());
+  EXPECT_EQ(q.pivot(), 0u);
+}
+
+TEST(QueryGraphTest, ConnectivityDetection) {
+  QueryGraph q;
+  q.AddNode(0);
+  q.AddNode(0);
+  q.AddNode(0);
+  EXPECT_FALSE(q.IsConnected());
+  q.AddEdge(0, 1);
+  EXPECT_FALSE(q.IsConnected());
+  q.AddEdge(1, 2);
+  EXPECT_TRUE(q.IsConnected());
+}
+
+TEST(QueryGraphTest, EmptyAndSingletonAreConnected) {
+  QueryGraph empty;
+  EXPECT_TRUE(empty.IsConnected());
+  QueryGraph single;
+  single.AddNode(0);
+  EXPECT_TRUE(single.IsConnected());
+}
+
+TEST(QueryGraphTest, MaxLabelPlusOne) {
+  QueryGraph q;
+  EXPECT_EQ(q.max_label_plus_one(), 0u);
+  q.AddNode(4);
+  q.AddNode(2);
+  EXPECT_EQ(q.max_label_plus_one(), 5u);
+}
+
+TEST(QueryGraphTest, SetLabel) {
+  QueryGraph q;
+  const NodeId a = q.AddNode(1);
+  q.set_label(a, 9);
+  EXPECT_EQ(q.label(a), 9u);
+}
+
+TEST(QueryGraphTest, ToStringContainsStructure) {
+  const QueryGraph q = testing::MakeFigure1Query();
+  const std::string s = q.ToString();
+  EXPECT_NE(s.find("pivot=0"), std::string::npos);
+  EXPECT_NE(s.find("0-1"), std::string::npos);
+}
+
+TEST(QueryGraphTest, NeighborsOrderIsInsertionOrder) {
+  QueryGraph q;
+  q.AddNode(0);
+  q.AddNode(0);
+  q.AddNode(0);
+  q.AddEdge(0, 2, 7);
+  q.AddEdge(0, 1, 8);
+  const auto& nbrs = q.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0].first, 2u);
+  EXPECT_EQ(nbrs[0].second, 7u);
+  EXPECT_EQ(nbrs[1].first, 1u);
+  EXPECT_EQ(nbrs[1].second, 8u);
+}
+
+}  // namespace
+}  // namespace psi::graph

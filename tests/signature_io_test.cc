@@ -1,0 +1,91 @@
+#include "signature/io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/smart_psi.h"
+#include "signature/builders.h"
+#include "tests/test_fixtures.h"
+
+namespace psi::signature {
+namespace {
+
+TEST(SignatureIoTest, RoundTripPreservesEverything) {
+  const graph::Graph g = psi::testing::MakeRandomGraph(200, 600, 4, 301);
+  const SignatureMatrix original = BuildMatrixSignatures(
+      g, 3, g.num_labels(), nullptr, /*decay=*/0.25f);
+
+  std::ostringstream out(std::ios::binary);
+  WriteSignatures(original, out);
+  std::istringstream in(out.str(), std::ios::binary);
+  const auto reloaded = ReadSignatures(in);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  const SignatureMatrix& sigs = reloaded.value();
+
+  EXPECT_EQ(sigs.num_rows(), original.num_rows());
+  EXPECT_EQ(sigs.num_labels(), original.num_labels());
+  EXPECT_EQ(sigs.method(), original.method());
+  EXPECT_EQ(sigs.depth(), original.depth());
+  EXPECT_FLOAT_EQ(sigs.decay(), original.decay());
+  for (size_t r = 0; r < sigs.num_rows(); ++r) {
+    for (size_t l = 0; l < sigs.num_labels(); ++l) {
+      ASSERT_FLOAT_EQ(sigs.at(r, l), original.at(r, l));
+    }
+  }
+}
+
+TEST(SignatureIoTest, RejectsGarbage) {
+  std::istringstream in("this is not a signature file", std::ios::binary);
+  EXPECT_FALSE(ReadSignatures(in).ok());
+}
+
+TEST(SignatureIoTest, RejectsTruncatedPayload) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const SignatureMatrix original =
+      BuildExplorationSignatures(g, 2, g.num_labels());
+  std::ostringstream out(std::ios::binary);
+  WriteSignatures(original, out);
+  const std::string full = out.str();
+  std::istringstream in(full.substr(0, full.size() - 8), std::ios::binary);
+  EXPECT_FALSE(ReadSignatures(in).ok());
+}
+
+TEST(SignatureIoTest, FileRoundTrip) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const SignatureMatrix original =
+      BuildMatrixSignatures(g, 2, g.num_labels());
+  const std::string path = ::testing::TempDir() + "/psi_sigs_test.psig";
+  ASSERT_TRUE(SaveSignatureFile(original, path).ok());
+  const auto reloaded = LoadSignatureFile(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded.value().num_rows(), original.num_rows());
+}
+
+TEST(SignatureIoTest, MissingFileIsIoError) {
+  const auto result = LoadSignatureFile("/nonexistent/sigs.psig");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::Status::Code::kIoError);
+}
+
+TEST(SignatureIoTest, EngineAdoptsPrecomputedSignatures) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  SignatureMatrix sigs =
+      BuildExplorationSignatures(g, 3, g.num_labels(), nullptr, 0.5f);
+
+  core::SmartPsiConfig config;
+  config.signature_method = Method::kMatrix;  // deliberately inconsistent
+  config.signature_depth = 1;
+  core::SmartPsiEngine engine(g, std::move(sigs), config);
+
+  // Metadata must follow the adopted matrix, not the config.
+  EXPECT_EQ(engine.graph_signatures().method(), Method::kExploration);
+  EXPECT_EQ(engine.graph_signatures().depth(), 3u);
+  EXPECT_EQ(engine.config().signature_depth, 3u);
+
+  const auto result = engine.Evaluate(psi::testing::MakeFigure1Query());
+  EXPECT_EQ(result.valid_nodes, (std::vector<graph::NodeId>{0, 5}));
+}
+
+}  // namespace
+}  // namespace psi::signature

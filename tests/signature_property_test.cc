@@ -1,0 +1,166 @@
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/query_extractor.h"
+#include "match/engine.h"
+#include "signature/builders.h"
+#include "tests/test_fixtures.h"
+
+namespace psi::signature {
+namespace {
+
+/// Parameter: (seed, query size, method).
+using PropertyParam = std::tuple<uint64_t, size_t, Method>;
+
+class SignatureSoundnessTest
+    : public ::testing::TestWithParam<PropertyParam> {};
+
+// Proposition 3.2 (both builders): if a data node u is a valid pivot
+// binding, then NS_u satisfies NS_pivot. Equivalently: the satisfaction
+// filter never prunes a truly valid node. Checked against brute-force
+// enumeration ground truth on random graphs/queries.
+TEST_P(SignatureSoundnessTest, ValidNodesAlwaysSatisfyPivotSignature) {
+  const auto [seed, query_size, method] = GetParam();
+  const graph::Graph g = psi::testing::MakeRandomGraph(300, 900, 4, seed);
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(seed * 31 + 1);
+  const graph::QueryGraph q = extractor.Extract(query_size, rng);
+  if (q.num_nodes() != query_size) GTEST_SKIP() << "extraction failed";
+
+  const SignatureMatrix gs = BuildSignatures(g, method, 2, g.num_labels());
+  const SignatureMatrix qs = BuildSignatures(q, method, 2, g.num_labels());
+
+  match::BasicEngine engine(g);
+  const auto projection =
+      engine.ProjectPivot(q, match::MatchingEngine::Options());
+  ASSERT_TRUE(projection.complete);
+  ASSERT_FALSE(projection.pivot_matches.empty());  // induced => >= 1 match
+
+  for (const graph::NodeId u : projection.pivot_matches) {
+    EXPECT_TRUE(Satisfies(gs.row(u), qs.row(q.pivot())))
+        << MethodName(method) << " node " << u << " query " << q.ToString();
+  }
+}
+
+// The same soundness must hold for *every* query node, not only the pivot
+// (the pessimist prunes at every recursion level).
+TEST_P(SignatureSoundnessTest, EmbeddingImagesSatisfyPerNodeSignatures) {
+  const auto [seed, query_size, method] = GetParam();
+  const graph::Graph g = psi::testing::MakeRandomGraph(200, 700, 3, seed);
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(seed * 53 + 7);
+  const graph::QueryGraph q = extractor.Extract(query_size, rng);
+  if (q.num_nodes() != query_size) GTEST_SKIP() << "extraction failed";
+
+  const SignatureMatrix gs = BuildSignatures(g, method, 2, g.num_labels());
+  const SignatureMatrix qs = BuildSignatures(q, method, 2, g.num_labels());
+
+  match::BasicEngine engine(g);
+  match::MatchingEngine::Options options;
+  options.max_embeddings = 200;
+  size_t checked = 0;
+  engine.Enumerate(
+      q,
+      [&](std::span<const graph::NodeId> mapping) {
+        for (graph::NodeId v = 0; v < q.num_nodes(); ++v) {
+          EXPECT_TRUE(Satisfies(gs.row(mapping[v]), qs.row(v)));
+          ++checked;
+        }
+        return true;
+      },
+      options);
+  EXPECT_GT(checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, SignatureSoundnessTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                       ::testing::Values(3, 4, 5, 6),
+                       ::testing::Values(Method::kExploration,
+                                         Method::kMatrix)));
+
+class DominationTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Matrix weights count depth-bounded walks, exploration weights count
+// shortest-path-distance contributions once — so the matrix weight of every
+// (node, label) dominates the exploration weight.
+TEST_P(DominationTest, MatrixWeightsDominateExplorationWeights) {
+  const graph::Graph g =
+      psi::testing::MakeRandomGraph(150, 500, 4, GetParam());
+  const SignatureMatrix expl =
+      BuildExplorationSignatures(g, 2, g.num_labels());
+  const SignatureMatrix matr = BuildMatrixSignatures(g, 2, g.num_labels());
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (size_t l = 0; l < g.num_labels(); ++l) {
+      EXPECT_GE(matr.at(u, l) + 1e-5f, expl.at(u, l))
+          << "u=" << u << " l=" << l;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominationTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+class DepthMonotonicityTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, Method>> {};
+
+// Weights only grow with depth: deeper propagation adds non-negative terms.
+TEST_P(DepthMonotonicityTest, DeeperSignaturesDominateShallower) {
+  const auto [seed, method] = GetParam();
+  const graph::Graph g = psi::testing::MakeRandomGraph(100, 300, 3, seed);
+  const SignatureMatrix d1 = BuildSignatures(g, method, 1, g.num_labels());
+  const SignatureMatrix d3 = BuildSignatures(g, method, 3, g.num_labels());
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (size_t l = 0; l < g.num_labels(); ++l) {
+      EXPECT_GE(d3.at(u, l) + 1e-5f, d1.at(u, l));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DepthMonotonicityTest,
+    ::testing::Combine(::testing::Values(101, 202, 303),
+                       ::testing::Values(Method::kExploration,
+                                         Method::kMatrix)));
+
+class DecaySoundnessTest
+    : public ::testing::TestWithParam<std::tuple<float, Method>> {};
+
+// Proposition 3.2 holds for any per-hop decay in (0, 1], not only the
+// paper's 1/2 — valid nodes must satisfy the pivot signature at every
+// decay setting.
+TEST_P(DecaySoundnessTest, ValidNodesSatisfyAtAnyDecay) {
+  const auto [decay, method] = GetParam();
+  const graph::Graph g = psi::testing::MakeRandomGraph(250, 800, 4, 404);
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(405);
+  const graph::QueryGraph q = extractor.Extract(4, rng);
+  ASSERT_EQ(q.num_nodes(), 4u);
+
+  const SignatureMatrix gs =
+      BuildSignatures(g, method, 2, g.num_labels(), nullptr, decay);
+  const SignatureMatrix qs =
+      BuildSignatures(q, method, 2, g.num_labels(), decay);
+  EXPECT_FLOAT_EQ(gs.decay(), decay);
+  EXPECT_FLOAT_EQ(qs.decay(), decay);
+
+  match::BasicEngine engine(g);
+  const auto projection =
+      engine.ProjectPivot(q, match::MatchingEngine::Options());
+  ASSERT_TRUE(projection.complete);
+  for (const graph::NodeId u : projection.pivot_matches) {
+    EXPECT_TRUE(Satisfies(gs.row(u), qs.row(q.pivot())))
+        << "decay=" << decay << " node " << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Decays, DecaySoundnessTest,
+    ::testing::Combine(::testing::Values(0.25f, 0.5f, 0.75f, 1.0f),
+                       ::testing::Values(Method::kExploration,
+                                         Method::kMatrix)));
+
+}  // namespace
+}  // namespace psi::signature

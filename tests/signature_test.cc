@@ -1,0 +1,264 @@
+#include "signature/builders.h"
+
+#include <gtest/gtest.h>
+
+#include "signature/signature_matrix.h"
+#include "tests/test_fixtures.h"
+
+namespace psi::signature {
+namespace {
+
+using psi::testing::kA;
+using psi::testing::kB;
+using psi::testing::kC;
+using psi::testing::kD;
+
+// ---------------------------------------------------------------------------
+// Paper worked example 1 (§3.1): exploration signature of u1 in Figure 1(b)
+// with depth 2 is {(A, 1.25), (B, 1), (C, 1)}.
+// ---------------------------------------------------------------------------
+TEST(ExplorationSignatureTest, PaperFigure1Example) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const SignatureMatrix ns = BuildExplorationSignatures(g, 2, g.num_labels());
+  const auto u1 = ns.row(0);
+  EXPECT_FLOAT_EQ(u1[kA], 1.25f);
+  EXPECT_FLOAT_EQ(u1[kB], 1.0f);
+  EXPECT_FLOAT_EQ(u1[kC], 1.0f);
+}
+
+TEST(ExplorationSignatureTest, QueryPivotSignature) {
+  // NS_v1 of the Figure 1(a) triangle query = {(A, 1), (B, 0.5), (C, 0.5)}.
+  const graph::QueryGraph q = psi::testing::MakeFigure1Query();
+  const SignatureMatrix ns = BuildExplorationSignatures(q, 2, 3);
+  const auto v1 = ns.row(0);
+  EXPECT_FLOAT_EQ(v1[kA], 1.0f);
+  EXPECT_FLOAT_EQ(v1[kB], 0.5f);
+  EXPECT_FLOAT_EQ(v1[kC], 0.5f);
+}
+
+TEST(ExplorationSignatureTest, DepthZeroIsOneHot) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const SignatureMatrix ns = BuildExplorationSignatures(g, 0, g.num_labels());
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (size_t l = 0; l < ns.num_labels(); ++l) {
+      EXPECT_FLOAT_EQ(ns.at(u, l), l == g.label(u) ? 1.0f : 0.0f);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Paper worked example 2 (§3.1): matrix signatures NS^1 and NS^2 of the
+// Figure 2(a) query. The paper prints both matrices; all rows of NS^1 and
+// rows v0, v1, v2, v4 of NS^2 are asserted to the paper's exact rationals.
+// (The paper's printed NS^2 row for v3 is inconsistent with its own
+// recurrence — recomputing ½·(NS^1(v1)+NS^1(v2)+NS^1(v4)) + NS^1(v3) gives
+// (1/4, 5/2, 7/4, 1); we assert the recomputed value.)
+// ---------------------------------------------------------------------------
+TEST(MatrixSignatureTest, PaperFigure2Ns1) {
+  const graph::QueryGraph q = psi::testing::MakeFigure2Query();
+  const SignatureMatrix ns1 = BuildMatrixSignatures(q, 1, 4);
+  const float expected[5][4] = {
+      {1.0f, 0.5f, 0.0f, 0.0f},   // v0
+      {0.5f, 1.5f, 0.5f, 0.0f},   // v1
+      {0.0f, 1.5f, 0.5f, 0.0f},   // v2
+      {0.0f, 1.0f, 1.0f, 0.5f},   // v3
+      {0.0f, 0.0f, 0.5f, 1.0f},   // v4
+  };
+  for (size_t v = 0; v < 5; ++v) {
+    for (size_t l = 0; l < 4; ++l) {
+      EXPECT_FLOAT_EQ(ns1.at(v, l), expected[v][l]) << "v" << v << " l" << l;
+    }
+  }
+}
+
+TEST(MatrixSignatureTest, PaperFigure2Ns2) {
+  const graph::QueryGraph q = psi::testing::MakeFigure2Query();
+  const SignatureMatrix ns2 = BuildMatrixSignatures(q, 2, 4);
+  const float expected[5][4] = {
+      {1.25f, 1.25f, 0.25f, 0.0f},  // v0 (paper: 5/4, 5/4, 1/4, 0)
+      {1.0f, 3.0f, 1.25f, 0.25f},   // v1 (paper: 1, 3, 5/4, 1/4)
+      {0.25f, 2.75f, 1.25f, 0.25f}, // v2 (paper: 1/4, 11/4, 5/4, 1/4)
+      {0.25f, 2.5f, 1.75f, 1.0f},   // v3 (recomputed; see comment above)
+      {0.0f, 0.5f, 1.0f, 1.25f},    // v4 (paper: 0, 1/2, 1, 5/4)
+  };
+  for (size_t v = 0; v < 5; ++v) {
+    for (size_t l = 0; l < 4; ++l) {
+      EXPECT_FLOAT_EQ(ns2.at(v, l), expected[v][l]) << "v" << v << " l" << l;
+    }
+  }
+}
+
+TEST(MatrixSignatureTest, GraphAndQueryBuildersAgree) {
+  // Build the Figure 2 query as a data graph too; both matrix builders must
+  // produce identical signatures.
+  graph::GraphBuilder b;
+  b.AddNode(kA);
+  b.AddNode(kB);
+  b.AddNode(kB);
+  b.AddNode(kC);
+  b.AddNode(kD);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 4);
+  const graph::Graph g = std::move(b).Build();
+  const graph::QueryGraph q = psi::testing::MakeFigure2Query();
+
+  const SignatureMatrix from_graph = BuildMatrixSignatures(g, 2, 4);
+  const SignatureMatrix from_query = BuildMatrixSignatures(q, 2, 4);
+  for (size_t v = 0; v < 5; ++v) {
+    for (size_t l = 0; l < 4; ++l) {
+      EXPECT_FLOAT_EQ(from_graph.at(v, l), from_query.at(v, l));
+    }
+  }
+}
+
+TEST(ExplorationSignatureTest, GraphAndQueryBuildersAgree) {
+  graph::GraphBuilder b;
+  b.AddNode(kA);
+  b.AddNode(kB);
+  b.AddNode(kB);
+  b.AddNode(kC);
+  b.AddNode(kD);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 4);
+  const graph::Graph g = std::move(b).Build();
+  const graph::QueryGraph q = psi::testing::MakeFigure2Query();
+
+  const SignatureMatrix from_graph = BuildExplorationSignatures(g, 2, 4);
+  const SignatureMatrix from_query = BuildExplorationSignatures(q, 2, 4);
+  for (size_t v = 0; v < 5; ++v) {
+    for (size_t l = 0; l < 4; ++l) {
+      EXPECT_FLOAT_EQ(from_graph.at(v, l), from_query.at(v, l));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satisfaction and satisfiability score (§3.2 / §3.3).
+// ---------------------------------------------------------------------------
+TEST(SatisfiesTest, PaperU1SatisfiesV1) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const graph::QueryGraph q = psi::testing::MakeFigure1Query();
+  const SignatureMatrix gs = BuildExplorationSignatures(g, 2, g.num_labels());
+  const SignatureMatrix qs = BuildExplorationSignatures(q, 2, g.num_labels());
+  EXPECT_TRUE(Satisfies(gs.row(0), qs.row(0)));  // u1 vs v1
+}
+
+TEST(SatisfiesTest, LowerWeightFails) {
+  std::vector<float> candidate{1.0f, 0.4f};
+  std::vector<float> required{1.0f, 0.5f};
+  EXPECT_FALSE(Satisfies(candidate, required));
+}
+
+TEST(SatisfiesTest, ZeroRequiredIgnored) {
+  std::vector<float> candidate{0.0f, 2.0f};
+  std::vector<float> required{0.0f, 1.0f};
+  EXPECT_TRUE(Satisfies(candidate, required));
+}
+
+TEST(SatisfiesTest, EqualWeightsSatisfyDespiteRounding) {
+  // A node must always satisfy its own signature.
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const SignatureMatrix gs = BuildMatrixSignatures(g, 3, g.num_labels());
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_TRUE(Satisfies(gs.row(u), gs.row(u)));
+  }
+}
+
+TEST(SatisfiabilityScoreTest, PaperExampleIs175) {
+  // SS(u1, v1) = ((1.25/1) + (1/0.5) + (1/0.5)) / 3 = 1.75.
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const graph::QueryGraph q = psi::testing::MakeFigure1Query();
+  const SignatureMatrix gs = BuildExplorationSignatures(g, 2, g.num_labels());
+  const SignatureMatrix qs = BuildExplorationSignatures(q, 2, g.num_labels());
+  EXPECT_NEAR(SatisfiabilityScore(gs.row(0), qs.row(0)), 1.75, 1e-6);
+}
+
+TEST(SatisfiabilityScoreTest, ZeroRequiredRowScoresZero) {
+  std::vector<float> candidate{1.0f, 1.0f};
+  std::vector<float> required{0.0f, 0.0f};
+  EXPECT_EQ(SatisfiabilityScore(candidate, required), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Hashing for the prediction cache.
+// ---------------------------------------------------------------------------
+TEST(HashSignatureTest, EqualRowsEqualHashes) {
+  std::vector<float> a{1.25f, 1.0f, 0.5f};
+  std::vector<float> b{1.25f, 1.0f, 0.5f};
+  EXPECT_EQ(HashSignature(a), HashSignature(b));
+}
+
+TEST(HashSignatureTest, DifferentRowsDiffer) {
+  std::vector<float> a{1.25f, 1.0f, 0.5f};
+  std::vector<float> b{1.25f, 1.0f, 0.75f};
+  EXPECT_NE(HashSignature(a), HashSignature(b));
+}
+
+TEST(HashSignatureTest, QuantizationMergesTinyDifferences) {
+  std::vector<float> a{1.0f};
+  std::vector<float> b{1.0f + 1e-5f};  // below the 1/1024 resolution
+  EXPECT_EQ(HashSignature(a), HashSignature(b));
+}
+
+TEST(DecayTest, DecayOneCountsReachableNodes) {
+  // With decay = 1 the exploration signature degenerates to "number of
+  // nodes with each label within D hops (self included)".
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const SignatureMatrix ns =
+      BuildExplorationSignatures(g, 2, g.num_labels(), nullptr, 1.0f);
+  // From u1: itself (A), u2/u5 (B), u3/u4 (C), u6 (A) within 2 hops.
+  const auto u1 = ns.row(0);
+  EXPECT_FLOAT_EQ(u1[psi::testing::kA], 2.0f);
+  EXPECT_FLOAT_EQ(u1[psi::testing::kB], 2.0f);
+  EXPECT_FLOAT_EQ(u1[psi::testing::kC], 2.0f);
+}
+
+TEST(DecayTest, SmallerDecayShrinksDistantContributions) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const SignatureMatrix half =
+      BuildExplorationSignatures(g, 2, g.num_labels(), nullptr, 0.5f);
+  const SignatureMatrix quarter =
+      BuildExplorationSignatures(g, 2, g.num_labels(), nullptr, 0.25f);
+  // u6 contributes to u1's A-weight from distance 2: 0.25 vs 0.0625.
+  EXPECT_FLOAT_EQ(half.at(0, psi::testing::kA), 1.25f);
+  EXPECT_FLOAT_EQ(quarter.at(0, psi::testing::kA), 1.0625f);
+}
+
+TEST(MethodNameTest, Names) {
+  EXPECT_STREQ(MethodName(Method::kExploration), "exploration");
+  EXPECT_STREQ(MethodName(Method::kMatrix), "matrix");
+}
+
+TEST(BuildSignaturesTest, DispatchesOnMethod) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  EXPECT_EQ(BuildSignatures(g, Method::kExploration, 2, 3).method(),
+            Method::kExploration);
+  EXPECT_EQ(BuildSignatures(g, Method::kMatrix, 2, 3).method(),
+            Method::kMatrix);
+}
+
+TEST(BuildSignaturesTest, ParallelMatchesSerial) {
+  const graph::Graph g = psi::testing::MakeRandomGraph(3000, 9000, 5, 21);
+  util::ThreadPool pool(4);
+  for (const Method method : {Method::kExploration, Method::kMatrix}) {
+    const SignatureMatrix serial =
+        BuildSignatures(g, method, 2, g.num_labels());
+    const SignatureMatrix parallel =
+        BuildSignatures(g, method, 2, g.num_labels(), &pool);
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (size_t l = 0; l < serial.num_labels(); ++l) {
+        ASSERT_FLOAT_EQ(serial.at(u, l), parallel.at(u, l))
+            << MethodName(method) << " u=" << u << " l=" << l;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psi::signature

@@ -1,0 +1,286 @@
+#include "core/smart_psi.h"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "graph/query_extractor.h"
+#include "match/engine.h"
+#include "tests/test_fixtures.h"
+
+namespace psi::core {
+namespace {
+
+TEST(SmartPsiTest, Figure1Answer) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  SmartPsiEngine engine(g);
+  const PsiQueryResult result =
+      engine.Evaluate(psi::testing::MakeFigure1Query());
+  EXPECT_EQ(result.valid_nodes, (std::vector<graph::NodeId>{0, 5}));
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.num_candidates, 2u);
+  EXPECT_GT(result.total_seconds, 0.0);
+}
+
+TEST(SmartPsiTest, InfeasibleQueryEmpty) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  SmartPsiEngine engine(g);
+  graph::QueryGraph q;
+  q.AddNode(12345);
+  q.set_pivot(0);
+  const PsiQueryResult result = engine.Evaluate(q);
+  EXPECT_TRUE(result.valid_nodes.empty());
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.num_candidates, 0u);
+}
+
+TEST(SmartPsiTest, SignaturesBuiltAtConstruction) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  SmartPsiConfig config;
+  config.signature_method = signature::Method::kExploration;
+  config.signature_depth = 3;
+  SmartPsiEngine engine(g, config);
+  EXPECT_EQ(engine.graph_signatures().num_rows(), g.num_nodes());
+  EXPECT_EQ(engine.graph_signatures().method(),
+            signature::Method::kExploration);
+  EXPECT_EQ(engine.graph_signatures().depth(), 3u);
+  EXPECT_GE(engine.signature_build_seconds(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Exactness across the whole configuration space: every feature combination
+// must return the enumeration ground truth (the paper's exactness claim
+// holds regardless of predictions, caching, preemption, or parallelism).
+// ---------------------------------------------------------------------------
+struct ConfigCase {
+  bool cache;
+  bool preemption;
+  bool plan_model;
+  size_t threads;
+  signature::Method method;
+};
+
+class SmartPsiExactnessTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, ConfigCase>> {};
+
+TEST_P(SmartPsiExactnessTest, MatchesGroundTruth) {
+  const auto [seed, config_case] = GetParam();
+  const graph::Graph g = psi::testing::MakeRandomGraph(400, 1300, 4, seed);
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(seed * 13 + 1);
+
+  SmartPsiConfig config;
+  config.enable_cache = config_case.cache;
+  config.enable_preemption = config_case.preemption;
+  config.enable_plan_model = config_case.plan_model;
+  config.num_threads = config_case.threads;
+  config.signature_method = config_case.method;
+  config.min_candidates_for_ml = 8;  // force the ML path on small graphs
+  config.max_train_nodes = 30;
+  config.seed = seed;
+  SmartPsiEngine engine(g, config);
+
+  match::BasicEngine basic(g);
+  for (const size_t size : {3u, 5u}) {
+    const graph::QueryGraph q = extractor.Extract(size, rng);
+    if (q.num_nodes() != size) continue;
+    const auto truth =
+        basic.ProjectPivot(q, match::MatchingEngine::Options());
+    ASSERT_TRUE(truth.complete);
+    const PsiQueryResult result = engine.Evaluate(q);
+    EXPECT_TRUE(result.complete);
+    EXPECT_EQ(result.valid_nodes, truth.pivot_matches)
+        << "size=" << size << " " << q.ToString();
+    EXPECT_EQ(result.num_candidates >= result.num_training_nodes, true);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SmartPsiExactnessTest,
+    ::testing::Combine(
+        ::testing::Values(100, 200, 300),
+        ::testing::Values(
+            ConfigCase{true, true, true, 1, signature::Method::kMatrix},
+            ConfigCase{false, true, true, 1, signature::Method::kMatrix},
+            ConfigCase{true, false, true, 1, signature::Method::kMatrix},
+            ConfigCase{true, true, false, 1, signature::Method::kMatrix},
+            ConfigCase{true, true, true, 4, signature::Method::kMatrix},
+            ConfigCase{true, true, true, 1,
+                       signature::Method::kExploration},
+            ConfigCase{false, false, false, 4,
+                       signature::Method::kExploration})));
+
+class SmartPsiClassifierTest
+    : public ::testing::TestWithParam<core::ClassifierKind> {};
+
+// The paper notes other classifiers are orthogonal: exactness must hold
+// with any learner behind Models α and β — a worse model costs recoveries,
+// never answers.
+TEST_P(SmartPsiClassifierTest, ExactWithAnyClassifier) {
+  const graph::Graph g = psi::testing::MakeRandomGraph(400, 1300, 3, 81);
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(82);
+  const graph::QueryGraph q = extractor.Extract(4, rng);
+  ASSERT_EQ(q.num_nodes(), 4u);
+
+  match::BasicEngine basic(g);
+  const auto truth = basic.ProjectPivot(q, match::MatchingEngine::Options());
+  ASSERT_TRUE(truth.complete);
+
+  core::SmartPsiConfig config;
+  config.classifier = GetParam();
+  config.min_candidates_for_ml = 8;
+  config.max_train_nodes = 40;
+  core::SmartPsiEngine engine(g, config);
+  const PsiQueryResult result = engine.Evaluate(q);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.valid_nodes, truth.pivot_matches)
+      << core::ClassifierKindName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SmartPsiClassifierTest,
+                         ::testing::Values(core::ClassifierKind::kRandomForest,
+                                           core::ClassifierKind::kLinearSvm,
+                                           core::ClassifierKind::kNeuralNet));
+
+TEST(ClassifierTest, KindNames) {
+  EXPECT_STREQ(
+      core::ClassifierKindName(core::ClassifierKind::kRandomForest),
+      "random-forest");
+  EXPECT_STREQ(core::ClassifierKindName(core::ClassifierKind::kLinearSvm),
+               "linear-svm");
+  EXPECT_STREQ(core::ClassifierKindName(core::ClassifierKind::kNeuralNet),
+               "neural-net");
+}
+
+TEST(ClassifierTest, AllKindsTrainAndPredict) {
+  ml::Dataset data(2);
+  util::Rng data_rng(83);
+  for (int i = 0; i < 200; ++i) {
+    const bool positive = data_rng.NextBool(0.5);
+    data.AddExample(
+        std::vector<float>{
+            static_cast<float>(data_rng.NextGaussian() +
+                               (positive ? 2.0 : -2.0)),
+            static_cast<float>(data_rng.NextGaussian())},
+        positive ? 1 : 0);
+  }
+  for (const auto kind :
+       {core::ClassifierKind::kRandomForest, core::ClassifierKind::kLinearSvm,
+        core::ClassifierKind::kNeuralNet}) {
+    core::Classifier model(kind);
+    EXPECT_FALSE(model.trained());
+    util::Rng rng(84);
+    model.Train(data, 2, 16, rng);
+    EXPECT_TRUE(model.trained());
+    size_t correct = 0;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (model.Predict(data.row(i)) == data.label(i)) ++correct;
+    }
+    EXPECT_GT(static_cast<double>(correct) / data.size(), 0.9)
+        << core::ClassifierKindName(kind);
+  }
+}
+
+TEST(SmartPsiTest, TinyCandidateSetSkipsMl) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  SmartPsiConfig config;
+  config.min_candidates_for_ml = 24;  // Figure 1 has only 2 candidates
+  SmartPsiEngine engine(g, config);
+  const PsiQueryResult result =
+      engine.Evaluate(psi::testing::MakeFigure1Query());
+  EXPECT_EQ(result.num_training_nodes, 0u);
+  EXPECT_EQ(result.train_seconds, 0.0);
+  EXPECT_EQ(result.valid_nodes, (std::vector<graph::NodeId>{0, 5}));
+}
+
+TEST(SmartPsiTest, MlPathReportsAccuracyAndTiming) {
+  const graph::Graph g = psi::testing::MakeRandomGraph(600, 2000, 3, 71);
+  SmartPsiConfig config;
+  config.min_candidates_for_ml = 8;
+  config.max_train_nodes = 40;
+  SmartPsiEngine engine(g, config);
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(72);
+  const graph::QueryGraph q = extractor.Extract(4, rng);
+  ASSERT_EQ(q.num_nodes(), 4u);
+  const PsiQueryResult result = engine.Evaluate(q);
+  EXPECT_TRUE(result.complete);
+  EXPECT_GT(result.num_training_nodes, 0u);
+  EXPECT_GT(result.alpha_predictions, 0u);
+  EXPECT_LE(result.alpha_correct, result.alpha_predictions);
+  EXPECT_GT(result.train_seconds, 0.0);
+  EXPECT_GE(result.MlOverheadFraction(), 0.0);
+  EXPECT_LE(result.MlOverheadFraction(), 1.0);
+}
+
+TEST(SmartPsiTest, CacheHitsAccumulateAcrossQueries) {
+  const graph::Graph g = psi::testing::MakeRandomGraph(600, 2000, 2, 73);
+  SmartPsiConfig config;
+  config.min_candidates_for_ml = 8;
+  config.max_train_nodes = 30;
+  SmartPsiEngine engine(g, config);
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(74);
+  const graph::QueryGraph q = extractor.Extract(3, rng);
+  ASSERT_EQ(q.num_nodes(), 3u);
+  const PsiQueryResult first = engine.Evaluate(q);
+  const PsiQueryResult second = engine.Evaluate(q);
+  EXPECT_EQ(first.valid_nodes, second.valid_nodes);
+  // After the first run every remaining candidate's signature is cached.
+  EXPECT_GT(second.cache_hits, 0u);
+}
+
+TEST(SmartPsiTest, ExpiredDeadlineIncomplete) {
+  const graph::Graph g = psi::testing::MakeRandomGraph(400, 1300, 2, 75);
+  SmartPsiEngine engine(g);
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(76);
+  const graph::QueryGraph q = extractor.Extract(4, rng);
+  ASSERT_EQ(q.num_nodes(), 4u);
+  const PsiQueryResult result =
+      engine.Evaluate(q, util::Deadline::After(-1.0));
+  EXPECT_FALSE(result.complete);
+}
+
+TEST(SmartPsiTest, PreemptionRecoversAndStaysExact) {
+  // Force the preemptive executor through its recovery states by making
+  // MaxTime absurdly tight: state 1 times out constantly, states 2/3 must
+  // still produce the exact answer.
+  const graph::Graph g = psi::testing::MakeRandomGraph(500, 1800, 3, 91);
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(92);
+  const graph::QueryGraph q = extractor.Extract(5, rng);
+  ASSERT_EQ(q.num_nodes(), 5u);
+
+  match::BasicEngine basic(g);
+  const auto truth = basic.ProjectPivot(q, match::MatchingEngine::Options());
+  ASSERT_TRUE(truth.complete);
+
+  core::SmartPsiConfig config;
+  config.min_candidates_for_ml = 8;
+  config.min_preemption_seconds = 1e-9;  // MaxTime ≈ 2x a few nanoseconds
+  config.timeout_factor = 1e-3;
+  core::SmartPsiEngine engine(g, config);
+  const PsiQueryResult result = engine.Evaluate(q);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.valid_nodes, truth.pivot_matches);
+  // With such budgets some nodes must have gone through recovery.
+  EXPECT_GT(result.method_recoveries + result.plan_fallbacks, 0u);
+}
+
+TEST(SmartPsiTest, DeterministicAcrossRunsWithSameSeed) {
+  const graph::Graph g = psi::testing::MakeRandomGraph(500, 1600, 3, 77);
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(78);
+  const graph::QueryGraph q = extractor.Extract(4, rng);
+  ASSERT_EQ(q.num_nodes(), 4u);
+  SmartPsiConfig config;
+  config.min_candidates_for_ml = 8;
+  SmartPsiEngine engine1(g, config);
+  SmartPsiEngine engine2(g, config);
+  EXPECT_EQ(engine1.Evaluate(q).valid_nodes, engine2.Evaluate(q).valid_nodes);
+}
+
+}  // namespace
+}  // namespace psi::core

@@ -1,0 +1,80 @@
+#include "util/stop_token.h"
+
+#include <cmath>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "util/timer.h"
+
+namespace psi::util {
+namespace {
+
+TEST(StopTokenTest, DefaultTokenNeverStops) {
+  StopToken token;
+  EXPECT_FALSE(token.StopRequested());
+}
+
+TEST(StopTokenTest, ObservesSource) {
+  StopSource source;
+  StopToken token(&source);
+  EXPECT_FALSE(token.StopRequested());
+  source.RequestStop();
+  EXPECT_TRUE(token.StopRequested());
+}
+
+TEST(StopTokenTest, ResetRearms) {
+  StopSource source;
+  source.RequestStop();
+  EXPECT_TRUE(source.StopRequested());
+  source.Reset();
+  EXPECT_FALSE(source.StopRequested());
+}
+
+TEST(StopTokenTest, VisibleAcrossThreads) {
+  StopSource source;
+  StopToken token(&source);
+  std::thread requester([&source] { source.RequestStop(); });
+  requester.join();
+  EXPECT_TRUE(token.StopRequested());
+}
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.IsInfinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_TRUE(std::isinf(d.RemainingSeconds()));
+}
+
+TEST(DeadlineTest, ExpiresAfterDuration) {
+  const Deadline d = Deadline::After(0.02);
+  EXPECT_FALSE(d.IsInfinite());
+  EXPECT_FALSE(d.Expired());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(d.Expired());
+  EXPECT_LE(d.RemainingSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, NonPositiveExpiresImmediately) {
+  EXPECT_TRUE(Deadline::After(0.0).Expired());
+  EXPECT_TRUE(Deadline::After(-1.0).Expired());
+}
+
+TEST(WallTimerTest, MeasuresElapsed) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.Seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 2.0);
+  EXPECT_NEAR(t.Millis(), t.Seconds() * 1e3, 5.0);
+}
+
+TEST(WallTimerTest, RestartResets) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.Restart();
+  EXPECT_LT(t.Seconds(), 0.015);
+}
+
+}  // namespace
+}  // namespace psi::util

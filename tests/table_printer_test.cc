@@ -1,0 +1,55 @@
+#include "util/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace psi::util {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter t({"Query size", "SmartPSI"});
+  t.AddRow({"4", "27 sec"});
+  t.AddRow({"7", "4.3 min"});
+  const std::string rendered = t.ToString();
+  EXPECT_NE(rendered.find("Query size"), std::string::npos);
+  EXPECT_NE(rendered.find("27 sec"), std::string::npos);
+  EXPECT_NE(rendered.find("4.3 min"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, PadsColumnsToWidestCell) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"longvalue", "x"});
+  std::ostringstream oss;
+  t.Print(oss);
+  const std::string rendered = oss.str();
+  // All lines have equal length (fixed-width table).
+  std::istringstream lines(rendered);
+  std::string line;
+  size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  const std::string rendered = t.ToString();
+  // 3 columns -> 4 pipes per row, 3 rows (header, separator, one row).
+  size_t pipes = 0;
+  for (const char c : rendered) pipes += c == '|' ? 1 : 0;
+  EXPECT_EQ(pipes, 12u);
+}
+
+TEST(TablePrinterTest, EmptyTableRendersHeaderOnly) {
+  TablePrinter t({"only"});
+  const std::string rendered = t.ToString();
+  EXPECT_NE(rendered.find("only"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace psi::util

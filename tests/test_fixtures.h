@@ -1,0 +1,91 @@
+#ifndef SMARTPSI_TESTS_TEST_FIXTURES_H_
+#define SMARTPSI_TESTS_TEST_FIXTURES_H_
+
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "graph/query_graph.h"
+#include "util/random.h"
+
+namespace psi::testing {
+
+// Labels used by the paper's running examples.
+inline constexpr graph::Label kA = 0;
+inline constexpr graph::Label kB = 1;
+inline constexpr graph::Label kC = 2;
+inline constexpr graph::Label kD = 3;
+
+/// The data graph of paper Figure 1(b):
+///   u1(A)–u2(B), u1–u3(C), u1–u4(C), u1–u5(B),
+///   u2–u3, u2–u4, u5–u3, u5–u4, u6(A)–u3, u6–u5.
+/// Node ids here are zero-based: u1 -> 0, ..., u6 -> 5.
+inline graph::Graph MakeFigure1Graph() {
+  graph::GraphBuilder b;
+  const graph::NodeId u1 = b.AddNode(kA);
+  const graph::NodeId u2 = b.AddNode(kB);
+  const graph::NodeId u3 = b.AddNode(kC);
+  const graph::NodeId u4 = b.AddNode(kC);
+  const graph::NodeId u5 = b.AddNode(kB);
+  const graph::NodeId u6 = b.AddNode(kA);
+  b.AddEdge(u1, u2);
+  b.AddEdge(u1, u3);
+  b.AddEdge(u1, u4);
+  b.AddEdge(u1, u5);
+  b.AddEdge(u2, u3);
+  b.AddEdge(u2, u4);
+  b.AddEdge(u5, u3);
+  b.AddEdge(u5, u4);
+  b.AddEdge(u6, u3);
+  b.AddEdge(u6, u5);
+  return std::move(b).Build();
+}
+
+/// The triangle query S(v1, v2, v3) of Figure 1(a): v1(A)–v2(B)–v3(C)–v1,
+/// pivot v1. Its PSI answer on MakeFigure1Graph() is {u1, u6} = ids {0, 5}.
+inline graph::QueryGraph MakeFigure1Query() {
+  graph::QueryGraph q;
+  const graph::NodeId v1 = q.AddNode(kA);
+  const graph::NodeId v2 = q.AddNode(kB);
+  const graph::NodeId v3 = q.AddNode(kC);
+  q.AddEdge(v1, v2);
+  q.AddEdge(v2, v3);
+  q.AddEdge(v1, v3);
+  q.set_pivot(v1);
+  return q;
+}
+
+/// The query of paper Figure 2(a) / §3.1's matrix example:
+///   v0(A)–v1(B), v1–v2(B), v1–v3(C), v2–v3, v3–v4(D).
+/// Its matrix signatures NS^1 / NS^2 are printed in the paper and are
+/// asserted exactly in signature_test.cc.
+inline graph::QueryGraph MakeFigure2Query() {
+  graph::QueryGraph q;
+  const graph::NodeId v0 = q.AddNode(kA);
+  const graph::NodeId v1 = q.AddNode(kB);
+  const graph::NodeId v2 = q.AddNode(kB);
+  const graph::NodeId v3 = q.AddNode(kC);
+  const graph::NodeId v4 = q.AddNode(kD);
+  q.AddEdge(v0, v1);
+  q.AddEdge(v1, v2);
+  q.AddEdge(v1, v3);
+  q.AddEdge(v2, v3);
+  q.AddEdge(v3, v4);
+  q.set_pivot(v1);
+  return q;
+}
+
+/// Small labeled random graph for property tests (deterministic in `seed`).
+inline graph::Graph MakeRandomGraph(size_t nodes, size_t edges,
+                                    size_t num_labels, uint64_t seed) {
+  util::Rng rng(seed);
+  graph::LabelConfig labels;
+  labels.num_labels = num_labels;
+  labels.zipf_exponent = 0.6;
+  return graph::ErdosRenyi(nodes, edges, labels, rng);
+}
+
+}  // namespace psi::testing
+
+#endif  // SMARTPSI_TESTS_TEST_FIXTURES_H_

@@ -1,0 +1,224 @@
+// psi_query — answer pivoted subgraph isomorphism queries from the command
+// line with any of the library's evaluation strategies.
+//
+//   psi_query graph.lg --queries q.lg                       # SmartPSI
+//   psi_query graph.lg --extract 6 --count 20 --engine pessimistic
+//   psi_query graph.lg --queries q.lg --engine projection:cfl --verbose
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/pure_drivers.h"
+#include "core/smart_psi.h"
+#include "core/two_threaded.h"
+#include "signature/builders.h"
+#include "graph/graph_io.h"
+#include "graph/query_extractor.h"
+#include "match/cfl_match.h"
+#include "match/turbo_iso.h"
+#include "match/ullmann.h"
+#include "match/vf2.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace psi;
+
+void Usage() {
+  std::cerr <<
+      "Usage: psi_query <graph.lg> [options]\n"
+      "  --queries FILE    pivoted query file (t/v/e/p records)\n"
+      "  --extract N       extract random queries of N nodes instead\n"
+      "  --count K         number of extracted queries (default 10)\n"
+      "  --engine NAME     smartpsi (default) | optimistic | pessimistic |\n"
+      "                    two-threaded | turboiso+ |\n"
+      "                    projection:{basic,turboiso,cfl,ullmann,vf2}\n"
+      "  --threads N       SmartPSI worker threads (default 1)\n"
+      "  --depth D         signature depth (default 2)\n"
+      "  --timeout SEC     per-query deadline (default none)\n"
+      "  --seed S          RNG seed (default 42)\n"
+      "  --verbose         print the matched node ids\n";
+}
+
+struct QueryAnswer {
+  std::vector<graph::NodeId> valid;
+  bool complete = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argv[1][0] == '-') {
+    Usage();
+    return 2;
+  }
+  const std::string graph_path = argv[1];
+  std::map<std::string, std::string> args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key == "--verbose") {
+      args[key] = "1";
+    } else if (i + 1 < argc) {
+      args[key] = argv[++i];
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  auto get = [&](const std::string& key,
+                 const std::string& fallback) -> std::string {
+    const auto it = args.find(key);
+    return it == args.end() ? fallback : it->second;
+  };
+
+  auto loaded = graph::LoadLgFile(graph_path);
+  if (!loaded.ok()) {
+    std::cerr << loaded.status().ToString() << "\n";
+    return 1;
+  }
+  const graph::Graph g = std::move(loaded).value();
+  std::cout << "Graph: " << g.num_nodes() << " nodes, " << g.num_edges()
+            << " edges, " << g.num_labels() << " labels\n";
+
+  // --- Workload ---------------------------------------------------------
+  std::vector<graph::QueryGraph> queries;
+  if (args.count("--queries")) {
+    auto parsed = graph::LoadQueryFile(get("--queries", ""));
+    if (!parsed.ok()) {
+      std::cerr << parsed.status().ToString() << "\n";
+      return 1;
+    }
+    queries = std::move(parsed).value();
+  } else if (args.count("--extract")) {
+    const size_t size = std::strtoull(get("--extract", "5").c_str(),
+                                      nullptr, 10);
+    const size_t count = std::strtoull(get("--count", "10").c_str(),
+                                       nullptr, 10);
+    const uint64_t seed = std::strtoull(get("--seed", "42").c_str(),
+                                        nullptr, 10);
+    util::Rng rng(seed);
+    queries = graph::QueryExtractor(g).ExtractMany(size, count, rng);
+  } else {
+    Usage();
+    return 2;
+  }
+  if (queries.empty()) {
+    std::cerr << "no queries to run\n";
+    return 1;
+  }
+
+  const double timeout = std::atof(get("--timeout", "0").c_str());
+  auto deadline = [&]() {
+    return timeout > 0 ? util::Deadline::After(timeout) : util::Deadline();
+  };
+  const bool verbose = args.count("--verbose") > 0;
+  const std::string engine_name = get("--engine", "smartpsi");
+  const uint32_t depth = static_cast<uint32_t>(
+      std::strtoul(get("--depth", "2").c_str(), nullptr, 10));
+
+  // --- Engine selection ---------------------------------------------------
+  std::function<QueryAnswer(const graph::QueryGraph&)> run;
+  std::unique_ptr<core::SmartPsiEngine> smart;
+  signature::SignatureMatrix sigs;
+  std::unique_ptr<match::MatchingEngine> projector;
+  std::unique_ptr<match::TurboIsoEngine> turbo;
+  std::unique_ptr<core::TwoThreadedBaseline> two_threaded;
+
+  if (engine_name == "smartpsi") {
+    core::SmartPsiConfig config;
+    config.signature_depth = depth;
+    config.num_threads = std::strtoull(get("--threads", "1").c_str(),
+                                       nullptr, 10);
+    smart = std::make_unique<core::SmartPsiEngine>(g, config);
+    run = [&](const graph::QueryGraph& q) {
+      const auto r = smart->Evaluate(q, deadline());
+      return QueryAnswer{r.valid_nodes, r.complete};
+    };
+  } else if (engine_name == "optimistic" || engine_name == "pessimistic") {
+    sigs = signature::BuildMatrixSignatures(g, depth, g.num_labels());
+    const auto strategy = engine_name == "optimistic"
+                              ? core::PureStrategy::kOptimistic
+                              : core::PureStrategy::kPessimistic;
+    run = [&, strategy](const graph::QueryGraph& q) {
+      core::PureDriverOptions options;
+      options.strategy = strategy;
+      options.deadline = deadline();
+      const auto r = core::EvaluatePure(g, sigs, q, options);
+      return QueryAnswer{r.valid_nodes, r.complete};
+    };
+  } else if (engine_name == "two-threaded") {
+    sigs = signature::BuildMatrixSignatures(g, depth, g.num_labels());
+    two_threaded = std::make_unique<core::TwoThreadedBaseline>(g, sigs);
+    run = [&](const graph::QueryGraph& q) {
+      core::TwoThreadedBaseline::Options options;
+      options.deadline = deadline();
+      const auto r = two_threaded->Evaluate(q, options);
+      return QueryAnswer{r.valid_nodes, r.complete};
+    };
+  } else if (engine_name == "turboiso+") {
+    turbo = std::make_unique<match::TurboIsoEngine>(g);
+    run = [&](const graph::QueryGraph& q) {
+      match::MatchingEngine::Options options;
+      options.deadline = deadline();
+      const auto r = turbo->EvaluatePsi(q, options);
+      return QueryAnswer{r.valid_nodes, r.complete};
+    };
+  } else if (engine_name.rfind("projection:", 0) == 0) {
+    const std::string which = engine_name.substr(11);
+    if (which == "basic") {
+      projector = std::make_unique<match::BasicEngine>(g);
+    } else if (which == "turboiso") {
+      projector = std::make_unique<match::TurboIsoEngine>(g);
+    } else if (which == "cfl") {
+      projector = std::make_unique<match::CflMatchEngine>(g);
+    } else if (which == "ullmann") {
+      projector = std::make_unique<match::UllmannEngine>(g);
+    } else if (which == "vf2") {
+      projector = std::make_unique<match::Vf2Engine>(g);
+    } else {
+      std::cerr << "unknown projection engine: " << which << "\n";
+      return 2;
+    }
+    run = [&](const graph::QueryGraph& q) {
+      match::MatchingEngine::Options options;
+      options.deadline = deadline();
+      const auto r = projector->ProjectPivot(q, options);
+      return QueryAnswer{r.pivot_matches, r.complete};
+    };
+  } else {
+    std::cerr << "unknown engine: " << engine_name << "\n";
+    Usage();
+    return 2;
+  }
+
+  // --- Run ----------------------------------------------------------------
+  std::cout << "Engine: " << engine_name << ", " << queries.size()
+            << " queries\n";
+  util::RunningStats times;
+  size_t incomplete = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    util::WallTimer timer;
+    const QueryAnswer answer = run(queries[i]);
+    const double seconds = timer.Seconds();
+    times.Add(seconds);
+    incomplete += answer.complete ? 0 : 1;
+    std::cout << "  query " << i << ": " << answer.valid.size()
+              << " valid nodes in " << util::FormatDuration(seconds)
+              << (answer.complete ? "" : " [INCOMPLETE]");
+    if (verbose) {
+      std::cout << " ->";
+      for (const graph::NodeId u : answer.valid) std::cout << " " << u;
+    }
+    std::cout << "\n";
+  }
+  std::cout << "Total " << util::FormatDuration(times.sum()) << ", mean "
+            << util::FormatDuration(times.mean()) << ", max "
+            << util::FormatDuration(times.max());
+  if (incomplete > 0) std::cout << ", " << incomplete << " incomplete";
+  std::cout << "\n";
+  return 0;
+}
