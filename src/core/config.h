@@ -55,6 +55,14 @@ struct SmartPsiConfig {
   bool enable_plan_model = true;
   /// Enable the signature-keyed prediction cache (paper §4.2.3).
   bool enable_cache = true;
+  /// Key cache entries by (query fingerprint, node signature) and derive
+  /// the plan pool deterministically from the query instead of the engine's
+  /// evolving RNG state. Required when a cache is shared across queries of
+  /// different shapes (the service layer): a node's confirmed type and best
+  /// plan are only meaningful relative to one query, and plan indices only
+  /// relative to one plan pool. Off by default — the single-engine batch
+  /// behaviour keys by node signature alone.
+  bool query_keyed_cache = false;
   /// Enable the 3-state detection-and-recovery executor (paper §4.3);
   /// disabled, mispredictions simply run to completion.
   bool enable_preemption = true;

@@ -7,7 +7,11 @@ std::optional<PredictionCache::Entry> PredictionCache::Lookup(
   const Shard& shard = shards_[ShardIndex(signature_hash)];
   std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.entries.find(signature_hash);
-  if (it == shard.entries.end()) return std::nullopt;
+  if (it == shard.entries.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
   return it->second;
 }
 
@@ -15,6 +19,7 @@ void PredictionCache::Insert(uint64_t signature_hash, Entry entry) {
   Shard& shard = shards_[ShardIndex(signature_hash)];
   std::lock_guard<std::mutex> lock(shard.mutex);
   shard.entries[signature_hash] = entry;
+  ++shard.inserts;
 }
 
 size_t PredictionCache::size() const {
@@ -22,6 +27,17 @@ size_t PredictionCache::size() const {
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     total += shard.entries.size();
+  }
+  return total;
+}
+
+PredictionCache::Counters PredictionCache::counters() const {
+  Counters total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.inserts += shard.inserts;
   }
   return total;
 }

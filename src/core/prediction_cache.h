@@ -30,6 +30,23 @@ class PredictionCache {
     uint32_t plan_index;
   };
 
+  /// Monotonic usage counters, aggregated across shards. A consistent
+  /// per-shard view is taken under the shard lock; the totals may mix
+  /// slightly different instants across shards, which is fine for
+  /// monitoring.
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+
+    double HitRate() const {
+      const uint64_t lookups = hits + misses;
+      return lookups == 0
+                 ? 0.0
+                 : static_cast<double>(hits) / static_cast<double>(lookups);
+    }
+  };
+
   /// Returns the cached decision for a signature hash, if any.
   std::optional<Entry> Lookup(uint64_t signature_hash) const;
 
@@ -39,12 +56,21 @@ class PredictionCache {
   size_t size() const;
   void Clear();
 
+  /// Snapshot of hit/miss/insert counters since construction (Clear() does
+  /// not reset them; they describe traffic, not contents).
+  Counters counters() const;
+
  private:
   static constexpr size_t kShards = 16;
 
   struct Shard {
     mutable std::mutex mutex;
     std::unordered_map<uint64_t, Entry> entries;
+    // Plain integers bumped under the shard lock already held for the map
+    // operation itself — no extra synchronization on the fast path.
+    mutable uint64_t hits = 0;
+    mutable uint64_t misses = 0;
+    uint64_t inserts = 0;
   };
 
   /// The low bits feed unordered_map's bucketing; shard on high bits so the

@@ -29,6 +29,13 @@ PureDriverResult EvaluatePure(const graph::Graph& g,
   eval_options.stop = options.stop;
 
   for (const graph::NodeId u : ctx.candidates) {
+    // Poll between candidates: the evaluator only checks every
+    // kCheckInterval steps, so small searches finish between polls and an
+    // expired deadline could otherwise start every remaining candidate.
+    if (options.deadline.Expired() || options.stop.StopRequested()) {
+      result.complete = false;
+      break;
+    }
     match::Outcome outcome;
     if (options.strategy == PureStrategy::kOptimistic) {
       outcome = evaluator.EvaluateNodeOptimisticStrategy(u, eval_options,

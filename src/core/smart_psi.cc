@@ -27,10 +27,11 @@ using match::PsiMode;
 /// full optimistic strategy (super-optimistic pass + complete fallback).
 Outcome RunMethod(PsiEvaluator& evaluator, graph::NodeId node, bool optimistic,
                   size_t super_limit, util::Deadline deadline,
-                  match::SearchStats* stats) {
+                  util::StopToken stop, match::SearchStats* stats) {
   PsiEvaluator::Options options;
   options.super_optimistic_limit = super_limit;
   options.deadline = deadline;
+  options.stop = stop;
   if (optimistic) {
     return evaluator.EvaluateNodeOptimisticStrategy(node, options, stats);
   }
@@ -95,20 +96,43 @@ SmartPsiEngine::SmartPsiEngine(const graph::Graph& g,
   graph_sigs_ = std::move(graph_sigs);
 }
 
+SmartPsiEngine::SmartPsiEngine(const graph::Graph& g,
+                               const signature::SignatureMatrix* shared_sigs,
+                               SmartPsiConfig config)
+    : graph_(g), config_(config), sigs_view_(shared_sigs), rng_(config.seed) {
+  assert(shared_sigs != nullptr);
+  assert(shared_sigs->num_rows() == g.num_nodes());
+  assert(shared_sigs->num_labels() >= g.num_labels());
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
+  }
+  config_.signature_method = shared_sigs->method();
+  config_.signature_depth = shared_sigs->depth();
+  config_.signature_decay = shared_sigs->decay();
+}
+
 PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
-                                        util::Deadline deadline) {
+                                        util::Deadline deadline,
+                                        util::StopToken stop) {
   assert(q.has_pivot());
   util::WallTimer total_timer;
   PsiQueryResult result;
 
-  const QueryContext ctx = PrepareQuery(graph_, graph_sigs_, q);
+  const QueryContext ctx = PrepareQuery(graph_, sigs(), q);
   result.num_candidates = ctx.candidates.size();
   if (!ctx.feasible || ctx.candidates.empty()) {
     result.total_seconds = total_timer.Seconds();
     return result;
   }
 
-  util::Rng rng = rng_.Fork();
+  // With a query-keyed cache the plan pool (and training sample) must be a
+  // pure function of (engine seed, query): cached plan indices written by
+  // one engine are then valid for every engine sharing the cache.
+  const uint64_t query_salt =
+      config_.query_keyed_cache ? q.Fingerprint() : 0;
+  util::Rng rng = config_.query_keyed_cache
+                      ? util::Rng(config_.seed ^ query_salt)
+                      : rng_.Fork();
   const std::vector<match::Plan> plan_pool = match::SamplePlanPool(
       q, graph_, q.pivot(), std::max<size_t>(1, config_.plan_pool_size), rng);
   const size_t num_plans = plan_pool.size();
@@ -154,12 +178,19 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
   // ---------------------------------------------------------------------
   if (candidates.size() < config_.min_candidates_for_ml) {
     util::WallTimer eval_timer;
-    PsiEvaluator evaluator(graph_, graph_sigs_);
+    PsiEvaluator evaluator(graph_, sigs());
     evaluator.BindQuery(q, ctx.query_sigs, plan_pool[0]);
     for (const graph::NodeId u : candidates) {
+      // Same rationale as the phase-2 loop below: poll between candidates
+      // so small searches cannot slip past an expired deadline.
+      if (deadline.Expired() || stop.StopRequested()) {
+        result.complete = false;
+        break;
+      }
       const Outcome outcome =
           RunMethod(evaluator, u, /*optimistic=*/false,
-                    config_.super_optimistic_limit, deadline, &result.search);
+                    config_.super_optimistic_limit, deadline, stop,
+                    &result.search);
       if (outcome == Outcome::kValid) {
         result.valid_nodes.push_back(u);
       } else if (outcome != Outcome::kInvalid) {
@@ -189,7 +220,7 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
   for (const size_t i : train_indices) is_training[i] = 1;
   result.num_training_nodes = train_indices.size();
 
-  const size_t num_features = graph_sigs_.num_labels();
+  const size_t num_features = sigs().num_labels();
   ml::Dataset alpha_data(num_features);
   ml::Dataset beta_data(num_features);
   alpha_data.Reserve(train_indices.size());
@@ -197,7 +228,7 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
   std::vector<util::RunningStats> plan_times(num_plans);
   util::RunningStats all_times;
 
-  PsiEvaluator trainer(graph_, graph_sigs_);
+  PsiEvaluator trainer(graph_, sigs());
   bool training_aborted = false;
   for (const size_t idx : train_indices) {
     const graph::NodeId u = candidates[idx];
@@ -220,7 +251,7 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
         util::WallTimer plan_timer;
         const Outcome outcome = RunMethod(
             trainer, u, /*optimistic=*/false, config_.super_optimistic_limit,
-            MinDeadline(util::Deadline::After(budget), deadline),
+            MinDeadline(util::Deadline::After(budget), deadline), stop,
             &result.search);
         const double seconds = plan_timer.Seconds();
         if (outcome == Outcome::kValid || outcome == Outcome::kInvalid) {
@@ -235,7 +266,7 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
         }
       }
       limit *= config_.plan_time_limit_growth;
-      if (deadline.Expired()) break;
+      if (deadline.Expired() || stop.StopRequested()) break;
     }
     if (!decided) {
       // No plan finished under any limit: heuristic plan, no plan budget.
@@ -243,7 +274,8 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
       util::WallTimer plan_timer;
       const Outcome outcome =
           RunMethod(trainer, u, /*optimistic=*/false,
-                    config_.super_optimistic_limit, deadline, &result.search);
+                    config_.super_optimistic_limit, deadline, stop,
+                    &result.search);
       if (outcome == Outcome::kValid || outcome == Outcome::kInvalid) {
         plan_times[0].Add(plan_timer.Seconds());
         all_times.Add(plan_timer.Seconds());
@@ -258,13 +290,13 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
       }
     }
 
-    const auto row = graph_sigs_.row(u);
+    const auto row = sigs().row(u);
     alpha_data.AddExample(row, node_valid ? 1 : 0);
     beta_data.AddExample(row, best_plan);
     if (node_valid) result.valid_nodes.push_back(u);
     if (config_.enable_cache) {
-      cache_.Insert(signature::HashSignature(row),
-                    {node_valid, static_cast<uint32_t>(best_plan)});
+      active_cache_->Insert(signature::HashSignature(row) ^ query_salt,
+                            {node_valid, static_cast<uint32_t>(best_plan)});
     }
   }
 
@@ -306,20 +338,29 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
 
   std::atomic<bool> global_incomplete{false};
   auto evaluate_range = [&](size_t begin, size_t end, WorkerState& ws) {
-    PsiEvaluator evaluator(graph_, graph_sigs_);
+    PsiEvaluator evaluator(graph_, sigs());
     for (size_t r = begin; r < end; ++r) {
       if (global_incomplete.load(std::memory_order_relaxed)) return;
+      // Check before starting a candidate, not only inside the search (which
+      // polls every kCheckInterval steps): small searches finish between
+      // polls, so without this an expired deadline could still start every
+      // remaining candidate and overrun its budget unboundedly.
+      if (deadline.Expired() || stop.StopRequested()) {
+        ws.incomplete = true;
+        global_incomplete.store(true, std::memory_order_relaxed);
+        return;
+      }
       const graph::NodeId u = candidates[remaining[r]];
-      const auto row = graph_sigs_.row(u);
+      const auto row = sigs().row(u);
 
       // --- Prediction (cache, then models) --------------------------
       util::WallTimer predict_timer;
       bool predicted_valid = false;
       uint32_t plan_index = 0;
       bool from_cache = false;
-      const uint64_t hash = signature::HashSignature(row);
+      const uint64_t hash = signature::HashSignature(row) ^ query_salt;
       if (config_.enable_cache) {
-        if (const auto entry = cache_.Lookup(hash)) {
+        if (const auto entry = active_cache_->Lookup(hash)) {
           predicted_valid = entry->valid;
           plan_index = std::min<uint32_t>(entry->plan_index,
                                           static_cast<uint32_t>(num_plans -
@@ -349,7 +390,7 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
                             config_.super_optimistic_limit,
                             MinDeadline(util::Deadline::After(max_time),
                                         deadline),
-                            &ws.stats);
+                            stop, &ws.stats);
         if (outcome == Outcome::kTimeout && !deadline.Expired()) {
           // State 2: opposite method, restarted, still limited — recovers
           // from Model α mispredictions.
@@ -358,7 +399,7 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
                               config_.super_optimistic_limit,
                               MinDeadline(util::Deadline::After(max_time),
                                           deadline),
-                              &ws.stats);
+                              stop, &ws.stats);
         }
         if (outcome == Outcome::kTimeout && !deadline.Expired()) {
           // State 3: predicted method + heuristic plan, no MaxTime —
@@ -368,16 +409,16 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
           evaluator.BindQuery(q, ctx.query_sigs, plan_pool[0]);
           outcome = RunMethod(evaluator, u, predicted_valid,
                               config_.super_optimistic_limit, deadline,
-                              &ws.stats);
+                              stop, &ws.stats);
         }
       } else {
         outcome = RunMethod(evaluator, u, predicted_valid,
                             config_.super_optimistic_limit, deadline,
-                            &ws.stats);
+                            stop, &ws.stats);
       }
 
       if (outcome != Outcome::kValid && outcome != Outcome::kInvalid) {
-        // Only the query deadline can get us here.
+        // Only the query deadline or a cancellation can get us here.
         ws.incomplete = true;
         global_incomplete.store(true, std::memory_order_relaxed);
         return;
@@ -389,7 +430,7 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
         if (predicted_valid == actual_valid) ++ws.alpha_correct;
       }
       if (config_.enable_cache) {
-        cache_.Insert(hash, {actual_valid, completed_plan});
+        active_cache_->Insert(hash, {actual_valid, completed_plan});
       }
     }
   };

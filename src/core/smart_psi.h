@@ -12,6 +12,7 @@
 #include "graph/query_graph.h"
 #include "signature/signature_matrix.h"
 #include "util/random.h"
+#include "util/stop_token.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -54,13 +55,25 @@ class SmartPsiEngine {
   SmartPsiEngine(const graph::Graph& g, signature::SignatureMatrix graph_sigs,
                  SmartPsiConfig config = SmartPsiConfig());
 
+  /// Shares caller-owned precomputed signatures without copying them — the
+  /// constructor a query service uses to fan one matrix out to many
+  /// per-worker engines. `shared_sigs` must outlive the engine and satisfy
+  /// the same shape requirements as the adopting constructor; the config's
+  /// signature method/depth/decay are overridden from the matrix metadata.
+  SmartPsiEngine(const graph::Graph& g,
+                 const signature::SignatureMatrix* shared_sigs,
+                 SmartPsiConfig config = SmartPsiConfig());
+
   /// Evaluates one pivoted query. `deadline` bounds the whole call; on
-  /// expiry the result is marked incomplete.
+  /// expiry the result is marked incomplete. `stop` cancels cooperatively
+  /// (service shutdown, caller abandonment) — the result is then also
+  /// marked incomplete.
   PsiQueryResult Evaluate(const graph::QueryGraph& q,
-                          util::Deadline deadline = util::Deadline());
+                          util::Deadline deadline = util::Deadline(),
+                          util::StopToken stop = util::StopToken());
 
   const signature::SignatureMatrix& graph_signatures() const {
-    return graph_sigs_;
+    return *sigs_view_;
   }
   const SmartPsiConfig& config() const { return config_; }
   const graph::Graph& graph() const { return graph_; }
@@ -68,19 +81,32 @@ class SmartPsiEngine {
   /// Seconds spent building the graph signatures at construction.
   double signature_build_seconds() const { return signature_build_seconds_; }
 
+  /// Routes prediction-cache traffic to a caller-owned cache shared across
+  /// engines (the query service's amortizable state) instead of the
+  /// engine-private one. Pass nullptr to revert to the private cache. The
+  /// shared cache must outlive the engine; set config.query_keyed_cache so
+  /// entries from different query shapes do not pollute each other.
+  void UseSharedCache(PredictionCache* cache) {
+    active_cache_ = cache != nullptr ? cache : &cache_;
+  }
+
   /// Drops all cached predictions (e.g., between unrelated query batches).
-  void ClearCache() { cache_.Clear(); }
+  void ClearCache() { active_cache_->Clear(); }
 
  private:
   /// Lazily computed equivalence partition (exploit_equivalence only).
   const graph::EquivalenceClasses& EquivalencePartition();
 
+  const signature::SignatureMatrix& sigs() const { return *sigs_view_; }
+
   const graph::Graph& graph_;
   SmartPsiConfig config_;
   std::unique_ptr<util::ThreadPool> pool_;  // null when num_threads <= 1
-  signature::SignatureMatrix graph_sigs_;
+  signature::SignatureMatrix graph_sigs_;  // empty when signatures are shared
+  const signature::SignatureMatrix* sigs_view_ = &graph_sigs_;
   double signature_build_seconds_ = 0.0;
   PredictionCache cache_;
+  PredictionCache* active_cache_ = &cache_;
   std::unique_ptr<graph::EquivalenceClasses> equivalence_;
   util::Rng rng_;
 };

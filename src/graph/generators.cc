@@ -174,13 +174,16 @@ Graph RelabelWithHomophily(const Graph& g, double strength, size_t sweeps,
   std::vector<Label> labels(g.num_nodes());
   for (NodeId u = 0; u < g.num_nodes(); ++u) labels[u] = g.label(u);
   for (size_t sweep = 0; sweep < sweeps; ++sweep) {
-    // Snapshot semantics per sweep: all adoptions read the previous
-    // labeling, so the result is order-independent.
-    const std::vector<Label> previous = labels;
+    // Asynchronous (in-place) label propagation: each adoption reads the
+    // *current* labeling, so an adopting node is guaranteed to match the
+    // sampled neighbor afterwards and label regions can cascade within one
+    // sweep. Snapshot semantics mix far too slowly on clustering-free
+    // random graphs (both endpoints resample simultaneously, so an edge
+    // only becomes monochromatic by coincidence).
     for (NodeId u = 0; u < g.num_nodes(); ++u) {
       const auto nbrs = g.neighbors(u);
       if (nbrs.empty() || !rng.NextBool(strength)) continue;
-      labels[u] = previous[nbrs[rng.NextBounded(nbrs.size())]];
+      labels[u] = labels[nbrs[rng.NextBounded(nbrs.size())]];
     }
   }
 

@@ -59,6 +59,28 @@ size_t QueryGraph::max_label_plus_one() const {
   return result;
 }
 
+uint64_t QueryGraph::Fingerprint() const {
+  // SplitMix64-style accumulation: absorb one 64-bit word per fact.
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  auto absorb = [&h](uint64_t x) {
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+  };
+  absorb(labels_.size());
+  for (const Label l : labels_) absorb(l);
+  for (size_t v = 0; v < labels_.size(); ++v) {
+    for (const auto& [nbr, label] : adjacency_[v]) {
+      if (v < nbr) {
+        absorb((static_cast<uint64_t>(v) << 32) | nbr);
+        absorb(label);
+      }
+    }
+  }
+  absorb(static_cast<uint64_t>(pivot_) + 1);
+  return h;
+}
+
 std::string QueryGraph::ToString() const {
   std::ostringstream oss;
   oss << "Q(";

@@ -64,6 +64,13 @@ class QueryGraph {
   /// Human-readable dump: "Q(pivot=0) 0:A 1:B ; 0-1:x ...".
   std::string ToString() const;
 
+  /// Order-sensitive structural hash over labels, edges (with edge labels)
+  /// and the pivot. Two equal queries always hash equally; isomorphic but
+  /// differently-numbered queries generally do not (this is a cache key,
+  /// not a canonical form). Used to partition the service's shared
+  /// prediction cache by query.
+  uint64_t Fingerprint() const;
+
  private:
   size_t num_edges_ = 0;
   std::vector<Label> labels_;

@@ -1,0 +1,113 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/stats.h"
+
+namespace psi::service {
+
+LatencyReservoir::LatencyReservoir(size_t capacity)
+    : slots_(std::max<size_t>(1, capacity)) {
+  for (auto& slot : slots_) slot.store(0.0, std::memory_order_relaxed);
+}
+
+void LatencyReservoir::Record(double seconds) {
+  const uint64_t i = count_.fetch_add(1, std::memory_order_relaxed);
+  slots_[i % slots_.size()].store(seconds, std::memory_order_relaxed);
+}
+
+LatencyReservoir::Summary LatencyReservoir::Summarize() const {
+  Summary s;
+  s.count = count_.load(std::memory_order_relaxed);
+  const size_t n =
+      static_cast<size_t>(std::min<uint64_t>(s.count, slots_.size()));
+  if (n == 0) return s;
+  // Concurrent writers may overwrite slots while we copy; each slot read is
+  // atomic, so the window is merely fuzzy at the edges, never torn.
+  std::vector<double> window(n);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    window[i] = slots_[i].load(std::memory_order_relaxed);
+    sum += window[i];
+    s.max = std::max(s.max, window[i]);
+  }
+  s.mean = sum / static_cast<double>(n);
+  std::sort(window.begin(), window.end());
+  auto at = [&](double q) {
+    const double pos = q * static_cast<double>(n - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(n - 1, lo + 1);
+    const double frac = pos - static_cast<double>(lo);
+    return window[lo] * (1.0 - frac) + window[hi] * frac;
+  };
+  s.p50 = at(0.50);
+  s.p95 = at(0.95);
+  s.p99 = at(0.99);
+  return s;
+}
+
+void MetricsRegistry::RecordOutcome(const QueryResponse& response,
+                                    uint64_t method_recoveries,
+                                    uint64_t plan_fallbacks) {
+  switch (response.status) {
+    case RequestStatus::kOk:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestStatus::kTimeout:
+      timed_out_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestStatus::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestStatus::kInvalid:
+      invalid_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestStatus::kRejected:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return;  // never admitted: no latency, no engine work
+  }
+  cache_hits_.fetch_add(response.cache_hits, std::memory_order_relaxed);
+  method_recoveries_.fetch_add(method_recoveries, std::memory_order_relaxed);
+  plan_fallbacks_.fetch_add(plan_fallbacks, std::memory_order_relaxed);
+  candidates_evaluated_.fetch_add(response.num_candidates,
+                                  std::memory_order_relaxed);
+  latencies_.Record(response.latency_seconds);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot s;
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.timed_out = timed_out_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.invalid = invalid_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.method_recoveries = method_recoveries_.load(std::memory_order_relaxed);
+  s.plan_fallbacks = plan_fallbacks_.load(std::memory_order_relaxed);
+  s.candidates_evaluated =
+      candidates_evaluated_.load(std::memory_order_relaxed);
+  s.latency = latencies_.Summarize();
+  return s;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::ostringstream oss;
+  oss << "requests: admitted=" << admitted << " rejected=" << rejected
+      << " completed=" << completed << " timed_out=" << timed_out
+      << " cancelled=" << cancelled << " invalid=" << invalid << "\n"
+      << "engine: cache_hits=" << cache_hits
+      << " method_recoveries=" << method_recoveries
+      << " plan_fallbacks=" << plan_fallbacks
+      << " candidates=" << candidates_evaluated << "\n"
+      << "latency (" << latency.count
+      << " samples): mean=" << util::FormatDuration(latency.mean)
+      << " p50=" << util::FormatDuration(latency.p50)
+      << " p95=" << util::FormatDuration(latency.p95)
+      << " p99=" << util::FormatDuration(latency.p99)
+      << " max=" << util::FormatDuration(latency.max);
+  return oss.str();
+}
+
+}  // namespace psi::service

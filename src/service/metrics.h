@@ -1,0 +1,108 @@
+#ifndef SMARTPSI_SERVICE_METRICS_H_
+#define SMARTPSI_SERVICE_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/request.h"
+
+namespace psi::service {
+
+/// Lock-free fixed-capacity sample ring for latency observations. Writers
+/// claim a slot with one fetch_add and store with one relaxed atomic write,
+/// so the request hot path never takes a lock; once full, the ring keeps a
+/// sliding window of the most recent `capacity` samples. Summarize() copies
+/// the window and computes order statistics — a read-side cost only.
+class LatencyReservoir {
+ public:
+  explicit LatencyReservoir(size_t capacity = kDefaultCapacity);
+
+  void Record(double seconds);
+
+  struct Summary {
+    /// Total observations ever recorded (not capped by capacity).
+    uint64_t count = 0;
+    // Statistics over the retained window:
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+  };
+
+  Summary Summarize() const;
+
+  static constexpr size_t kDefaultCapacity = 8192;
+
+ private:
+  std::vector<std::atomic<double>> slots_;
+  std::atomic<uint64_t> count_{0};
+};
+
+/// Point-in-time copy of every service counter, cheap to pass around and
+/// print. Counters are monotonic since service construction.
+struct MetricsSnapshot {
+  // Admission.
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;  // shed at the queue bound
+
+  // Terminal states of admitted requests.
+  uint64_t completed = 0;
+  uint64_t timed_out = 0;
+  uint64_t cancelled = 0;
+  uint64_t invalid = 0;
+
+  // Engine-side work, aggregated across requests.
+  uint64_t cache_hits = 0;
+  uint64_t method_recoveries = 0;  // preemptive executor state-2 switches
+  uint64_t plan_fallbacks = 0;     // preemptive executor state-3 fallbacks
+  uint64_t candidates_evaluated = 0;
+
+  LatencyReservoir::Summary latency;
+
+  /// Terminal events recorded so far (== admitted once the queue drains).
+  uint64_t Settled() const {
+    return completed + timed_out + cancelled + invalid;
+  }
+
+  /// Multi-line human-readable dump for tools.
+  std::string ToString() const;
+};
+
+/// Thread-safe service instrumentation: atomic counters plus a lock-free
+/// latency reservoir. One instance is shared by every worker; all methods
+/// are safe for concurrent use.
+class MetricsRegistry {
+ public:
+  void RecordRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordAdmitted() { admitted_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Records a terminal response (status bucket + engine counters +
+  /// latency). kRejected responses route to RecordRejected's counter and
+  /// record no latency — they were never admitted.
+  void RecordOutcome(const QueryResponse& response,
+                     uint64_t method_recoveries = 0,
+                     uint64_t plan_fallbacks = 0);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> timed_out_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> invalid_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> method_recoveries_{0};
+  std::atomic<uint64_t> plan_fallbacks_{0};
+  std::atomic<uint64_t> candidates_evaluated_{0};
+  LatencyReservoir latencies_;
+};
+
+}  // namespace psi::service
+
+#endif  // SMARTPSI_SERVICE_METRICS_H_

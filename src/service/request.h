@@ -1,0 +1,105 @@
+#ifndef SMARTPSI_SERVICE_REQUEST_H_
+#define SMARTPSI_SERVICE_REQUEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/query_graph.h"
+#include "graph/types.h"
+
+namespace psi::service {
+
+/// Which evaluation strategy a request runs under. kSmart is the Realist
+/// (SmartPSI with models, cache and preemptive executor); the pure methods
+/// bypass ML entirely and exist for per-request overrides and A/B traffic.
+enum class Method {
+  kSmart,
+  kOptimistic,
+  kPessimistic,
+};
+
+const char* MethodName(Method m);
+
+/// One unit of service work: a pivoted query plus per-request policy.
+struct QueryRequest {
+  /// Caller-chosen correlation id; 0 lets the service assign one.
+  uint64_t id = 0;
+
+  graph::QueryGraph query;
+
+  /// Per-request execution budget in seconds measured from admission;
+  /// <= 0 falls back to the service default (which may be "none").
+  double deadline_seconds = 0.0;
+
+  Method method = Method::kSmart;
+};
+
+/// Terminal state of a request.
+enum class RequestStatus {
+  /// Complete, exact answer.
+  kOk,
+  /// Deadline expired mid-evaluation; valid_nodes is a subset of the true
+  /// answer (PSI degrades gracefully — partial answers are still sound).
+  kTimeout,
+  /// The service shut down before or during evaluation.
+  kCancelled,
+  /// Shed at admission because the queue was at its bound; never executed.
+  kRejected,
+  /// Malformed request (empty query or missing pivot).
+  kInvalid,
+};
+
+const char* RequestStatusName(RequestStatus s);
+
+struct QueryResponse {
+  uint64_t id = 0;
+  RequestStatus status = RequestStatus::kOk;
+
+  /// Distinct data nodes binding to the pivot, sorted ascending. Complete
+  /// iff status == kOk.
+  std::vector<graph::NodeId> valid_nodes;
+
+  size_t num_candidates = 0;
+  size_t cache_hits = 0;
+
+  /// Admission-to-completion latency (queue wait + execution) — the number
+  /// a caller experiences and the one the tail-latency metrics track.
+  double latency_seconds = 0.0;
+  /// Execution time alone.
+  double exec_seconds = 0.0;
+
+  bool ok() const { return status == RequestStatus::kOk; }
+};
+
+inline const char* MethodName(Method m) {
+  switch (m) {
+    case Method::kSmart:
+      return "smart";
+    case Method::kOptimistic:
+      return "optimistic";
+    case Method::kPessimistic:
+      return "pessimistic";
+  }
+  return "unknown";
+}
+
+inline const char* RequestStatusName(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kOk:
+      return "ok";
+    case RequestStatus::kTimeout:
+      return "timeout";
+    case RequestStatus::kCancelled:
+      return "cancelled";
+    case RequestStatus::kRejected:
+      return "rejected";
+    case RequestStatus::kInvalid:
+      return "invalid";
+  }
+  return "unknown";
+}
+
+}  // namespace psi::service
+
+#endif  // SMARTPSI_SERVICE_REQUEST_H_

@@ -1,0 +1,185 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "core/pure_drivers.h"
+#include "signature/builders.h"
+
+namespace psi::service {
+
+PsiService::PsiService(const graph::Graph& g, ServiceOptions options)
+    : graph_(g), options_(options) {
+  options_.num_workers = std::max<size_t>(1, options_.num_workers);
+  pool_ = std::make_unique<util::ThreadPool>(options_.num_workers);
+  util::WallTimer timer;
+  graph_sigs_ = signature::BuildSignatures(
+      g, options_.engine.signature_method, options_.engine.signature_depth,
+      g.num_labels(), pool_.get(), options_.engine.signature_decay);
+  signature_build_seconds_ = timer.Seconds();
+  StartWorkers();
+}
+
+PsiService::PsiService(const graph::Graph& g,
+                       signature::SignatureMatrix graph_sigs,
+                       ServiceOptions options)
+    : graph_(g), options_(options), graph_sigs_(std::move(graph_sigs)) {
+  assert(graph_sigs_.num_rows() == g.num_nodes());
+  options_.num_workers = std::max<size_t>(1, options_.num_workers);
+  pool_ = std::make_unique<util::ThreadPool>(options_.num_workers);
+  StartWorkers();
+}
+
+void PsiService::StartWorkers() {
+  // One engine per worker: engines are not safe for concurrent Evaluate()
+  // calls, so the pool's width caps how many are ever checked out at once.
+  core::SmartPsiConfig config = options_.engine;
+  config.num_threads = 1;
+  config.query_keyed_cache = true;
+  options_.engine = config;
+  engines_.reserve(options_.num_workers);
+  free_engines_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    // Same seed everywhere: with query_keyed_cache every engine derives an
+    // identical plan pool for a given query, so cached plan indices written
+    // by one worker mean the same thing to all others.
+    engines_.push_back(
+        std::make_unique<core::SmartPsiEngine>(graph_, &graph_sigs_, config));
+    engines_.back()->UseSharedCache(&shared_cache_);
+    free_engines_.push_back(engines_.back().get());
+  }
+}
+
+PsiService::~PsiService() { Shutdown(); }
+
+void PsiService::Shutdown() {
+  accepting_.store(false, std::memory_order_relaxed);
+  shutdown_.RequestStop();
+  pool_->Wait();
+}
+
+core::SmartPsiEngine* PsiService::CheckoutEngine() {
+  std::lock_guard<std::mutex> lock(engines_mutex_);
+  assert(!free_engines_.empty() && "more checkouts than pool workers");
+  core::SmartPsiEngine* engine = free_engines_.back();
+  free_engines_.pop_back();
+  return engine;
+}
+
+void PsiService::ReturnEngine(core::SmartPsiEngine* engine) {
+  std::lock_guard<std::mutex> lock(engines_mutex_);
+  free_engines_.push_back(engine);
+}
+
+std::optional<std::future<QueryResponse>> PsiService::Submit(
+    QueryRequest request) {
+  if (!accepting_.load(std::memory_order_relaxed)) {
+    metrics_.RecordRejected();
+    return std::nullopt;
+  }
+  if (request.id == 0) {
+    request.id = next_auto_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The admission timer starts now so the recorded latency includes queue
+  // wait — the delay a caller actually experiences.
+  util::WallTimer admission_timer;
+  auto promise = std::make_shared<std::promise<QueryResponse>>();
+  std::future<QueryResponse> future = promise->get_future();
+  const bool admitted = pool_->TrySubmit(
+      [this, request = std::move(request), promise, admission_timer]() mutable {
+        promise->set_value(Run(std::move(request), admission_timer));
+      },
+      options_.max_queue_depth);
+  if (!admitted) {
+    metrics_.RecordRejected();
+    return std::nullopt;
+  }
+  metrics_.RecordAdmitted();
+  return future;
+}
+
+QueryResponse PsiService::Execute(QueryRequest request) {
+  const uint64_t id = request.id;
+  std::optional<std::future<QueryResponse>> future = Submit(std::move(request));
+  if (!future.has_value()) {
+    QueryResponse response;
+    response.id = id;
+    response.status = RequestStatus::kRejected;
+    return response;
+  }
+  return future->get();
+}
+
+QueryResponse PsiService::Run(QueryRequest request,
+                              util::WallTimer admission_timer) {
+  QueryResponse response;
+  response.id = request.id;
+  uint64_t method_recoveries = 0;
+  uint64_t plan_fallbacks = 0;
+  util::WallTimer exec_timer;
+
+  if (request.query.num_nodes() == 0 || !request.query.has_pivot()) {
+    response.status = RequestStatus::kInvalid;
+  } else if (shutdown_.StopRequested()) {
+    response.status = RequestStatus::kCancelled;
+  } else {
+    const double limit = request.deadline_seconds > 0.0
+                             ? request.deadline_seconds
+                             : options_.default_deadline_seconds;
+    const util::Deadline deadline =
+        limit > 0.0 ? util::Deadline::After(limit) : util::Deadline();
+    const util::StopToken stop(&shutdown_);
+
+    bool complete = true;
+    if (request.method == Method::kSmart) {
+      core::SmartPsiEngine* engine = CheckoutEngine();
+      core::PsiQueryResult result =
+          engine->Evaluate(request.query, deadline, stop);
+      ReturnEngine(engine);
+      response.valid_nodes = std::move(result.valid_nodes);
+      response.num_candidates = result.num_candidates;
+      response.cache_hits = result.cache_hits;
+      method_recoveries = result.method_recoveries;
+      plan_fallbacks = result.plan_fallbacks;
+      complete = result.complete;
+    } else {
+      core::PureDriverOptions pure;
+      pure.strategy = request.method == Method::kOptimistic
+                          ? core::PureStrategy::kOptimistic
+                          : core::PureStrategy::kPessimistic;
+      pure.deadline = deadline;
+      pure.stop = stop;
+      core::PureDriverResult result =
+          core::EvaluatePure(graph_, graph_sigs_, request.query, pure);
+      response.valid_nodes = std::move(result.valid_nodes);
+      complete = result.complete;
+    }
+    if (complete) {
+      response.status = RequestStatus::kOk;
+    } else if (shutdown_.StopRequested()) {
+      response.status = RequestStatus::kCancelled;
+    } else {
+      response.status = RequestStatus::kTimeout;
+    }
+  }
+
+  response.exec_seconds = exec_timer.Seconds();
+  response.latency_seconds = admission_timer.Seconds();
+  metrics_.RecordOutcome(response, method_recoveries, plan_fallbacks);
+  return response;
+}
+
+ServiceStats PsiService::Stats() const {
+  ServiceStats stats;
+  stats.metrics = metrics_.Snapshot();
+  stats.cache = shared_cache_.counters();
+  stats.cache_entries = shared_cache_.size();
+  stats.queue_depth = pool_->queue_depth();
+  stats.num_workers = options_.num_workers;
+  stats.signature_build_seconds = signature_build_seconds_;
+  stats.uptime_seconds = uptime_.Seconds();
+  return stats;
+}
+
+}  // namespace psi::service

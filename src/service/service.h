@@ -1,0 +1,141 @@
+#ifndef SMARTPSI_SERVICE_SERVICE_H_
+#define SMARTPSI_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "core/prediction_cache.h"
+#include "core/smart_psi.h"
+#include "graph/graph.h"
+#include "service/metrics.h"
+#include "service/request.h"
+#include "signature/signature_matrix.h"
+#include "util/stop_token.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace psi::service {
+
+struct ServiceOptions {
+  /// Concurrent query executions. Each worker owns one single-threaded
+  /// SmartPsiEngine; cross-query parallelism replaces the engine's internal
+  /// within-query parallelism.
+  size_t num_workers = 4;
+
+  /// Admission bound: requests arriving while this many are already queued
+  /// (excluding the ones executing) are shed with kRejected instead of
+  /// buffered — bounded memory and bounded queue delay under overload.
+  size_t max_queue_depth = 256;
+
+  /// Applied when a request carries no deadline of its own; <= 0 means
+  /// unbounded execution.
+  double default_deadline_seconds = 0.0;
+
+  /// Per-worker engine tuning. num_threads is forced to 1 and
+  /// query_keyed_cache to true regardless of what is set here (the service
+  /// owns parallelism and shares one cache across query shapes).
+  core::SmartPsiConfig engine;
+};
+
+/// Point-in-time service health: request metrics plus the shared-state
+/// gauges that only the service can see.
+struct ServiceStats {
+  MetricsSnapshot metrics;
+  core::PredictionCache::Counters cache;
+  size_t cache_entries = 0;
+  size_t queue_depth = 0;
+  size_t num_workers = 0;
+  double signature_build_seconds = 0.0;
+  double uptime_seconds = 0.0;
+};
+
+/// Multi-threaded in-process PSI query service (the serving layer over the
+/// paper's single-query pipeline).
+///
+/// Owns the amortizable, query-independent state once — the immutable data
+/// graph reference, its signature matrix, and the signature-keyed
+/// prediction cache (§4.2.3) — and shares it across all in-flight
+/// requests; per-request state (models, plan pools, search scratch) stays
+/// inside per-worker engines. Requests pass through a bounded admission
+/// queue onto a fixed worker pool; a per-request deadline bounds execution
+/// and Shutdown() cancels in-flight work through util::StopToken, so one
+/// pathological query can delay its own caller but never stall the
+/// service.
+///
+/// Thread-safe: Submit/Execute/Stats may be called concurrently from any
+/// number of threads. Results are exact (status kOk) regardless of
+/// concurrency — model mispredictions cost time, never correctness — so a
+/// response must only be compared against a serial engine's answer, not
+/// trusted less.
+class PsiService {
+ public:
+  /// Builds the signature matrix on the service pool (parallel).
+  PsiService(const graph::Graph& g, ServiceOptions options = ServiceOptions());
+
+  /// Adopts a precomputed matrix (e.g. loaded from a signature file).
+  PsiService(const graph::Graph& g, signature::SignatureMatrix graph_sigs,
+             ServiceOptions options = ServiceOptions());
+
+  PsiService(const PsiService&) = delete;
+  PsiService& operator=(const PsiService&) = delete;
+
+  /// Cancels in-flight work and drains the queue.
+  ~PsiService();
+
+  /// Admits a request, returning a future for its response — or
+  /// std::nullopt when the request is shed (queue at bound, or service
+  /// shutting down). A request with id 0 gets a service-assigned id; the
+  /// assigned id is only visible in the response, so callers that need the
+  /// id up front should set their own.
+  std::optional<std::future<QueryResponse>> Submit(QueryRequest request);
+
+  /// Synchronous convenience wrapper: admits and blocks for the response.
+  /// A shed request returns immediately with status kRejected.
+  QueryResponse Execute(QueryRequest request);
+
+  ServiceStats Stats() const;
+
+  /// Stops admission, cancels in-flight queries (they return kCancelled or
+  /// a partial kTimeout answer), and waits for the queue to drain.
+  /// Idempotent; called by the destructor.
+  void Shutdown();
+
+  const signature::SignatureMatrix& signatures() const { return graph_sigs_; }
+  const graph::Graph& graph() const { return graph_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  void StartWorkers();
+  QueryResponse Run(QueryRequest request, util::WallTimer admission_timer);
+
+  core::SmartPsiEngine* CheckoutEngine();
+  void ReturnEngine(core::SmartPsiEngine* engine);
+
+  const graph::Graph& graph_;
+  ServiceOptions options_;
+  signature::SignatureMatrix graph_sigs_;
+  double signature_build_seconds_ = 0.0;
+  core::PredictionCache shared_cache_;
+  MetricsRegistry metrics_;
+  util::StopSource shutdown_;
+  std::atomic<bool> accepting_{true};
+  std::atomic<uint64_t> next_auto_id_{1};
+  util::WallTimer uptime_;
+
+  std::vector<std::unique_ptr<core::SmartPsiEngine>> engines_;
+  std::vector<core::SmartPsiEngine*> free_engines_;
+  std::mutex engines_mutex_;
+
+  // Declared last: destroyed first, so draining workers still see live
+  // engines, cache and metrics.
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace psi::service
+
+#endif  // SMARTPSI_SERVICE_SERVICE_H_

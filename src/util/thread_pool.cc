@@ -30,6 +30,23 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> task,
+                           size_t max_queue_depth) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (queue_.size() >= max_queue_depth) return false;
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+  return true;
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });

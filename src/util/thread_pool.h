@@ -31,6 +31,17 @@ class ThreadPool {
   /// Enqueues a task. Safe to call from worker threads.
   void Submit(std::function<void()> task);
 
+  /// Enqueues a task only if fewer than `max_queue_depth` tasks are queued
+  /// and not yet started; returns false (task dropped) otherwise. This is
+  /// the admission-control primitive for the query service: callers shed
+  /// load instead of buffering unboundedly. Executing tasks do not count
+  /// against the bound.
+  bool TrySubmit(std::function<void()> task, size_t max_queue_depth);
+
+  /// Tasks queued but not yet picked up by a worker (racy by nature; use
+  /// for admission decisions and monitoring, not synchronization).
+  size_t queue_depth() const;
+
   /// Blocks until every submitted task (including tasks submitted by tasks)
   /// has finished executing.
   void Wait();
@@ -46,7 +57,7 @@ class ThreadPool {
 
   std::vector<std::thread> threads_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   size_t in_flight_ = 0;  // queued + executing

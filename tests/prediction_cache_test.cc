@@ -55,5 +55,57 @@ TEST(PredictionCacheTest, ConcurrentInsertLookup) {
   EXPECT_EQ(cache.size(), 2000u);
 }
 
+TEST(PredictionCacheTest, CountersTrackHitsMissesInserts) {
+  PredictionCache cache;
+  cache.Lookup(1);               // miss
+  cache.Insert(1, {true, 0});    // insert
+  cache.Lookup(1);               // hit
+  cache.Lookup(2);               // miss
+  const auto counters = cache.counters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.misses, 2u);
+  EXPECT_EQ(counters.inserts, 1u);
+  EXPECT_NEAR(counters.HitRate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(PredictionCacheTest, HitRateOfIdleCacheIsZero) {
+  PredictionCache cache;
+  EXPECT_EQ(cache.counters().HitRate(), 0.0);
+}
+
+TEST(PredictionCacheTest, CountersSurviveClear) {
+  PredictionCache cache;
+  cache.Insert(1, {true, 0});
+  cache.Lookup(1);
+  cache.Clear();
+  // Clear drops entries but keeps lifetime counters (monotonic telemetry).
+  const auto counters = cache.counters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.inserts, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PredictionCacheTest, CountersConsistentUnderConcurrency) {
+  PredictionCache cache;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kOps = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (uint64_t i = 0; i < kOps; ++i) {
+        const uint64_t key = t * 10000 + i;
+        cache.Lookup(key);            // always a miss (distinct keys)
+        cache.Insert(key, {true, 0});
+        cache.Lookup(key);            // always a hit
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto counters = cache.counters();
+  EXPECT_EQ(counters.hits, kThreads * kOps);
+  EXPECT_EQ(counters.misses, kThreads * kOps);
+  EXPECT_EQ(counters.inserts, kThreads * kOps);
+}
+
 }  // namespace
 }  // namespace psi::core

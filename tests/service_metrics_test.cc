@@ -1,0 +1,124 @@
+#include "service/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace psi::service {
+namespace {
+
+QueryResponse MakeResponse(RequestStatus status, double latency_seconds) {
+  QueryResponse response;
+  response.status = status;
+  response.latency_seconds = latency_seconds;
+  return response;
+}
+
+TEST(LatencyReservoirTest, EmptySummaryIsZero) {
+  LatencyReservoir reservoir;
+  const auto s = reservoir.Summarize();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(LatencyReservoirTest, QuantilesOnKnownSamples) {
+  LatencyReservoir reservoir(128);
+  // 1..100 ms: p50 ~ 50.5ms, p95 ~ 95ms, max = 100ms.
+  for (int i = 1; i <= 100; ++i) reservoir.Record(i * 1e-3);
+  const auto s = reservoir.Summarize();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.mean, 50.5e-3, 1e-9);
+  EXPECT_NEAR(s.p50, 50.5e-3, 1e-3);
+  EXPECT_NEAR(s.p95, 95e-3, 2e-3);
+  EXPECT_NEAR(s.p99, 99e-3, 2e-3);
+  EXPECT_DOUBLE_EQ(s.max, 100e-3);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
+}
+
+TEST(LatencyReservoirTest, WindowSlidesPastCapacity) {
+  LatencyReservoir reservoir(4);
+  for (int i = 0; i < 100; ++i) reservoir.Record(1.0);
+  reservoir.Record(5.0);
+  const auto s = reservoir.Summarize();
+  EXPECT_EQ(s.count, 101u);  // total observations, not window size
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(LatencyReservoirTest, ConcurrentRecordsAllCounted) {
+  LatencyReservoir reservoir(1024);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&reservoir] {
+      for (int i = 0; i < 1000; ++i) reservoir.Record(1e-3);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto s = reservoir.Summarize();
+  EXPECT_EQ(s.count, 4000u);
+  EXPECT_DOUBLE_EQ(s.p50, 1e-3);
+}
+
+TEST(MetricsRegistryTest, OutcomesRouteToStatusBuckets) {
+  MetricsRegistry metrics;
+  for (int i = 0; i < 3; ++i) metrics.RecordAdmitted();
+  metrics.RecordOutcome(MakeResponse(RequestStatus::kOk, 1e-3));
+  metrics.RecordOutcome(MakeResponse(RequestStatus::kTimeout, 2e-3));
+  metrics.RecordOutcome(MakeResponse(RequestStatus::kInvalid, 1e-6));
+  const MetricsSnapshot s = metrics.Snapshot();
+  EXPECT_EQ(s.admitted, 3u);
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.timed_out, 1u);
+  EXPECT_EQ(s.invalid, 1u);
+  EXPECT_EQ(s.Settled(), s.admitted);
+  EXPECT_EQ(s.latency.count, 3u);
+}
+
+TEST(MetricsRegistryTest, RejectedRecordsNoLatencyOrEngineWork) {
+  MetricsRegistry metrics;
+  QueryResponse shed = MakeResponse(RequestStatus::kRejected, 9.0);
+  shed.cache_hits = 7;
+  shed.num_candidates = 11;
+  metrics.RecordOutcome(shed, /*method_recoveries=*/2, /*plan_fallbacks=*/3);
+  const MetricsSnapshot s = metrics.Snapshot();
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.Settled(), 0u);
+  EXPECT_EQ(s.latency.count, 0u);
+  EXPECT_EQ(s.cache_hits, 0u);
+  EXPECT_EQ(s.method_recoveries, 0u);
+  EXPECT_EQ(s.plan_fallbacks, 0u);
+  EXPECT_EQ(s.candidates_evaluated, 0u);
+}
+
+TEST(MetricsRegistryTest, EngineCountersAggregateAcrossOutcomes) {
+  MetricsRegistry metrics;
+  QueryResponse a = MakeResponse(RequestStatus::kOk, 1e-3);
+  a.cache_hits = 5;
+  a.num_candidates = 10;
+  QueryResponse b = MakeResponse(RequestStatus::kTimeout, 2e-3);
+  b.cache_hits = 2;
+  b.num_candidates = 4;
+  metrics.RecordOutcome(a, 1, 0);
+  metrics.RecordOutcome(b, 0, 2);
+  const MetricsSnapshot s = metrics.Snapshot();
+  EXPECT_EQ(s.cache_hits, 7u);
+  EXPECT_EQ(s.candidates_evaluated, 14u);
+  EXPECT_EQ(s.method_recoveries, 1u);
+  EXPECT_EQ(s.plan_fallbacks, 2u);
+}
+
+TEST(MetricsSnapshotTest, ToStringMentionsEverySection) {
+  MetricsRegistry metrics;
+  metrics.RecordAdmitted();
+  metrics.RecordOutcome(MakeResponse(RequestStatus::kOk, 1e-3));
+  const std::string text = metrics.Snapshot().ToString();
+  EXPECT_NE(text.find("admitted=1"), std::string::npos);
+  EXPECT_NE(text.find("completed=1"), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psi::service

@@ -1,0 +1,321 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <future>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/smart_psi.h"
+#include "graph/query_extractor.h"
+#include "service/request.h"
+#include "service/workload.h"
+#include "tests/test_fixtures.h"
+#include "util/random.h"
+
+namespace psi::service {
+namespace {
+
+ServiceOptions SmallOptions(size_t workers) {
+  ServiceOptions options;
+  options.num_workers = workers;
+  options.engine.signature_depth = 1;
+  return options;
+}
+
+TEST(PsiServiceTest, Figure1QueryMatchesPaperAnswer) {
+  const graph::Graph g = testing::MakeFigure1Graph();
+  PsiService service(g, SmallOptions(2));
+  QueryRequest request;
+  request.id = 7;
+  request.query = testing::MakeFigure1Query();
+  const QueryResponse response = service.Execute(std::move(request));
+  EXPECT_EQ(response.id, 7u);
+  EXPECT_EQ(response.status, RequestStatus::kOk);
+  EXPECT_EQ(response.valid_nodes, (std::vector<graph::NodeId>{0, 5}));
+  EXPECT_GE(response.latency_seconds, response.exec_seconds);
+}
+
+TEST(PsiServiceTest, PureMethodsAgreeWithSmart) {
+  const graph::Graph g = testing::MakeFigure1Graph();
+  PsiService service(g, SmallOptions(2));
+  for (const Method method :
+       {Method::kSmart, Method::kOptimistic, Method::kPessimistic}) {
+    QueryRequest request;
+    request.query = testing::MakeFigure1Query();
+    request.method = method;
+    const QueryResponse response = service.Execute(std::move(request));
+    EXPECT_EQ(response.status, RequestStatus::kOk) << MethodName(method);
+    EXPECT_EQ(response.valid_nodes, (std::vector<graph::NodeId>{0, 5}))
+        << MethodName(method);
+  }
+}
+
+// The service's answers must be byte-identical to a serial engine's even
+// when many clients hammer it at once: exactness is the paper's invariant
+// (mispredictions cost time, never correctness), and sharing signatures +
+// prediction cache across workers must not break it.
+TEST(PsiServiceTest, ConcurrentAnswersAgreeWithSerialEngine) {
+  const graph::Graph g = testing::MakeRandomGraph(300, 900, 4, /*seed=*/11);
+  util::Rng rng(13);
+  WorkloadSpec spec;
+  spec.count = 12;
+  spec.query_size = 4;
+  const std::vector<QueryRequest> requests = ExtractWorkload(g, spec, rng);
+  ASSERT_FALSE(requests.empty());
+
+  core::SmartPsiConfig serial_config;
+  serial_config.num_threads = 1;
+  serial_config.signature_depth = 1;
+  core::SmartPsiEngine serial(g, serial_config);
+  std::vector<std::vector<graph::NodeId>> expected;
+  for (const QueryRequest& request : requests) {
+    expected.push_back(serial.Evaluate(request.query).valid_nodes);
+  }
+
+  PsiService service(g, SmallOptions(4));
+  constexpr int kClientThreads = 4;
+  constexpr int kRounds = 3;
+  std::vector<std::thread> clients;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t i = 0; i < requests.size(); ++i) {
+          const QueryResponse response = service.Execute(requests[i]);
+          if (response.status != RequestStatus::kOk ||
+              response.valid_nodes != expected[i]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.metrics.admitted,
+            static_cast<uint64_t>(kClientThreads) * kRounds * requests.size());
+  EXPECT_EQ(stats.metrics.admitted, stats.metrics.Settled());
+}
+
+TEST(PsiServiceTest, ExpiredDeadlineReturnsTimeoutWithoutCrashing) {
+  const graph::Graph g = testing::MakeRandomGraph(500, 2000, 3, /*seed=*/5);
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(17);
+  const auto queries = extractor.ExtractMany(5, 4, rng);
+  ASSERT_FALSE(queries.empty());
+
+  PsiService service(g, SmallOptions(2));
+  for (const auto& query : queries) {
+    QueryRequest request;
+    request.query = query;
+    request.deadline_seconds = 1e-9;  // expired before the worker sees it
+    const QueryResponse response = service.Execute(std::move(request));
+    EXPECT_EQ(response.status, RequestStatus::kTimeout);
+  }
+  // Partial answers must still be sound: re-running without a deadline
+  // succeeds and the timed-out answers were subsets.
+  for (const auto& query : queries) {
+    QueryRequest request;
+    request.query = query;
+    const QueryResponse response = service.Execute(std::move(request));
+    EXPECT_EQ(response.status, RequestStatus::kOk);
+  }
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.metrics.timed_out, queries.size());
+  EXPECT_EQ(stats.metrics.completed, queries.size());
+}
+
+TEST(PsiServiceTest, TimedOutAnswerIsSubsetOfTrueAnswer) {
+  const graph::Graph g = testing::MakeRandomGraph(400, 1600, 3, /*seed=*/23);
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(29);
+  const auto queries = extractor.ExtractMany(4, 3, rng);
+  ASSERT_FALSE(queries.empty());
+
+  PsiService service(g, SmallOptions(1));
+  for (const auto& query : queries) {
+    QueryRequest timed;
+    timed.query = query;
+    timed.deadline_seconds = 1e-6;
+    const QueryResponse partial = service.Execute(std::move(timed));
+
+    QueryRequest full;
+    full.query = query;
+    const QueryResponse complete = service.Execute(std::move(full));
+    ASSERT_EQ(complete.status, RequestStatus::kOk);
+    EXPECT_TRUE(std::includes(complete.valid_nodes.begin(),
+                              complete.valid_nodes.end(),
+                              partial.valid_nodes.begin(),
+                              partial.valid_nodes.end()));
+  }
+}
+
+TEST(PsiServiceTest, OverloadShedsInsteadOfHanging) {
+  const graph::Graph g = testing::MakeRandomGraph(300, 1200, 3, /*seed=*/3);
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(31);
+  const auto queries = extractor.ExtractMany(4, 8, rng);
+  ASSERT_FALSE(queries.empty());
+
+  ServiceOptions options = SmallOptions(1);
+  options.max_queue_depth = 1;
+  PsiService service(g, options);
+
+  constexpr size_t kOffered = 64;
+  size_t rejected = 0;
+  std::vector<std::future<QueryResponse>> futures;
+  for (size_t i = 0; i < kOffered; ++i) {
+    QueryRequest request;
+    request.query = queries[i % queries.size()];
+    auto future = service.Submit(std::move(request));
+    if (future.has_value()) {
+      futures.push_back(std::move(*future));
+    } else {
+      ++rejected;
+    }
+  }
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().status, RequestStatus::kOk);
+  }
+  EXPECT_GT(rejected, 0u) << "queue bound 1 must shed under a burst of "
+                          << kOffered;
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.metrics.rejected, rejected);
+  EXPECT_EQ(stats.metrics.admitted, futures.size());
+  EXPECT_EQ(stats.metrics.admitted + stats.metrics.rejected, kOffered);
+  EXPECT_EQ(stats.metrics.Settled(), stats.metrics.admitted);
+}
+
+TEST(PsiServiceTest, MetricsCountersAddUpUnderConcurrentLoad) {
+  const graph::Graph g = testing::MakeRandomGraph(200, 600, 3, /*seed=*/41);
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(43);
+  const auto queries = extractor.ExtractMany(4, 6, rng);
+  ASSERT_FALSE(queries.empty());
+
+  PsiService service(g, SmallOptions(3));
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 10;
+  std::atomic<uint64_t> offered{0};
+  std::atomic<uint64_t> shed{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        QueryRequest request;
+        request.query = queries[(t + i) % queries.size()];
+        // Mix in some already-expired deadlines and one invalid request.
+        if (i % 5 == 4) request.deadline_seconds = 1e-9;
+        if (i % 7 == 6) request.query = graph::QueryGraph();
+        offered.fetch_add(1);
+        auto future = service.Submit(std::move(request));
+        if (!future.has_value()) {
+          shed.fetch_add(1);
+          continue;
+        }
+        future->get();
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+
+  const MetricsSnapshot m = service.Stats().metrics;
+  EXPECT_EQ(m.admitted + m.rejected, offered.load());
+  EXPECT_EQ(m.rejected, shed.load());
+  EXPECT_EQ(m.Settled(), m.admitted);
+  EXPECT_GT(m.completed, 0u);
+  EXPECT_GT(m.timed_out, 0u);
+  EXPECT_GT(m.invalid, 0u);
+  EXPECT_EQ(m.latency.count, m.Settled());
+  EXPECT_GT(m.latency.p99, 0.0);
+  EXPECT_GE(m.latency.max, m.latency.p99);
+}
+
+TEST(PsiServiceTest, InvalidRequestsAreReportedNotExecuted) {
+  const graph::Graph g = testing::MakeFigure1Graph();
+  PsiService service(g, SmallOptions(1));
+
+  QueryRequest empty;  // no nodes at all
+  EXPECT_EQ(service.Execute(std::move(empty)).status, RequestStatus::kInvalid);
+
+  QueryRequest no_pivot;
+  no_pivot.query.AddNode(testing::kA);  // a node but no pivot
+  EXPECT_EQ(service.Execute(std::move(no_pivot)).status,
+            RequestStatus::kInvalid);
+
+  EXPECT_EQ(service.Stats().metrics.invalid, 2u);
+}
+
+TEST(PsiServiceTest, AssignsIdsWhenCallerDoesNot) {
+  const graph::Graph g = testing::MakeFigure1Graph();
+  PsiService service(g, SmallOptions(1));
+  QueryRequest request;
+  request.query = testing::MakeFigure1Query();
+  const QueryResponse a = service.Execute(request);
+  const QueryResponse b = service.Execute(std::move(request));
+  EXPECT_NE(a.id, 0u);
+  EXPECT_NE(b.id, 0u);
+  EXPECT_NE(a.id, b.id);
+}
+
+TEST(PsiServiceTest, SharedCacheSeesRepeatTraffic) {
+  const graph::Graph g = testing::MakeRandomGraph(300, 900, 3, /*seed=*/47);
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(53);
+  const auto queries = extractor.ExtractMany(4, 2, rng);
+  ASSERT_FALSE(queries.empty());
+
+  PsiService service(g, SmallOptions(2));
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& query : queries) {
+      QueryRequest request;
+      request.query = query;
+      EXPECT_EQ(service.Execute(std::move(request)).status,
+                RequestStatus::kOk);
+    }
+  }
+  const ServiceStats stats = service.Stats();
+  EXPECT_GT(stats.cache_entries, 0u);
+  EXPECT_GT(stats.cache.inserts, 0u);
+  // Rounds 2 and 3 re-run identical queries against a warm cache.
+  EXPECT_GT(stats.cache.hits, 0u);
+}
+
+TEST(PsiServiceTest, ShutdownStopsAdmissionAndIsIdempotent) {
+  const graph::Graph g = testing::MakeFigure1Graph();
+  PsiService service(g, SmallOptions(2));
+  QueryRequest request;
+  request.query = testing::MakeFigure1Query();
+  EXPECT_EQ(service.Execute(request).status, RequestStatus::kOk);
+
+  service.Shutdown();
+  service.Shutdown();  // must not hang or crash
+  EXPECT_FALSE(service.Submit(request).has_value());
+  EXPECT_EQ(service.Stats().metrics.completed, 1u);
+}
+
+TEST(PsiServiceTest, AdoptsPrecomputedSignatures) {
+  const graph::Graph g = testing::MakeFigure1Graph();
+  ServiceOptions options = SmallOptions(2);
+  core::SmartPsiConfig config = options.engine;
+  config.num_threads = 1;
+  core::SmartPsiEngine reference(g, config);
+  signature::SignatureMatrix sigs = reference.graph_signatures();
+
+  PsiService service(g, std::move(sigs), options);
+  EXPECT_EQ(service.Stats().signature_build_seconds, 0.0);
+  QueryRequest request;
+  request.query = testing::MakeFigure1Query();
+  const QueryResponse response = service.Execute(std::move(request));
+  EXPECT_EQ(response.status, RequestStatus::kOk);
+  EXPECT_EQ(response.valid_nodes, (std::vector<graph::NodeId>{0, 5}));
+}
+
+}  // namespace
+}  // namespace psi::service

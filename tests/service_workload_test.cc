@@ -1,0 +1,167 @@
+#include "service/workload.h"
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_fixtures.h"
+#include "util/random.h"
+
+namespace psi::service {
+namespace {
+
+TEST(WorkloadParseTest, Figure1TriangleLine) {
+  const auto parsed =
+      ParseWorkloadLine("v=0,1,2 e=0-1,1-2,0-2 p=0 d=50 m=smart id=9");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const QueryRequest& request = parsed.value();
+  EXPECT_EQ(request.id, 9u);
+  EXPECT_EQ(request.method, Method::kSmart);
+  EXPECT_DOUBLE_EQ(request.deadline_seconds, 0.050);
+  EXPECT_EQ(request.query.num_nodes(), 3u);
+  EXPECT_EQ(request.query.num_edges(), 3u);
+  EXPECT_EQ(request.query.pivot(), 0u);
+  EXPECT_EQ(request.query.label(1), 1u);
+}
+
+TEST(WorkloadParseTest, TokensInAnyOrderAndDefaults) {
+  const auto parsed = ParseWorkloadLine("p=1 v=3,4");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const QueryRequest& request = parsed.value();
+  EXPECT_EQ(request.id, 0u);  // service assigns
+  EXPECT_EQ(request.method, Method::kSmart);
+  EXPECT_EQ(request.deadline_seconds, 0.0);
+  EXPECT_EQ(request.query.num_nodes(), 2u);
+  EXPECT_EQ(request.query.num_edges(), 0u);
+  EXPECT_EQ(request.query.pivot(), 1u);
+}
+
+TEST(WorkloadParseTest, EdgeLabels) {
+  const auto parsed = ParseWorkloadLine("v=0,0 e=0-1-7 p=0");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto& q = parsed.value().query;
+  ASSERT_EQ(q.neighbors(0).size(), 1u);
+  EXPECT_EQ(q.neighbors(0)[0].second, 7u);
+}
+
+TEST(WorkloadParseTest, RejectsMalformedLines) {
+  const char* bad[] = {
+      "",                        // no nodes
+      "v=0,1",                   // missing pivot
+      "v=0,1 p=2",               // pivot out of range
+      "v=0,,1 p=0",              // empty label piece
+      "v=0,1 e=0-5 p=0",         // edge endpoint out of range
+      "v=0,1 e=0-0 p=0",         // self loop
+      "v=0,1 e=0 p=0",           // malformed edge
+      "v=0,1 p=0 m=psychic",     // unknown method
+      "v=0,1 p=0 d=-5",          // negative deadline
+      "v=0,1 p=0 z=1",           // unknown key
+      "hello",                   // not key=value
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(ParseWorkloadLine(line).ok()) << "accepted: " << line;
+  }
+}
+
+TEST(WorkloadParseTest, FormatParseRoundTrip) {
+  QueryRequest request;
+  request.id = 42;
+  request.query = testing::MakeFigure2Query();
+  request.deadline_seconds = 0.125;
+  request.method = Method::kPessimistic;
+
+  const std::string line = FormatWorkloadLine(request);
+  const auto reparsed = ParseWorkloadLine(line);
+  ASSERT_TRUE(reparsed.ok()) << line << " -> " << reparsed.status().ToString();
+  const QueryRequest& back = reparsed.value();
+  EXPECT_EQ(back.id, request.id);
+  EXPECT_EQ(back.method, request.method);
+  EXPECT_DOUBLE_EQ(back.deadline_seconds, request.deadline_seconds);
+  EXPECT_EQ(back.query.num_nodes(), request.query.num_nodes());
+  EXPECT_EQ(back.query.num_edges(), request.query.num_edges());
+  EXPECT_EQ(back.query.pivot(), request.query.pivot());
+  EXPECT_EQ(back.query.Fingerprint(), request.query.Fingerprint());
+}
+
+TEST(WorkloadIoTest, ReadSkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# a comment\n"
+      "\n"
+      "v=0,1 e=0-1 p=0\n"
+      "   # indented comment\n"
+      "v=2 p=0 id=5\n");
+  const auto requests = ReadWorkload(in);
+  ASSERT_TRUE(requests.ok()) << requests.status().ToString();
+  ASSERT_EQ(requests.value().size(), 2u);
+  EXPECT_EQ(requests.value()[1].id, 5u);
+}
+
+TEST(WorkloadIoTest, ReadReportsOneBasedLineNumber) {
+  std::istringstream in(
+      "v=0,1 e=0-1 p=0\n"
+      "not a request\n");
+  const auto requests = ReadWorkload(in);
+  ASSERT_FALSE(requests.ok());
+  EXPECT_NE(requests.status().message().find("line 2"), std::string::npos)
+      << requests.status().ToString();
+}
+
+TEST(WorkloadIoTest, WriteReadRoundTrip) {
+  std::vector<QueryRequest> requests;
+  QueryRequest a;
+  a.id = 1;
+  a.query = testing::MakeFigure1Query();
+  QueryRequest b;
+  b.id = 2;
+  b.query = testing::MakeFigure2Query();
+  b.deadline_seconds = 0.010;
+  b.method = Method::kOptimistic;
+  requests.push_back(a);
+  requests.push_back(b);
+
+  std::stringstream io;
+  WriteWorkload(requests, io);
+  const auto back = ReadWorkload(io);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().size(), 2u);
+  EXPECT_EQ(back.value()[0].query.Fingerprint(), a.query.Fingerprint());
+  EXPECT_EQ(back.value()[1].query.Fingerprint(), b.query.Fingerprint());
+  EXPECT_EQ(back.value()[1].method, Method::kOptimistic);
+}
+
+TEST(ExtractWorkloadTest, RespectsSpecAndAssignsIds) {
+  const graph::Graph g = testing::MakeRandomGraph(200, 800, 3, /*seed=*/7);
+  WorkloadSpec spec;
+  spec.count = 10;
+  spec.query_size = 4;
+  spec.deadline_ms_min = 10.0;
+  spec.deadline_ms_max = 20.0;
+  spec.method = Method::kOptimistic;
+  util::Rng rng(99);
+  const auto requests = ExtractWorkload(g, spec, rng);
+  ASSERT_FALSE(requests.empty());
+  ASSERT_LE(requests.size(), spec.count);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(requests[i].id, i + 1);
+    EXPECT_EQ(requests[i].method, Method::kOptimistic);
+    EXPECT_EQ(requests[i].query.num_nodes(), spec.query_size);
+    EXPECT_TRUE(requests[i].query.has_pivot());
+    EXPECT_GE(requests[i].deadline_seconds, 0.010);
+    EXPECT_LE(requests[i].deadline_seconds, 0.020);
+  }
+}
+
+TEST(ExtractWorkloadTest, NoDeadlineWhenSpecDisablesIt) {
+  const graph::Graph g = testing::MakeRandomGraph(100, 300, 2, /*seed=*/8);
+  WorkloadSpec spec;
+  spec.count = 3;
+  spec.query_size = 3;
+  util::Rng rng(100);
+  for (const auto& request : ExtractWorkload(g, spec, rng)) {
+    EXPECT_EQ(request.deadline_seconds, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace psi::service

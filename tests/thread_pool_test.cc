@@ -1,7 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -72,6 +74,53 @@ TEST(ThreadPoolTest, ParallelForSmallCount) {
     }
   });
   EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ThreadPoolTest, TrySubmitRejectsWhenQueueFull) {
+  ThreadPool pool(1);
+  std::mutex gate;
+  gate.lock();  // hold the single worker hostage
+  pool.Submit([&gate] { std::lock_guard<std::mutex> hold(gate); });
+  // Give the worker a moment to pick up the blocking task so it no longer
+  // counts against the queue bound (executing tasks are not "queued").
+  while (pool.queue_depth() > 0) std::this_thread::yield();
+
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(pool.TrySubmit([&ran] { ran.fetch_add(1); }, 2));
+  EXPECT_TRUE(pool.TrySubmit([&ran] { ran.fetch_add(1); }, 2));
+  // Queue now holds 2 tasks: at the bound, so the next offer is shed.
+  EXPECT_FALSE(pool.TrySubmit([&ran] { ran.fetch_add(1); }, 2));
+  EXPECT_EQ(pool.queue_depth(), 2u);
+
+  gate.unlock();
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 2);  // the shed task never ran
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPoolTest, TrySubmitZeroBoundAlwaysRejects) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.TrySubmit([] {}, 0));
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, QueueDepthStartsAtZero) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPoolTest, TrySubmitTasksRunLikeSubmittedOnes) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  int accepted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (pool.TrySubmit([&counter] { counter.fetch_add(1); }, 1000)) {
+      ++accepted;
+    }
+  }
+  pool.Wait();
+  EXPECT_EQ(accepted, 100);
+  EXPECT_EQ(counter.load(), 100);
 }
 
 TEST(ThreadPoolTest, DestructorDrainsQueue) {

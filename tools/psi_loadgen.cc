@@ -1,0 +1,243 @@
+// psi_loadgen — open-loop load generator for the in-process PSI query
+// service. Extracts a query workload from the data graph, offers it at a
+// target arrival rate (or at saturation), and reports throughput, tail
+// latency and shedding behaviour.
+//
+//   psi_loadgen --generate 100000,400000,8 --workers 8 --requests 400
+//   psi_loadgen graph.lg --qps 200 --deadline-ms-max 50 --baseline
+//
+// Open-loop means arrivals do not wait for completions: when the offered
+// rate exceeds service capacity the admission queue fills and requests are
+// shed (status=rejected) rather than buffered into unbounded latency.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "service/service.h"
+#include "service/workload.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace psi;
+
+void Usage() {
+  std::cerr <<
+      "Usage: psi_loadgen <graph.lg> [options]\n"
+      "       psi_loadgen --generate N,M,L [options]\n"
+      "  --requests R          total requests offered (default 200)\n"
+      "  --qps Q               open-loop arrival rate; 0 = saturation mode\n"
+      "                        (submit-with-backpressure, default)\n"
+      "  --workers W           service workers (default 8)\n"
+      "  --queue D             admission queue bound (default 256)\n"
+      "  --query-size K        nodes per extracted query (default 5)\n"
+      "  --unique U            distinct queries to cycle over (default: R —\n"
+      "                        all unique; small U exercises the shared\n"
+      "                        prediction cache like repeated user traffic)\n"
+      "  --deadline-ms-min A   per-request deadline lower bound (default 0)\n"
+      "  --deadline-ms-max B   upper bound; 0 disables deadlines (default 0)\n"
+      "  --method M            smart | optimistic | pessimistic\n"
+      "  --depth D             signature depth (default 2)\n"
+      "  --seed S              workload/graph seed (default 42)\n"
+      "  --baseline            also run serially (1 worker) and report the\n"
+      "                        concurrency speedup\n";
+}
+
+struct RunReport {
+  double wall_seconds = 0.0;
+  service::ServiceStats stats;
+  double Throughput() const {
+    return wall_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(stats.metrics.completed +
+                                     stats.metrics.timed_out) /
+                     wall_seconds;
+  }
+};
+
+/// Offers `requests` to a fresh service and waits for every settled
+/// response. qps <= 0 runs saturation mode: shed submissions are retried
+/// after a short pause, measuring peak sustainable throughput. qps > 0
+/// runs open-loop: arrivals stick to the schedule and shed requests stay
+/// shed.
+RunReport OfferLoad(const graph::Graph& g,
+                    const std::vector<service::QueryRequest>& requests,
+                    const service::ServiceOptions& options, double qps) {
+  service::PsiService psi_service(g, options);
+  std::vector<std::future<service::QueryResponse>> futures;
+  futures.reserve(requests.size());
+
+  const auto start = std::chrono::steady_clock::now();
+  util::WallTimer wall;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (qps > 0.0) {
+      const auto arrival =
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(static_cast<double>(i) / qps));
+      std::this_thread::sleep_until(arrival);
+      auto future = psi_service.Submit(requests[i]);
+      if (future.has_value()) futures.push_back(std::move(*future));
+    } else {
+      for (;;) {
+        auto future = psi_service.Submit(requests[i]);
+        if (future.has_value()) {
+          futures.push_back(std::move(*future));
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+  }
+  for (auto& future : futures) future.get();
+
+  RunReport report;
+  report.wall_seconds = wall.Seconds();
+  report.stats = psi_service.Stats();
+  return report;
+}
+
+void PrintReport(const char* title, const RunReport& report) {
+  const auto& m = report.stats.metrics;
+  std::cout << "--- " << title << " ---\n"
+            << "wall: " << report.wall_seconds << " s, throughput: "
+            << report.Throughput() << " q/s\n"
+            << m.ToString() << "\n"
+            << "cache: entries=" << report.stats.cache_entries
+            << " hits=" << report.stats.cache.hits
+            << " misses=" << report.stats.cache.misses << " (hit rate "
+            << report.stats.cache.HitRate() << ")\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  std::string graph_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key == "--baseline") {
+      args[key] = "1";
+    } else if (key.rfind("--", 0) == 0) {
+      if (i + 1 >= argc) {
+        Usage();
+        return 2;
+      }
+      args[key] = argv[++i];
+    } else if (graph_path.empty()) {
+      graph_path = key;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  auto get = [&](const std::string& key, const std::string& fallback) {
+    const auto it = args.find(key);
+    return it == args.end() ? fallback : it->second;
+  };
+  const uint64_t seed = std::strtoull(get("--seed", "42").c_str(), nullptr, 10);
+
+  // --- Graph --------------------------------------------------------------
+  graph::Graph g;
+  if (args.count("--generate")) {
+    size_t nodes = 0, edges = 0, labels = 8;
+    if (std::sscanf(args["--generate"].c_str(), "%zu,%zu,%zu", &nodes, &edges,
+                    &labels) < 2) {
+      std::cerr << "bad --generate spec (want N,M[,L])\n";
+      return 2;
+    }
+    util::Rng rng(seed);
+    graph::LabelConfig label_config;
+    label_config.num_labels = labels;
+    util::WallTimer timer;
+    g = graph::RelabelWithHomophily(
+        graph::ErdosRenyi(nodes, edges, label_config, rng), 0.6, 2, rng);
+    std::cerr << "Generated graph in " << timer.Seconds() << " s\n";
+  } else if (!graph_path.empty()) {
+    auto loaded = graph::LoadLgFile(graph_path);
+    if (!loaded.ok()) {
+      std::cerr << loaded.status().ToString() << "\n";
+      return 1;
+    }
+    g = std::move(loaded).value();
+  } else {
+    Usage();
+    return 2;
+  }
+  std::cerr << "Graph: " << g.num_nodes() << " nodes, " << g.num_edges()
+            << " edges, " << g.num_labels() << " labels\n";
+
+  // --- Workload -----------------------------------------------------------
+  service::WorkloadSpec spec;
+  spec.count = std::strtoull(get("--requests", "200").c_str(), nullptr, 10);
+  const size_t unique =
+      std::strtoull(get("--unique", "0").c_str(), nullptr, 10);
+  const size_t total = spec.count;
+  if (unique > 0) spec.count = std::min(spec.count, unique);
+  spec.query_size =
+      std::strtoull(get("--query-size", "5").c_str(), nullptr, 10);
+  spec.deadline_ms_min = std::atof(get("--deadline-ms-min", "0").c_str());
+  spec.deadline_ms_max = std::atof(get("--deadline-ms-max", "0").c_str());
+  const std::string method = get("--method", "smart");
+  if (method == "optimistic") {
+    spec.method = service::Method::kOptimistic;
+  } else if (method == "pessimistic") {
+    spec.method = service::Method::kPessimistic;
+  } else if (method != "smart") {
+    std::cerr << "unknown method " << method << "\n";
+    return 2;
+  }
+  util::Rng workload_rng(seed ^ 0x10adULL);
+  std::vector<service::QueryRequest> requests =
+      service::ExtractWorkload(g, spec, workload_rng);
+  if (requests.empty()) {
+    std::cerr << "could not extract any queries\n";
+    return 1;
+  }
+  // Top up by cycling (covers both --unique cycling and extraction
+  // shortfalls).
+  const size_t distinct = requests.size();
+  for (size_t i = requests.size(); i < total; ++i) {
+    service::QueryRequest copy = requests[i % distinct];
+    copy.id = i + 1;
+    requests.push_back(std::move(copy));
+  }
+  std::cerr << "Workload: " << requests.size() << " requests over " << distinct
+            << " distinct queries, query size " << spec.query_size << "\n";
+
+  // --- Offered load -------------------------------------------------------
+  service::ServiceOptions options;
+  options.num_workers =
+      std::strtoull(get("--workers", "8").c_str(), nullptr, 10);
+  options.max_queue_depth =
+      std::strtoull(get("--queue", "256").c_str(), nullptr, 10);
+  options.engine.signature_depth = static_cast<uint32_t>(
+      std::strtoul(get("--depth", "2").c_str(), nullptr, 10));
+  const double qps = std::atof(get("--qps", "0").c_str());
+
+  const RunReport concurrent = OfferLoad(g, requests, options, qps);
+  PrintReport("concurrent", concurrent);
+
+  if (args.count("--baseline")) {
+    service::ServiceOptions serial = options;
+    serial.num_workers = 1;
+    const RunReport baseline = OfferLoad(g, requests, serial, /*qps=*/0.0);
+    PrintReport("serial baseline (1 worker)", baseline);
+    if (baseline.Throughput() > 0.0) {
+      std::cout << "speedup at " << options.num_workers
+                << " workers: " << concurrent.Throughput() / baseline.Throughput()
+                << "x\n";
+    }
+  }
+  return 0;
+}

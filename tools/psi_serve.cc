@@ -1,0 +1,183 @@
+// psi_serve — in-process PSI query service front-end: answers a stream of
+// newline-delimited pivoted queries (see service/workload.h for the line
+// format) against one shared engine state, with bounded admission and
+// per-request deadlines. No sockets: stdin/file in, stdout out.
+//
+//   psi_serve graph.lg --workers 8 < workload.txt
+//   psi_serve --generate 100000,400000,8 --workload w.txt --deadline-ms 50
+//   psi_generate --nodes 1000 ... && psi_serve graph.lg   # end-to-end
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "service/service.h"
+#include "service/workload.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace psi;
+
+void Usage() {
+  std::cerr <<
+      "Usage: psi_serve <graph.lg> [options]\n"
+      "       psi_serve --generate N,M,L [options]   (Erdos-Renyi stand-in)\n"
+      "  --workload FILE   request lines (default: stdin; '-' = stdin)\n"
+      "  --workers N       concurrent query executions (default 4)\n"
+      "  --queue N         admission queue bound (default 256)\n"
+      "  --deadline-ms D   default per-request deadline (default: none)\n"
+      "  --depth D         signature depth (default 2)\n"
+      "  --seed S          RNG seed for --generate (default 42)\n"
+      "  --quiet           suppress per-request lines, print stats only\n"
+      "\n"
+      "Per-request output: id=<id> status=<status> valid=<n> latency_ms=<t>\n";
+}
+
+void PrintResponse(const service::QueryResponse& r) {
+  std::cout << "id=" << r.id << " status=" << RequestStatusName(r.status)
+            << " valid=" << r.valid_nodes.size()
+            << " latency_ms=" << r.latency_seconds * 1e3 << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  std::string graph_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key == "--quiet") {
+      args[key] = "1";
+    } else if (key.rfind("--", 0) == 0) {
+      if (i + 1 >= argc) {
+        Usage();
+        return 2;
+      }
+      args[key] = argv[++i];
+    } else if (graph_path.empty()) {
+      graph_path = key;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  auto get = [&](const std::string& key, const std::string& fallback) {
+    const auto it = args.find(key);
+    return it == args.end() ? fallback : it->second;
+  };
+
+  // --- Graph --------------------------------------------------------------
+  graph::Graph g;
+  if (args.count("--generate")) {
+    size_t nodes = 0, edges = 0, labels = 8;
+    if (std::sscanf(args["--generate"].c_str(), "%zu,%zu,%zu", &nodes, &edges,
+                    &labels) < 2) {
+      std::cerr << "bad --generate spec (want N,M[,L])\n";
+      return 2;
+    }
+    util::Rng rng(std::strtoull(get("--seed", "42").c_str(), nullptr, 10));
+    graph::LabelConfig label_config;
+    label_config.num_labels = labels;
+    g = graph::RelabelWithHomophily(
+        graph::ErdosRenyi(nodes, edges, label_config, rng), 0.6, 2, rng);
+  } else if (!graph_path.empty()) {
+    auto loaded = graph::LoadLgFile(graph_path);
+    if (!loaded.ok()) {
+      std::cerr << loaded.status().ToString() << "\n";
+      return 1;
+    }
+    g = std::move(loaded).value();
+  } else {
+    Usage();
+    return 2;
+  }
+  std::cerr << "Graph: " << g.num_nodes() << " nodes, " << g.num_edges()
+            << " edges, " << g.num_labels() << " labels\n";
+
+  // --- Service ------------------------------------------------------------
+  service::ServiceOptions options;
+  options.num_workers =
+      std::strtoull(get("--workers", "4").c_str(), nullptr, 10);
+  options.max_queue_depth =
+      std::strtoull(get("--queue", "256").c_str(), nullptr, 10);
+  options.default_deadline_seconds =
+      std::atof(get("--deadline-ms", "0").c_str()) / 1e3;
+  options.engine.signature_depth = static_cast<uint32_t>(
+      std::strtoul(get("--depth", "2").c_str(), nullptr, 10));
+  service::PsiService psi_service(g, options);
+  std::cerr << "Service: " << options.num_workers << " workers, queue bound "
+            << options.max_queue_depth << ", signatures built in "
+            << psi_service.Stats().signature_build_seconds << " s\n";
+
+  // --- Request loop -------------------------------------------------------
+  const std::string workload_path = get("--workload", "-");
+  std::ifstream file;
+  if (workload_path != "-") {
+    file.open(workload_path);
+    if (!file) {
+      std::cerr << "cannot open workload file " << workload_path << "\n";
+      return 1;
+    }
+  }
+  std::istream& in = workload_path == "-" ? std::cin : file;
+  const bool quiet = args.count("--quiet") > 0;
+
+  // Responses print in submission order; the window keeps enough requests
+  // in flight to saturate the workers without holding every future at once.
+  const size_t window = options.num_workers * 4 + options.max_queue_depth;
+  std::deque<std::future<service::QueryResponse>> pending;
+  auto drain_one = [&]() {
+    service::QueryResponse r = pending.front().get();
+    pending.pop_front();
+    if (!quiet) PrintResponse(r);
+  };
+
+  std::string line;
+  size_t line_number = 0;
+  size_t parse_errors = 0;
+  uint64_t next_id = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    auto parsed = service::ParseWorkloadLine(line);
+    if (!parsed.ok()) {
+      std::cerr << "line " << line_number << ": "
+                << parsed.status().ToString() << "\n";
+      ++parse_errors;
+      continue;
+    }
+    service::QueryRequest request = std::move(parsed).value();
+    if (request.id == 0) request.id = next_id;
+    next_id = std::max(next_id, request.id) + 1;
+    const uint64_t id = request.id;
+    auto future = psi_service.Submit(std::move(request));
+    if (!future.has_value()) {
+      if (!quiet) {
+        std::cout << "id=" << id << " status=rejected valid=0 latency_ms=0\n";
+      }
+      continue;
+    }
+    pending.push_back(std::move(*future));
+    while (pending.size() >= window) drain_one();
+  }
+  while (!pending.empty()) drain_one();
+
+  // --- Stats --------------------------------------------------------------
+  const service::ServiceStats stats = psi_service.Stats();
+  std::cerr << stats.metrics.ToString() << "\n"
+            << "cache: entries=" << stats.cache_entries
+            << " hits=" << stats.cache.hits << " misses=" << stats.cache.misses
+            << " inserts=" << stats.cache.inserts << "\n";
+  return parse_errors == 0 ? 0 : 1;
+}
