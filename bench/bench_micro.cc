@@ -1,7 +1,17 @@
 // Micro-benchmarks (google-benchmark) for the hot primitives: signature
 // construction, satisfaction tests, satisfiability scoring, signature
-// hashing, Random Forest inference, per-node PSI evaluation, and plan
-// generation.
+// hashing, the batched candidate kernels, Random Forest inference, per-node
+// PSI evaluation, and plan generation.
+//
+// After the google-benchmark run, main() times the scalar vs batched
+// candidate pipeline directly and writes machine-readable results to
+// BENCH_candidates.json (override the path with PSI_BENCH_JSON).
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <numeric>
+#include <string>
 
 #include <benchmark/benchmark.h>
 
@@ -13,6 +23,9 @@
 #include "match/psi_evaluator.h"
 #include "ml/random_forest.h"
 #include "signature/builders.h"
+#include "signature/kernels.h"
+#include "signature/sparse_requirement.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -95,6 +108,142 @@ void BM_HashSignature(benchmark::State& state) {
 }
 BENCHMARK(BM_HashSignature);
 
+void BM_RowHash(benchmark::State& state) {
+  // Memoized counterpart of BM_HashSignature: steady-state cache-hit cost.
+  const auto& sigs = BenchSigs(signature::Method::kMatrix);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sigs.RowHash(i % sigs.num_rows()));
+    ++i;
+  }
+}
+BENCHMARK(BM_RowHash);
+
+/// Shared input of the candidate-pipeline benches: one realistic sparse
+/// query requirement plus a large shuffled candidate pool (ids repeat once
+/// past the graph size — each id is still an independent row sweep).
+struct CandidateWorkload {
+  std::vector<float> required;
+  signature::SparseRequirement req;
+  std::vector<graph::NodeId> pool;
+};
+
+const CandidateWorkload& BenchWorkload() {
+  static const CandidateWorkload* w = [] {
+    auto* work = new CandidateWorkload();
+    const graph::Graph& g = BenchGraph();
+    graph::QueryExtractor extractor(g);
+    util::Rng rng(13);
+    const graph::QueryGraph q = extractor.Extract(5, rng);
+    const auto qs = signature::BuildSignatures(
+        q, signature::Method::kMatrix, 2, g.num_labels());
+    const auto row = qs.row(q.pivot());
+    work->required.assign(row.begin(), row.end());
+    work->req.Assign(work->required);
+    work->pool.resize(1 << 16);
+    for (auto& c : work->pool) {
+      c = static_cast<graph::NodeId>(rng.NextBounded(g.num_nodes()));
+    }
+    return work;
+  }();
+  return *w;
+}
+
+std::vector<graph::NodeId> WorkloadSlice(size_t n) {
+  const auto& pool = BenchWorkload().pool;
+  return {pool.begin(), pool.begin() + std::min(n, pool.size())};
+}
+
+/// Pre-pipeline reference: dense O(L) satisfaction test per candidate.
+void ScalarFilter(const signature::SignatureMatrix& sigs,
+                  std::span<const float> required,
+                  std::span<const graph::NodeId> candidates,
+                  std::vector<graph::NodeId>& kept) {
+  kept.clear();
+  for (const graph::NodeId c : candidates) {
+    if (signature::Satisfies(sigs.row(c), required)) kept.push_back(c);
+  }
+}
+
+/// Pre-pipeline reference: dense per-candidate score + stable sort.
+void ScalarRank(const signature::SignatureMatrix& sigs,
+                std::span<const float> required,
+                std::vector<graph::NodeId>& candidates,
+                std::vector<float>& scores, std::vector<uint32_t>& order,
+                std::vector<graph::NodeId>& tmp) {
+  scores.resize(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    scores[i] = static_cast<float>(
+        signature::SatisfiabilityScore(sigs.row(candidates[i]), required));
+  }
+  order.resize(candidates.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return scores[a] > scores[b];
+  });
+  tmp.resize(candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) tmp[i] = candidates[order[i]];
+  candidates.swap(tmp);
+}
+
+void BM_FilterCandidates(benchmark::State& state) {
+  const auto& sigs = BenchSigs(signature::Method::kMatrix);
+  const auto& w = BenchWorkload();
+  const auto list = WorkloadSlice(static_cast<size_t>(state.range(0)));
+  const bool batched = state.range(1) == 1;
+  std::vector<graph::NodeId> buf;
+  for (auto _ : state) {
+    if (batched) {
+      buf.assign(list.begin(), list.end());
+      signature::FilterCandidates(sigs, w.req, buf);
+    } else {
+      ScalarFilter(sigs, w.required, list, buf);
+    }
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(list.size()));
+  state.SetLabel(batched ? "batched" : "scalar");
+}
+BENCHMARK(BM_FilterCandidates)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Args({16384, 0})
+    ->Args({16384, 1});
+
+void BM_ScoreAndRank(benchmark::State& state) {
+  const auto& sigs = BenchSigs(signature::Method::kMatrix);
+  const auto& w = BenchWorkload();
+  const auto list = WorkloadSlice(static_cast<size_t>(state.range(0)));
+  const bool batched = state.range(1) == 1;
+  std::vector<graph::NodeId> buf;
+  std::vector<float> scores;
+  std::vector<uint32_t> order;
+  std::vector<graph::NodeId> tmp;
+  signature::RankScratch scratch;
+  for (auto _ : state) {
+    buf.assign(list.begin(), list.end());
+    if (batched) {
+      signature::ScoreAndRank(sigs, w.req, buf, scratch);
+    } else {
+      ScalarRank(sigs, w.required, buf, scores, order, tmp);
+    }
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(list.size()));
+  state.SetLabel(batched ? "batched" : "scalar");
+}
+BENCHMARK(BM_ScoreAndRank)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Args({16384, 0})
+    ->Args({16384, 1});
+
 void BM_RandomForestPredict(benchmark::State& state) {
   const auto& sigs = BenchSigs(signature::Method::kMatrix);
   ml::Dataset data(sigs.num_labels());
@@ -170,6 +319,85 @@ void BM_ExtractPivotCandidates(benchmark::State& state) {
 }
 BENCHMARK(BM_ExtractPivotCandidates);
 
+/// Best-of-R wall-clock ns/candidate for one closure over a list of size n.
+template <typename Fn>
+double TimeNsPerCandidate(size_t n, Fn&& fn) {
+  constexpr int kReps = 5;
+  // Scale inner iterations so each rep does a comparable amount of work
+  // regardless of list size.
+  const int iters = static_cast<int>(std::max<size_t>(3, (1 << 21) / n));
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    util::WallTimer timer;
+    for (int i = 0; i < iters; ++i) fn();
+    const double ns =
+        timer.Seconds() * 1e9 / (static_cast<double>(iters) * n);
+    if (rep == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+/// Times the scalar (dense per-candidate) vs batched (sparse bulk kernel)
+/// candidate pipeline and writes BENCH_candidates.json — the PR's
+/// machine-checkable speedup artifact.
+void WriteCandidateKernelReport() {
+  const auto& sigs = BenchSigs(signature::Method::kMatrix);
+  const auto& w = BenchWorkload();
+  const char* env = std::getenv("PSI_BENCH_JSON");
+  const std::string path = env != nullptr ? env : "BENCH_candidates.json";
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"candidate_pipeline\",\n"
+      << "  \"graph\": \"yeast\",\n"
+      << "  \"num_labels\": " << sigs.num_labels() << ",\n"
+      << "  \"requirement_nnz\": " << w.req.nnz() << ",\n"
+      << "  \"avx2\": " << (signature::KernelsUseAvx2() ? "true" : "false")
+      << ",\n  \"sizes\": [";
+  bool first = true;
+  for (const size_t n : {size_t{1024}, size_t{4096}, size_t{16384}}) {
+    const auto list = WorkloadSlice(n);
+    std::vector<graph::NodeId> buf;
+    std::vector<float> scores;
+    std::vector<uint32_t> order;
+    std::vector<graph::NodeId> tmp;
+    signature::RankScratch scratch;
+
+    const double filter_scalar = TimeNsPerCandidate(
+        n, [&] { ScalarFilter(sigs, w.required, list, buf); });
+    const double filter_batched = TimeNsPerCandidate(n, [&] {
+      buf.assign(list.begin(), list.end());
+      signature::FilterCandidates(sigs, w.req, buf);
+    });
+    const double rank_scalar = TimeNsPerCandidate(n, [&] {
+      buf.assign(list.begin(), list.end());
+      ScalarRank(sigs, w.required, buf, scores, order, tmp);
+    });
+    const double rank_batched = TimeNsPerCandidate(n, [&] {
+      buf.assign(list.begin(), list.end());
+      signature::ScoreAndRank(sigs, w.req, buf, scratch);
+    });
+
+    out << (first ? "" : ",") << "\n    {\"candidates\": " << n
+        << ",\n     \"filter\": {\"scalar_ns_per_candidate\": "
+        << filter_scalar
+        << ", \"batched_ns_per_candidate\": " << filter_batched
+        << ", \"speedup\": " << filter_scalar / filter_batched << "},\n"
+        << "     \"rank\": {\"scalar_ns_per_candidate\": " << rank_scalar
+        << ", \"batched_ns_per_candidate\": " << rank_batched
+        << ", \"speedup\": " << rank_scalar / rank_batched << "}}";
+    first = false;
+  }
+  out << "\n  ]\n}\n";
+  printf("wrote %s (avx2=%d)\n", path.c_str(),
+         signature::KernelsUseAvx2() ? 1 : 0);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteCandidateKernelReport();
+  return 0;
+}

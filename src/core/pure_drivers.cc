@@ -13,7 +13,7 @@ PureDriverResult EvaluatePure(const graph::Graph& g,
   util::WallTimer timer;
   PureDriverResult result;
 
-  const QueryContext ctx = PrepareQuery(g, graph_sigs, q);
+  QueryContext ctx = PrepareQuery(g, graph_sigs, q);
   if (!ctx.feasible || ctx.candidates.empty()) {
     result.seconds = timer.Seconds();
     return result;
@@ -27,6 +27,14 @@ PureDriverResult EvaluatePure(const graph::Graph& g,
   eval_options.super_optimistic_limit = options.super_optimistic_limit;
   eval_options.deadline = options.deadline;
   eval_options.stop = options.stop;
+
+  if (options.strategy == PureStrategy::kPessimistic) {
+    // The pessimist checks every pivot candidate's signature anyway (no
+    // early exit at the driver level), so run the whole list through the
+    // bulk kernel once instead of one scalar check per EvaluateNode call.
+    evaluator.FilterPivotCandidates(ctx.candidates, &result.stats);
+    eval_options.pivot_prefiltered = true;
+  }
 
   for (const graph::NodeId u : ctx.candidates) {
     // Poll between candidates: the evaluator only checks every

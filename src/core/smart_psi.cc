@@ -27,11 +27,13 @@ using match::PsiMode;
 /// full optimistic strategy (super-optimistic pass + complete fallback).
 Outcome RunMethod(PsiEvaluator& evaluator, graph::NodeId node, bool optimistic,
                   size_t super_limit, util::Deadline deadline,
-                  util::StopToken stop, match::SearchStats* stats) {
+                  util::StopToken stop, match::SearchStats* stats,
+                  bool pivot_prefiltered = false) {
   PsiEvaluator::Options options;
   options.super_optimistic_limit = super_limit;
   options.deadline = deadline;
   options.stop = stop;
+  options.pivot_prefiltered = pivot_prefiltered;
   if (optimistic) {
     return evaluator.EvaluateNodeOptimisticStrategy(node, options, stats);
   }
@@ -178,8 +180,12 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
   // ---------------------------------------------------------------------
   if (candidates.size() < config_.min_candidates_for_ml) {
     util::WallTimer eval_timer;
-    PsiEvaluator evaluator(graph_, sigs());
+    match::SearchScratchPool::Lease scratch(&scratch_pool_);
+    PsiEvaluator evaluator(graph_, sigs(), scratch.get());
     evaluator.BindQuery(q, ctx.query_sigs, plan_pool[0]);
+    // Everything below runs pessimistically, so one bulk kernel sweep
+    // replaces the per-candidate pivot signature checks.
+    evaluator.FilterPivotCandidates(candidates, &result.search);
     for (const graph::NodeId u : candidates) {
       // Same rationale as the phase-2 loop below: poll between candidates
       // so small searches cannot slip past an expired deadline.
@@ -190,7 +196,7 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
       const Outcome outcome =
           RunMethod(evaluator, u, /*optimistic=*/false,
                     config_.super_optimistic_limit, deadline, stop,
-                    &result.search);
+                    &result.search, /*pivot_prefiltered=*/true);
       if (outcome == Outcome::kValid) {
         result.valid_nodes.push_back(u);
       } else if (outcome != Outcome::kInvalid) {
@@ -228,7 +234,8 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
   std::vector<util::RunningStats> plan_times(num_plans);
   util::RunningStats all_times;
 
-  PsiEvaluator trainer(graph_, sigs());
+  match::SearchScratchPool::Lease trainer_scratch(&scratch_pool_);
+  PsiEvaluator trainer(graph_, sigs(), trainer_scratch.get());
   bool training_aborted = false;
   for (const size_t idx : train_indices) {
     const graph::NodeId u = candidates[idx];
@@ -295,7 +302,7 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
     beta_data.AddExample(row, best_plan);
     if (node_valid) result.valid_nodes.push_back(u);
     if (config_.enable_cache) {
-      active_cache_->Insert(signature::HashSignature(row) ^ query_salt,
+      active_cache_->Insert(sigs().RowHash(u) ^ query_salt,
                             {node_valid, static_cast<uint32_t>(best_plan)});
     }
   }
@@ -338,7 +345,8 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
 
   std::atomic<bool> global_incomplete{false};
   auto evaluate_range = [&](size_t begin, size_t end, WorkerState& ws) {
-    PsiEvaluator evaluator(graph_, sigs());
+    match::SearchScratchPool::Lease scratch(&scratch_pool_);
+    PsiEvaluator evaluator(graph_, sigs(), scratch.get());
     for (size_t r = begin; r < end; ++r) {
       if (global_incomplete.load(std::memory_order_relaxed)) return;
       // Check before starting a candidate, not only inside the search (which
@@ -358,7 +366,7 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
       bool predicted_valid = false;
       uint32_t plan_index = 0;
       bool from_cache = false;
-      const uint64_t hash = signature::HashSignature(row) ^ query_salt;
+      const uint64_t hash = sigs().RowHash(u) ^ query_salt;
       if (config_.enable_cache) {
         if (const auto entry = active_cache_->Lookup(hash)) {
           predicted_valid = entry->valid;

@@ -10,6 +10,7 @@
 #include "graph/equivalence.h"
 #include "graph/graph.h"
 #include "graph/query_graph.h"
+#include "match/search_scratch.h"
 #include "signature/signature_matrix.h"
 #include "util/random.h"
 #include "util/stop_token.h"
@@ -107,6 +108,10 @@ class SmartPsiEngine {
   double signature_build_seconds_ = 0.0;
   PredictionCache cache_;
   PredictionCache* active_cache_ = &cache_;
+  /// Search arenas reused across queries: every evaluator built inside
+  /// Evaluate() leases one, so a long-lived engine (e.g. a service
+  /// worker's) reaches an allocation-free steady state per candidate.
+  match::SearchScratchPool scratch_pool_;
   std::unique_ptr<graph::EquivalenceClasses> equivalence_;
   util::Rng rng_;
 };

@@ -8,9 +8,17 @@
 
 namespace psi::match {
 
-/// Candidate pivot bindings for a pivoted query: all data nodes with the
-/// pivot's label and at least its degree (the candidate extraction step of
-/// the SmartPSI architecture, Figure 6). Sorted ascending.
+/// Candidate pivot bindings for a pivoted query (the candidate extraction
+/// step of the SmartPSI architecture, Figure 6): all data nodes that
+///   * carry the pivot's label,
+///   * have at least the pivot's degree, and
+///   * pass a cheap pivot-neighborhood pre-check: for every (edge label,
+///     neighbor label) pair class among the pivot's query edges, the node
+///     has at least as many matching data edges. A node missing such an
+///     edge can never bind the pivot (query neighbors map injectively), so
+///     obviously-dead candidates die here, before any signature work.
+/// Sorted ascending. The output vector is reserved from the pivot label's
+/// bucket size, so extraction never reallocates.
 std::vector<graph::NodeId> ExtractPivotCandidates(const graph::Graph& g,
                                                   const graph::QueryGraph& q);
 

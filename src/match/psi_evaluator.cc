@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "signature/kernels.h"
+
 namespace psi::match {
 
 const char* PsiModeName(PsiMode mode) {
@@ -18,14 +20,17 @@ const char* PsiModeName(PsiMode mode) {
 }
 
 PsiEvaluator::PsiEvaluator(const graph::Graph& g,
-                           const signature::SignatureMatrix& graph_sigs)
-    : graph_(g), graph_sigs_(graph_sigs) {
+                           const signature::SignatureMatrix& graph_sigs,
+                           SearchScratch* scratch)
+    : graph_(g),
+      graph_sigs_(graph_sigs),
+      scratch_(scratch != nullptr ? scratch : &owned_scratch_) {
   assert(graph_sigs.num_rows() == g.num_nodes());
 }
 
 void PsiEvaluator::BindQuery(const graph::QueryGraph& q,
                              const signature::SignatureMatrix& query_sigs,
-                             Plan plan) {
+                             const Plan& plan) {
   assert(q.has_pivot());
   assert(query_sigs.num_rows() == q.num_nodes());
   assert(query_sigs.num_labels() == graph_sigs_.num_labels());
@@ -33,31 +38,53 @@ void PsiEvaluator::BindQuery(const graph::QueryGraph& q,
   assert(query_sigs.decay() == graph_sigs_.decay());
   assert(IsValidPlan(q, plan, q.pivot()));
 
-  query_ = &q;
-  query_sigs_ = &query_sigs;
-  plan_ = std::move(plan);
-
-  const size_t n = q.num_nodes();
-  backward_.assign(n, {});
-  std::vector<size_t> plan_position(n, 0);
-  for (size_t i = 0; i < n; ++i) plan_position[plan_.order[i]] = i;
-  for (size_t level = 1; level < n; ++level) {
-    const graph::NodeId v = plan_.order[level];
-    for (const auto& [nbr, edge_label] : q.neighbors(v)) {
-      if (plan_position[nbr] < level) {
-        backward_[level].push_back({nbr, edge_label});
-      }
-    }
+  SearchScratch& s = *scratch_;
+  // Rebinding the same query/signatures/plan is a no-op: search always
+  // unwinds its mappings, so the arena is already in the bound state. This
+  // makes the per-candidate rebinds of the SmartPSI executor free whenever
+  // consecutive candidates run the same predicted plan.
+  if (query_ == &q && query_sigs_ == &query_sigs &&
+      s.plan.order == plan.order) {
+    return;
   }
 
-  mapping_.assign(n, graph::kInvalidNode);
-  mapped_stack_.assign(n, graph::kInvalidNode);
-  level_candidates_.resize(n);
+  query_ = &q;
+  query_sigs_ = &query_sigs;
+  s.plan.order.assign(plan.order.begin(), plan.order.end());
+
+  const size_t n = q.num_nodes();
+  s.plan_position.resize(n);
+  for (size_t i = 0; i < n; ++i) s.plan_position[s.plan.order[i]] = i;
+
+  s.backward_flat.clear();
+  s.backward_offsets.resize(n + 1);
+  s.backward_offsets[0] = 0;
+  for (size_t level = 0; level < n; ++level) {
+    if (level > 0) {
+      const graph::NodeId v = s.plan.order[level];
+      for (const auto& [nbr, edge_label] : q.neighbors(v)) {
+        if (s.plan_position[nbr] < level) {
+          s.backward_flat.push_back({nbr, edge_label});
+        }
+      }
+    }
+    s.backward_offsets[level + 1] =
+        static_cast<uint32_t>(s.backward_flat.size());
+  }
+
+  s.mapping.assign(n, graph::kInvalidNode);
+  s.mapped_stack.assign(n, graph::kInvalidNode);
+  s.level_candidates.resize(n);
+  s.level_reqs.resize(n);
+  for (size_t level = 0; level < n; ++level) {
+    s.level_reqs[level].Assign(query_sigs.row(s.plan.order[level]));
+  }
 }
 
 bool PsiEvaluator::IsUsed(graph::NodeId data_node, size_t level) const {
+  const SearchScratch& s = *scratch_;
   for (size_t i = 0; i < level; ++i) {
-    if (mapped_stack_[i] == data_node) return true;
+    if (s.mapped_stack[i] == data_node) return true;
   }
   return false;
 }
@@ -77,26 +104,30 @@ bool PsiEvaluator::ShouldAbort(const Options& options, Outcome* outcome) {
 }
 
 void PsiEvaluator::GenerateCandidates(size_t level, SearchStats* stats) {
-  const graph::NodeId v = plan_.order[level];
-  auto& out = level_candidates_[level];
+  SearchScratch& s = *scratch_;
+  const graph::NodeId v = s.plan.order[level];
+  auto& out = s.level_candidates[level];
   out.clear();
 
-  const auto& anchors = backward_[level];
-  assert(!anchors.empty() && "plans must be connected");
+  const BackwardNeighbor* anchors =
+      s.backward_flat.data() + s.backward_offsets[level];
+  const size_t num_anchors =
+      s.backward_offsets[level + 1] - s.backward_offsets[level];
+  assert(num_anchors > 0 && "plans must be connected");
 
   // Anchor on the mapped neighbor whose image has the smallest degree:
   // its adjacency is the cheapest superset of the candidate set.
   size_t anchor_index = 0;
   size_t anchor_degree = SIZE_MAX;
-  for (size_t i = 0; i < anchors.size(); ++i) {
-    const size_t deg = graph_.degree(mapping_[anchors[i].query_node]);
+  for (size_t i = 0; i < num_anchors; ++i) {
+    const size_t deg = graph_.degree(s.mapping[anchors[i].query_node]);
     if (deg < anchor_degree) {
       anchor_degree = deg;
       anchor_index = i;
     }
   }
   const BackwardNeighbor anchor = anchors[anchor_index];
-  const graph::NodeId anchor_image = mapping_[anchor.query_node];
+  const graph::NodeId anchor_image = s.mapping[anchor.query_node];
 
   const graph::Label want_label = query_->label(v);
   const size_t want_degree = query_->degree(v);
@@ -112,10 +143,10 @@ void PsiEvaluator::GenerateCandidates(size_t level, SearchStats* stats) {
     if (IsUsed(c, level)) continue;
     // Verify edges to the remaining mapped query neighbors.
     bool consistent = true;
-    for (size_t a = 0; a < anchors.size(); ++a) {
+    for (size_t a = 0; a < num_anchors; ++a) {
       if (a == anchor_index) continue;
       const auto edge_label =
-          graph_.EdgeLabelBetween(mapping_[anchors[a].query_node], c);
+          graph_.EdgeLabelBetween(s.mapping[anchors[a].query_node], c);
       if (!edge_label.has_value() || *edge_label != anchors[a].edge_label) {
         consistent = false;
         break;
@@ -131,63 +162,51 @@ Outcome PsiEvaluator::Search(size_t level, const Options& options,
   Outcome abort_outcome;
   if (ShouldAbort(options, &abort_outcome)) return abort_outcome;
 
+  SearchScratch& s = *scratch_;
   // Line 1: full mapping -> a first embedding exists; PSI stops here.
-  if (level == plan_.size()) return Outcome::kValid;
+  if (level == s.plan.size()) return Outcome::kValid;
 
-  const graph::NodeId v = plan_.order[level];
+  const graph::NodeId v = s.plan.order[level];
   GenerateCandidates(level, stats);
-  auto& candidates = level_candidates_[level];
+  auto& candidates = s.level_candidates[level];
+  const signature::SparseRequirement& req = s.level_reqs[level];
 
-  // Line 4 (super optimistic): cap the candidate list *before* sorting so
-  // the sorting overhead is bounded too.
-  if (options.mode == PsiMode::kSuperOptimistic &&
-      candidates.size() > options.super_optimistic_limit) {
-    candidates.resize(options.super_optimistic_limit);
-  }
-
-  // Line 5 (optimist): visit high satisfiability scores first.
-  if (options.mode == PsiMode::kOptimistic ||
-      options.mode == PsiMode::kSuperOptimistic) {
-    if (candidates.size() > 1) {
-      score_buffer_.clear();
-      const auto required = query_sigs_->row(v);
-      for (const graph::NodeId c : candidates) {
-        score_buffer_.emplace_back(
-            static_cast<float>(
-                signature::SatisfiabilityScore(graph_sigs_.row(c), required)),
-            c);
-      }
-      std::stable_sort(score_buffer_.begin(), score_buffer_.end(),
-                       [](const auto& a, const auto& b) {
-                         return a.first > b.first;
-                       });
-      for (size_t i = 0; i < candidates.size(); ++i) {
-        candidates[i] = score_buffer_[i].second;
-      }
+  if (options.mode == PsiMode::kPessimistic) {
+    // Line 7 (pessimist): prune candidates whose neighborhood signature
+    // cannot satisfy the query node's signature (Proposition 3.2) — one
+    // kernel sweep over the whole list instead of a check per candidate.
+    if (stats != nullptr) stats->signature_checks += candidates.size();
+    const size_t pruned =
+        signature::FilterCandidates(graph_sigs_, req, candidates);
+    if (stats != nullptr) stats->pruned_by_signature += pruned;
+  } else {
+    // Line 4 (super optimistic): cap the candidate list *before* sorting
+    // so the sorting overhead is bounded too; line 5 (optimist): visit
+    // high satisfiability scores first.
+    const bool capped = options.mode == PsiMode::kSuperOptimistic;
+    const size_t limit = capped ? options.super_optimistic_limit : SIZE_MAX;
+    const size_t effective = std::min(candidates.size(), limit);
+    if (effective > 1) {
+      signature::ScoreAndRank(graph_sigs_, req, candidates, s.rank,
+                              capped ? limit : 0,
+                              capped ? signature::RankMode::kCapFirst
+                                     : signature::RankMode::kFull);
       if (stats != nullptr) ++stats->score_sorts;
+    } else if (candidates.size() > effective) {
+      candidates.resize(effective);
     }
   }
 
   for (size_t idx = 0; idx < candidates.size(); ++idx) {
     const graph::NodeId c = candidates[idx];
-    // Line 7 (pessimist): prune candidates whose neighborhood signature
-    // cannot satisfy the query node's signature (Proposition 3.2).
-    if (options.mode == PsiMode::kPessimistic) {
-      if (stats != nullptr) ++stats->signature_checks;
-      if (!signature::Satisfies(graph_sigs_.row(c), query_sigs_->row(v))) {
-        if (stats != nullptr) ++stats->pruned_by_signature;
-        continue;
-      }
-    }
-    mapping_[v] = c;
-    mapped_stack_[level] = c;
+    s.mapping[v] = c;
+    s.mapped_stack[level] = c;
     const Outcome result = Search(level + 1, options, stats);
-    mapping_[v] = graph::kInvalidNode;
-    mapped_stack_[level] = graph::kInvalidNode;
+    s.mapping[v] = graph::kInvalidNode;
+    s.mapped_stack[level] = graph::kInvalidNode;
     if (result != Outcome::kInvalid) return result;
-    // Re-fill: deeper levels may have clobbered nothing (each level has its
-    // own buffer), but `candidates` is a reference to this level's buffer,
-    // which Search(level + 1) never touches — safe to continue iterating.
+    // `candidates` references this level's buffer, which deeper levels
+    // never touch — safe to continue iterating.
   }
   return Outcome::kInvalid;
 }
@@ -196,6 +215,7 @@ Outcome PsiEvaluator::EvaluateNode(graph::NodeId candidate,
                                    const Options& options,
                                    SearchStats* stats) {
   assert(query_ != nullptr && "BindQuery first");
+  SearchScratch& s = *scratch_;
   const graph::NodeId pivot = query_->pivot();
   if (stats != nullptr) ++stats->candidates_examined;
   if (graph_.label(candidate) != query_->label(pivot)) {
@@ -204,19 +224,19 @@ Outcome PsiEvaluator::EvaluateNode(graph::NodeId candidate,
   if (graph_.degree(candidate) < query_->degree(pivot)) {
     return Outcome::kInvalid;
   }
-  if (options.mode == PsiMode::kPessimistic) {
+  if (options.mode == PsiMode::kPessimistic && !options.pivot_prefiltered) {
     if (stats != nullptr) ++stats->signature_checks;
-    if (!signature::Satisfies(graph_sigs_.row(candidate),
-                              query_sigs_->row(pivot))) {
+    if (!signature::internal::RowSatisfies(graph_sigs_.row(candidate),
+                                           s.level_reqs[0])) {
       if (stats != nullptr) ++stats->pruned_by_signature;
       return Outcome::kInvalid;
     }
   }
-  mapping_[pivot] = candidate;
-  mapped_stack_[0] = candidate;
+  s.mapping[pivot] = candidate;
+  s.mapped_stack[0] = candidate;
   const Outcome result = Search(1, options, stats);
-  mapping_[pivot] = graph::kInvalidNode;
-  mapped_stack_[0] = graph::kInvalidNode;
+  s.mapping[pivot] = graph::kInvalidNode;
+  s.mapped_stack[0] = graph::kInvalidNode;
   return result;
 }
 
@@ -232,6 +252,16 @@ Outcome PsiEvaluator::EvaluateNodeOptimisticStrategy(graph::NodeId candidate,
   Options full = options;
   full.mode = PsiMode::kOptimistic;
   return EvaluateNode(candidate, full, stats);
+}
+
+size_t PsiEvaluator::FilterPivotCandidates(
+    std::vector<graph::NodeId>& candidates, SearchStats* stats) {
+  assert(query_ != nullptr && "BindQuery first");
+  if (stats != nullptr) stats->signature_checks += candidates.size();
+  const size_t pruned = signature::FilterCandidates(
+      graph_sigs_, scratch_->level_reqs[0], candidates);
+  if (stats != nullptr) stats->pruned_by_signature += pruned;
+  return pruned;
 }
 
 }  // namespace psi::match

@@ -6,6 +6,7 @@
 #include "graph/graph.h"
 #include "graph/query_graph.h"
 #include "match/plan.h"
+#include "match/search_scratch.h"
 #include "match/search_stats.h"
 #include "signature/signature_matrix.h"
 #include "util/stop_token.h"
@@ -39,31 +40,48 @@ const char* PsiModeName(PsiMode mode);
 ///   for (NodeId u : candidates)
 ///     if (eval.EvaluateNode(u, opts, &stats) == Outcome::kValid) ...
 ///
-/// The evaluator owns reusable scratch buffers; it is cheap to rebind and
-/// must not be shared across threads concurrently. Query/plan/signature
-/// references must outlive the binding.
+/// Per-level signature work runs through the batched kernels of
+/// src/signature/kernels.h over sparse per-query-node requirement views,
+/// so satisfaction filtering and score ranking cost O(nnz) per candidate
+/// and sweep whole candidate lists in one pass (DESIGN.md §9).
+///
+/// All mutable state lives in a SearchScratch arena: pass one in to reuse
+/// buffers across evaluator instances (the SmartPSI engine pools them per
+/// worker); without one the evaluator owns a private arena. Rebinding the
+/// same (query, signatures, plan) is a no-op, and rebinding anything else
+/// reuses the arena's capacity — per-candidate rebinds allocate nothing
+/// after warmup. The evaluator must not be shared across threads
+/// concurrently; query/plan/signature references must outlive the binding.
 class PsiEvaluator {
  public:
   struct Options {
     PsiMode mode = PsiMode::kPessimistic;
     /// Candidate cap for kSuperOptimistic (paper uses 10).
     size_t super_optimistic_limit = 10;
+    /// Set by drivers that already ran the whole candidate list through
+    /// FilterPivotCandidates: EvaluateNode then skips the redundant
+    /// per-candidate pivot satisfaction check.
+    bool pivot_prefiltered = false;
     util::Deadline deadline;
     util::StopToken stop;
   };
 
   /// `graph_sigs` must have one row per node of `g`. Both must outlive the
-  /// evaluator.
+  /// evaluator. `scratch`, if given, is borrowed for the evaluator's
+  /// lifetime (nullptr = use an internal arena).
   PsiEvaluator(const graph::Graph& g,
-               const signature::SignatureMatrix& graph_sigs);
+               const signature::SignatureMatrix& graph_sigs,
+               SearchScratch* scratch = nullptr);
 
   /// Binds the query to evaluate against. `query_sigs` must have one row
   /// per query node, the same column count as the graph signatures, and be
   /// built with the same Method/depth. `plan` must be valid for `q` rooted
-  /// at the pivot; it is copied, so a temporary is fine. `q` and
-  /// `query_sigs` are held by reference and must outlive the binding.
+  /// at the pivot; it is copied into the scratch arena, so a temporary is
+  /// fine. `q` and `query_sigs` are held by reference and must outlive the
+  /// binding.
   void BindQuery(const graph::QueryGraph& q,
-                 const signature::SignatureMatrix& query_sigs, Plan plan);
+                 const signature::SignatureMatrix& query_sigs,
+                 const Plan& plan);
 
   /// Evaluates one candidate with the bound query using `options.mode`.
   Outcome EvaluateNode(graph::NodeId candidate, const Options& options,
@@ -76,16 +94,19 @@ class PsiEvaluator {
                                          const Options& options,
                                          SearchStats* stats = nullptr);
 
- private:
-  struct BackwardNeighbor {
-    graph::NodeId query_node;  // earlier-in-plan query neighbor
-    graph::Label edge_label;
-  };
+  /// Bulk Proposition-3.2 prefilter of pivot candidates: one kernel sweep
+  /// over the whole list instead of one check per EvaluateNode call.
+  /// Removes (in place, order-preserving) exactly the candidates the
+  /// per-candidate pessimistic pivot check would prune; returns how many.
+  /// Callers then set Options::pivot_prefiltered on the survivors' runs.
+  size_t FilterPivotCandidates(std::vector<graph::NodeId>& candidates,
+                               SearchStats* stats = nullptr);
 
+ private:
   Outcome Search(size_t level, const Options& options, SearchStats* stats);
 
-  /// Fills level_candidates_[level] with data nodes consistent with all
-  /// already-mapped query neighbors of plan node `level`.
+  /// Fills the level's candidate buffer with data nodes consistent with
+  /// all already-mapped query neighbors of plan node `level`.
   void GenerateCandidates(size_t level, SearchStats* stats);
 
   bool IsUsed(graph::NodeId data_node, size_t level) const;
@@ -100,21 +121,10 @@ class PsiEvaluator {
 
   const graph::QueryGraph* query_ = nullptr;
   const signature::SignatureMatrix* query_sigs_ = nullptr;
-  Plan plan_;
 
-  /// backward_[level] = query neighbors of plan.order[level] that appear
-  /// earlier in the plan (precomputed at BindQuery).
-  std::vector<std::vector<BackwardNeighbor>> backward_;
-
-  /// mapping_[query node] = data node or kInvalidNode.
-  std::vector<graph::NodeId> mapping_;
-
-  /// mapped_stack_[i] = data node mapped at plan level i (for used checks).
-  std::vector<graph::NodeId> mapped_stack_;
-
-  /// Per-level candidate buffers (reused across calls).
-  std::vector<std::vector<graph::NodeId>> level_candidates_;
-  std::vector<std::pair<float, graph::NodeId>> score_buffer_;
+  /// Owned fallback arena; scratch_ points here unless one was passed in.
+  SearchScratch owned_scratch_;
+  SearchScratch* scratch_;
 
   uint32_t steps_until_check_ = kCheckInterval;
 };

@@ -18,6 +18,7 @@ PsiService::PsiService(const graph::Graph& g, ServiceOptions options)
       g, options_.engine.signature_method, options_.engine.signature_depth,
       g.num_labels(), pool_.get(), options_.engine.signature_decay);
   signature_build_seconds_ = timer.Seconds();
+  PrewarmRowHashes();
   StartWorkers();
 }
 
@@ -28,7 +29,23 @@ PsiService::PsiService(const graph::Graph& g,
   assert(graph_sigs_.num_rows() == g.num_nodes());
   options_.num_workers = std::max<size_t>(1, options_.num_workers);
   pool_ = std::make_unique<util::ThreadPool>(options_.num_workers);
+  PrewarmRowHashes();
   StartWorkers();
+}
+
+void PsiService::PrewarmRowHashes() {
+  if (!options_.prewarm_row_hashes) return;
+  const size_t n = graph_sigs_.num_rows();
+  if (n == 0) return;
+  const size_t chunks = options_.num_workers * 4;
+  const size_t chunk_size = (n + chunks - 1) / chunks;
+  for (size_t begin = 0; begin < n; begin += chunk_size) {
+    const size_t end = std::min(n, begin + chunk_size);
+    pool_->Submit([this, begin, end] {
+      for (size_t i = begin; i < end; ++i) graph_sigs_.RowHash(i);
+    });
+  }
+  pool_->Wait();
 }
 
 void PsiService::StartWorkers() {

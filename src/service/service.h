@@ -36,6 +36,12 @@ struct ServiceOptions {
   /// unbounded execution.
   double default_deadline_seconds = 0.0;
 
+  /// Compute every data row's memoized signature hash
+  /// (SignatureMatrix::RowHash, the prediction-cache key) on the service
+  /// pool at startup instead of lazily on first use, trading startup time
+  /// for steady first-query latency.
+  bool prewarm_row_hashes = false;
+
   /// Per-worker engine tuning. num_threads is forced to 1 and
   /// query_keyed_cache to true regardless of what is set here (the service
   /// owns parallelism and shares one cache across query shapes).
@@ -111,6 +117,7 @@ class PsiService {
 
  private:
   void StartWorkers();
+  void PrewarmRowHashes();
   QueryResponse Run(QueryRequest request, util::WallTimer admission_timer);
 
   core::SmartPsiEngine* CheckoutEngine();

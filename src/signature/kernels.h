@@ -1,0 +1,96 @@
+#ifndef SMARTPSI_SIGNATURE_KERNELS_H_
+#define SMARTPSI_SIGNATURE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "signature/signature_matrix.h"
+#include "signature/sparse_requirement.h"
+
+namespace psi::signature {
+
+/// Bulk satisfaction/score kernels over whole candidate lists (DESIGN.md
+/// §9). Each candidate id is a row of the signature matrix; the kernels
+/// sweep those rows in one pass instead of one scalar call per candidate,
+/// touching only the O(nnz) labels of the sparse query requirement. The
+/// scalar loops are structured for auto-vectorization; when the library is
+/// built with the AVX2 toggle (see README) and the CPU supports it, an
+/// explicit gather-based AVX2 path is dispatched at runtime. All paths make
+/// byte-identical decisions, scores, and orderings (property-tested against
+/// the dense scalar reference in signature_matrix.h).
+
+/// True when the explicit AVX2 kernels were compiled in AND the running CPU
+/// supports them (runtime dispatch; scalar fallback otherwise).
+bool KernelsUseAvx2();
+
+/// Removes the candidates whose signature rows do not satisfy `req`
+/// (Proposition 3.2), in place and order-preserving. Returns the number of
+/// candidates pruned. Decisions are bit-identical to calling the scalar
+/// Satisfies(sigs.row(c), required) per candidate.
+size_t FilterCandidates(const SignatureMatrix& sigs,
+                        const SparseRequirement& req,
+                        std::vector<graph::NodeId>& candidates);
+
+/// Fills scores[i] with the satisfiability score of candidates[i], as the
+/// float the search actually sorts by: bit-identical to
+/// static_cast<float>(SatisfiabilityScore(sigs.row(c), required)).
+/// `scores` must have candidates.size() entries.
+void ScoreCandidates(const SignatureMatrix& sigs, const SparseRequirement& req,
+                     std::span<const graph::NodeId> candidates,
+                     std::span<float> scores);
+
+/// How ScoreAndRank treats its `k` argument.
+enum class RankMode {
+  /// Rank the whole list; `k` is ignored.
+  kFull,
+  /// Truncate to the *first* k candidates (the super-optimist's cap,
+  /// Algorithm 1 line 4 — applied before sorting so sorting work is
+  /// bounded too), then rank those.
+  kCapFirst,
+  /// Keep the k *best-scoring* candidates via a bounded partial-sort
+  /// (ties broken by original position). Equivalent to the first k
+  /// entries of a kFull ranking, computed in O(n log k).
+  kTopKByScore,
+};
+
+/// Reusable buffers for ScoreAndRank; hold one per search scratch so
+/// repeated rankings allocate nothing after warmup.
+struct RankScratch {
+  std::vector<float> scores;
+  std::vector<uint32_t> order;
+  std::vector<uint64_t> keys;
+  std::vector<graph::NodeId> tmp;
+};
+
+/// Reorders `candidates` by satisfiability score, descending, stable (ties
+/// keep their original relative order) — exactly the order the optimist
+/// visits. The ranking is bit-identical to scoring every candidate with the
+/// scalar reference and stable-sorting by the float score.
+void ScoreAndRank(const SignatureMatrix& sigs, const SparseRequirement& req,
+                  std::vector<graph::NodeId>& candidates, RankScratch& scratch,
+                  size_t k = 0, RankMode mode = RankMode::kFull);
+
+namespace internal {
+
+/// One-row primitives backing the bulk kernels (scalar or AVX2, dispatched
+/// once at load). Exposed for tests and benchmarks.
+bool RowSatisfies(std::span<const float> row, const SparseRequirement& req);
+double RowScore(std::span<const float> row, const SparseRequirement& req);
+
+#if defined(PSI_HAVE_AVX2_KERNELS)
+/// Definitions live in kernels_avx2.cc, compiled with -mavx2; only called
+/// after a runtime __builtin_cpu_supports("avx2") check.
+bool RowSatisfiesAvx2(const float* row, const uint32_t* idx, const float* val,
+                      size_t nnz);
+double RowScoreAvx2(const float* row, const uint32_t* idx, const double* val,
+                    size_t nnz);
+#endif
+
+}  // namespace internal
+
+}  // namespace psi::signature
+
+#endif  // SMARTPSI_SIGNATURE_KERNELS_H_

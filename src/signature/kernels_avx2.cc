@@ -1,0 +1,62 @@
+// Explicit AVX2 row kernels, compiled with -mavx2 in this translation unit
+// only (the rest of the library stays at the base ISA). kernels.cc calls
+// these strictly behind a runtime __builtin_cpu_supports("avx2") check.
+//
+// Bit-identity with the scalar reference is a hard requirement (the search
+// must visit candidates in exactly the same order): the satisfaction kernel
+// performs the same float add + compare, and the score kernel performs the
+// same exactly-rounded double divisions with the same left-to-right
+// accumulation order — only the data movement is vectorized.
+
+#include "signature/kernels.h"
+
+#if defined(PSI_HAVE_AVX2_KERNELS)
+
+#include <immintrin.h>
+
+namespace psi::signature::internal {
+
+bool RowSatisfiesAvx2(const float* row, const uint32_t* idx, const float* val,
+                      size_t nnz) {
+  const __m256 eps = _mm256_set1_ps(kSatisfactionEpsilon);
+  size_t j = 0;
+  for (; j + 8 <= nnz; j += 8) {
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + j));
+    const __m256 cand = _mm256_i32gather_ps(row, vi, 4);
+    const __m256 need = _mm256_loadu_ps(val + j);
+    const __m256 fail =
+        _mm256_cmp_ps(_mm256_add_ps(cand, eps), need, _CMP_LT_OQ);
+    if (_mm256_movemask_ps(fail) != 0) return false;
+  }
+  for (; j < nnz; ++j) {
+    if (row[idx[j]] + kSatisfactionEpsilon < val[j]) return false;
+  }
+  return true;
+}
+
+double RowScoreAvx2(const float* row, const uint32_t* idx, const double* val,
+                    size_t nnz) {
+  if (nnz == 0) return 0.0;
+  alignas(32) double quot[8];
+  double sum = 0.0;
+  size_t j = 0;
+  for (; j + 8 <= nnz; j += 8) {
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + j));
+    const __m256 cand = _mm256_i32gather_ps(row, vi, 4);
+    const __m256d lo = _mm256_cvtps_pd(_mm256_castps256_ps128(cand));
+    const __m256d hi = _mm256_cvtps_pd(_mm256_extractf128_ps(cand, 1));
+    _mm256_store_pd(quot, _mm256_div_pd(lo, _mm256_loadu_pd(val + j)));
+    _mm256_store_pd(quot + 4, _mm256_div_pd(hi, _mm256_loadu_pd(val + j + 4)));
+    for (int t = 0; t < 8; ++t) sum += quot[t];
+  }
+  for (; j < nnz; ++j) {
+    sum += static_cast<double>(row[idx[j]]) / val[j];
+  }
+  return sum / static_cast<double>(nnz);
+}
+
+}  // namespace psi::signature::internal
+
+#endif  // PSI_HAVE_AVX2_KERNELS

@@ -5,10 +5,6 @@
 
 namespace psi::signature {
 
-namespace {
-constexpr float kSatisfactionEpsilon = 1e-5f;
-}  // namespace
-
 const char* MethodName(Method method) {
   switch (method) {
     case Method::kExploration:

@@ -1,12 +1,20 @@
 #ifndef SMARTPSI_SIGNATURE_SIGNATURE_MATRIX_H_
 #define SMARTPSI_SIGNATURE_SIGNATURE_MATRIX_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 namespace psi::signature {
+
+/// Slack added to the candidate side of every satisfaction comparison so
+/// float rounding cannot prune exact-equality matches (a node can always
+/// match itself). Shared by the scalar reference tests and the batched
+/// kernels so both make byte-identical decisions.
+inline constexpr float kSatisfactionEpsilon = 1e-5f;
 
 /// How a signature matrix was produced. Pruning and scoring are only sound
 /// when the query-side and data-side signatures come from the same method
@@ -22,6 +30,8 @@ enum class Method {
 };
 
 const char* MethodName(Method method);
+
+uint64_t HashSignature(std::span<const float> row);
 
 /// Dense row-major (num_rows × num_labels) float matrix of neighborhood
 /// signatures: row u, column l = weight of label l around node u
@@ -40,7 +50,26 @@ class SignatureMatrix {
         method_(method),
         depth_(depth),
         decay_(decay),
-        data_(num_rows * num_labels, 0.0f) {}
+        data_(num_rows * num_labels, 0.0f),
+        row_hashes_(MakeHashSlots(num_rows)) {}
+
+  /// Copies drop the memoized row hashes (recomputed lazily on demand).
+  SignatureMatrix(const SignatureMatrix& other)
+      : num_rows_(other.num_rows_),
+        num_labels_(other.num_labels_),
+        method_(other.method_),
+        depth_(other.depth_),
+        decay_(other.decay_),
+        data_(other.data_),
+        row_hashes_(MakeHashSlots(other.num_rows_)) {}
+
+  SignatureMatrix& operator=(const SignatureMatrix& other) {
+    if (this != &other) *this = SignatureMatrix(other);
+    return *this;
+  }
+
+  SignatureMatrix(SignatureMatrix&&) = default;
+  SignatureMatrix& operator=(SignatureMatrix&&) = default;
 
   size_t num_rows() const { return num_rows_; }
   size_t num_labels() const { return num_labels_; }
@@ -63,16 +92,48 @@ class SignatureMatrix {
   float& at(size_t i, size_t l) { return data_[i * num_labels_ + l]; }
 
   /// Swaps the backing stores of two equally-shaped matrices (double
-  /// buffering inside the matrix builder).
-  void SwapData(SignatureMatrix& other) { data_.swap(other.data_); }
+  /// buffering inside the matrix builder). Memoized row hashes follow
+  /// their data.
+  void SwapData(SignatureMatrix& other) {
+    data_.swap(other.data_);
+    row_hashes_.swap(other.row_hashes_);
+  }
+
+  /// Lazily computed, memoized HashSignature(row(i)) — the prediction-cache
+  /// key of hot candidates, so repeated lookups stop rehashing the full
+  /// row. Thread-safe for concurrent readers (the service shares one
+  /// matrix across workers): a duplicated first computation is benign since
+  /// every thread derives the same value from the immutable row.
+  ///
+  /// Only call once the matrix contents are final — mutating a row through
+  /// the non-const accessors does not invalidate an already-memoized hash.
+  /// In the astronomically unlikely case a row hashes to the reserved
+  /// "unset" sentinel 0, a fixed substitute is memoized instead; callers
+  /// use the value as an opaque cache key, so this never affects results.
+  uint64_t RowHash(size_t i) const {
+    std::atomic<uint64_t>& slot = row_hashes_[i];
+    uint64_t h = slot.load(std::memory_order_relaxed);
+    if (h != 0) return h;
+    h = HashSignature(row(i));
+    if (h == 0) h = 0x9e3779b97f4a7c15ULL;
+    slot.store(h, std::memory_order_relaxed);
+    return h;
+  }
 
  private:
+  static std::unique_ptr<std::atomic<uint64_t>[]> MakeHashSlots(size_t n) {
+    return n == 0 ? nullptr
+                  : std::make_unique<std::atomic<uint64_t>[]>(n);
+  }
+
   size_t num_rows_ = 0;
   size_t num_labels_ = 0;
   Method method_ = Method::kExploration;
   uint32_t depth_ = 0;
   float decay_ = kDefaultDecay;
   std::vector<float> data_;
+  /// RowHash memoization; slot value 0 = not yet computed.
+  mutable std::unique_ptr<std::atomic<uint64_t>[]> row_hashes_;
 };
 
 /// Satisfaction test (paper §3.2): `candidate` satisfies `required` iff for
@@ -94,8 +155,8 @@ double SatisfiabilityScore(std::span<const float> candidate,
 /// 2^-depth for exploration signatures; matrix weights are quantized to
 /// 1/1024). Two nodes with equal hashes almost surely have identical
 /// neighborhoods at the signature's resolution — the key of SmartPSI's
-/// prediction cache (paper §4.2.3).
-uint64_t HashSignature(std::span<const float> row);
+/// prediction cache (paper §4.2.3). Declared above the SignatureMatrix
+/// class; hot callers should prefer the memoized SignatureMatrix::RowHash.
 
 }  // namespace psi::signature
 

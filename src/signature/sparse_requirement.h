@@ -1,0 +1,103 @@
+#ifndef SMARTPSI_SIGNATURE_SPARSE_REQUIREMENT_H_
+#define SMARTPSI_SIGNATURE_SPARSE_REQUIREMENT_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "signature/signature_matrix.h"
+
+namespace psi::signature {
+
+/// Sparse view of one query-node signature row: the indices and values of
+/// the entries with `required[l] > 0`, in ascending label order.
+///
+/// Query signatures are sparse — a query node only reaches a handful of the
+/// data graph's L labels — so precomputing this view once per query node
+/// turns every satisfaction test (Proposition 3.2) and satisfiability score
+/// (§3.3) from an O(L) sweep into an O(nnz) one. Satisfies() and Score()
+/// perform exactly the same float/double operations in the same order as
+/// the dense reference functions in signature_matrix.h, so their results
+/// are bit-identical (property-tested).
+///
+/// Assign() reuses the internal buffers, so a SparseRequirement held in
+/// search scratch is allocation-free across rebinds after warmup.
+class SparseRequirement {
+ public:
+  SparseRequirement() = default;
+
+  explicit SparseRequirement(std::span<const float> required) {
+    Assign(required);
+  }
+
+  /// Rebuilds the view from a dense required row, reusing capacity.
+  void Assign(std::span<const float> required) {
+    dim_ = required.size();
+    indices_.clear();
+    values_.clear();
+    values_d_.clear();
+    for (size_t l = 0; l < required.size(); ++l) {
+      if (required[l] > 0.0f) {
+        indices_.push_back(static_cast<uint32_t>(l));
+        values_.push_back(required[l]);
+        values_d_.push_back(static_cast<double>(required[l]));
+      }
+    }
+  }
+
+  /// Length of the dense row this view was built from.
+  size_t dim() const { return dim_; }
+
+  /// Number of labels with a positive requirement.
+  size_t nnz() const { return indices_.size(); }
+
+  /// Ascending label indices of the positive requirements.
+  std::span<const uint32_t> indices() const { return indices_; }
+
+  /// Required weights, parallel to indices().
+  std::span<const float> values() const { return values_; }
+
+  /// Required weights widened to double (the score kernels divide in
+  /// double precision, exactly like the dense reference).
+  std::span<const double> values_double() const { return values_d_; }
+
+  /// Bit-identical to Satisfies(candidate, required) for the row this view
+  /// was built from. `candidate` must have dim() entries.
+  bool Satisfies(std::span<const float> candidate) const {
+    assert(candidate.size() == dim_);
+    const uint32_t* idx = indices_.data();
+    const float* val = values_.data();
+    const size_t n = indices_.size();
+    for (size_t j = 0; j < n; ++j) {
+      if (candidate[idx[j]] + kSatisfactionEpsilon < val[j]) return false;
+    }
+    return true;
+  }
+
+  /// Bit-identical to SatisfiabilityScore(candidate, required): same
+  /// divisions, same left-to-right double accumulation.
+  double Score(std::span<const float> candidate) const {
+    assert(candidate.size() == dim_);
+    const uint32_t* idx = indices_.data();
+    const double* val = values_d_.data();
+    const size_t n = indices_.size();
+    if (n == 0) return 0.0;
+    double sum = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      sum += static_cast<double>(candidate[idx[j]]) / val[j];
+    }
+    return sum / static_cast<double>(n);
+  }
+
+ private:
+  size_t dim_ = 0;
+  std::vector<uint32_t> indices_;
+  std::vector<float> values_;
+  std::vector<double> values_d_;
+};
+
+}  // namespace psi::signature
+
+#endif  // SMARTPSI_SIGNATURE_SPARSE_REQUIREMENT_H_

@@ -22,14 +22,103 @@ TEST(ExtractPivotCandidatesTest, DegreeFilter) {
   const graph::Graph g = psi::testing::MakeFigure1Graph();
   graph::QueryGraph q;
   const graph::NodeId v = q.AddNode(psi::testing::kA);
-  for (int i = 0; i < 3; ++i) {
-    const graph::NodeId w = q.AddNode(psi::testing::kB);
-    q.AddEdge(v, w);
-  }
+  q.AddEdge(v, q.AddNode(psi::testing::kB));
+  q.AddEdge(v, q.AddNode(psi::testing::kC));
+  q.AddEdge(v, q.AddNode(psi::testing::kC));
   q.set_pivot(v);
-  // Pivot degree 3: only u1 (degree 4) qualifies; u6 has degree 2.
+  // Pivot degree 3: only u1 (degree 4, neighbors B,C,C,B) qualifies; u6
+  // has degree 2.
   const auto candidates = ExtractPivotCandidates(g, q);
   EXPECT_EQ(candidates, (std::vector<graph::NodeId>{0}));
+}
+
+TEST(ExtractPivotCandidatesTest, NeighborLabelMultiplicityPrunes) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  graph::QueryGraph q;
+  const graph::NodeId v = q.AddNode(psi::testing::kA);
+  for (int i = 0; i < 3; ++i) {
+    q.AddEdge(v, q.AddNode(psi::testing::kB));
+  }
+  q.set_pivot(v);
+  // The pivot demands three distinct B-neighbors. u1 has degree 4 but only
+  // two B-neighbors (u2, u5), so no embedding can bind it: the
+  // neighborhood pre-check eliminates it before any signature work.
+  EXPECT_TRUE(ExtractPivotCandidates(g, q).empty());
+}
+
+TEST(ExtractPivotCandidatesTest, MissingNeighborLabelPrunes) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  graph::QueryGraph q;
+  const graph::NodeId v = q.AddNode(psi::testing::kA);
+  q.AddEdge(v, q.AddNode(psi::testing::kD));  // no data node has label D
+  q.set_pivot(v);
+  EXPECT_TRUE(ExtractPivotCandidates(g, q).empty());
+}
+
+TEST(ExtractPivotCandidatesTest, EdgeLabelMismatchPrunes) {
+  graph::GraphBuilder b;
+  const graph::NodeId u0 = b.AddNode(psi::testing::kA);
+  const graph::NodeId u1 = b.AddNode(psi::testing::kB);
+  const graph::NodeId u2 = b.AddNode(psi::testing::kA);
+  const graph::NodeId u3 = b.AddNode(psi::testing::kB);
+  b.AddEdge(u0, u1, /*label=*/1);
+  b.AddEdge(u2, u3, /*label=*/2);
+  const graph::Graph g = std::move(b).Build();
+
+  graph::QueryGraph q;
+  const graph::NodeId v = q.AddNode(psi::testing::kA);
+  q.AddEdge(v, q.AddNode(psi::testing::kB), /*label=*/1);
+  q.set_pivot(v);
+  // Both A-nodes have a B-neighbor, but only u0 reaches its B over an
+  // edge labeled 1.
+  EXPECT_EQ(ExtractPivotCandidates(g, q), (std::vector<graph::NodeId>{u0}));
+}
+
+TEST(ExtractPivotCandidatesTest, PrecheckNeverDropsValidPivots) {
+  // Property: on random graphs/queries the pre-check only removes nodes
+  // the full pessimistic evaluation would refute — every node outside the
+  // candidate list with the right label/degree must lack some required
+  // (edge label, neighbor label) pair.
+  const graph::Graph g = psi::testing::MakeRandomGraph(300, 900, 4, 5);
+  util::Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    graph::QueryGraph q;
+    const graph::NodeId v = q.AddNode(
+        static_cast<graph::Label>(rng.NextBounded(4)));
+    const size_t fanout = 1 + rng.NextBounded(3);
+    for (size_t i = 0; i < fanout; ++i) {
+      q.AddEdge(v, q.AddNode(static_cast<graph::Label>(rng.NextBounded(4))));
+    }
+    q.set_pivot(v);
+    const auto candidates = ExtractPivotCandidates(g, q);
+    EXPECT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (std::binary_search(candidates.begin(), candidates.end(), u)) {
+        continue;
+      }
+      if (g.label(u) != q.label(v) || g.degree(u) < q.degree(v)) continue;
+      // u was pruned by the neighborhood pre-check: verify some required
+      // neighbor-label multiplicity really is uncovered.
+      bool uncovered = false;
+      for (const auto& [w, edge_label] : q.neighbors(v)) {
+        size_t need = 0;
+        for (const auto& [w2, el2] : q.neighbors(v)) {
+          if (q.label(w2) == q.label(w) && el2 == edge_label) ++need;
+        }
+        size_t have = 0;
+        const auto nbrs = g.neighbors(u);
+        const auto els = g.edge_labels(u);
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+          if (g.label(nbrs[i]) == q.label(w) && els[i] == edge_label) ++have;
+        }
+        if (have < need) {
+          uncovered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(uncovered) << "node " << u << " wrongly pruned";
+    }
+  }
 }
 
 TEST(ExtractPivotCandidatesTest, UnknownLabelIsEmpty) {
