@@ -1,11 +1,13 @@
 #include "core/prediction_cache.h"
 
+#include "util/mutex.h"
+
 namespace psi::core {
 
 std::optional<PredictionCache::Entry> PredictionCache::Lookup(
     uint64_t signature_hash) const {
   const Shard& shard = shards_[ShardIndex(signature_hash)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   const auto it = shard.entries.find(signature_hash);
   if (it == shard.entries.end()) {
     ++shard.misses;
@@ -17,7 +19,7 @@ std::optional<PredictionCache::Entry> PredictionCache::Lookup(
 
 void PredictionCache::Insert(uint64_t signature_hash, Entry entry) {
   Shard& shard = shards_[ShardIndex(signature_hash)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   shard.entries[signature_hash] = entry;
   ++shard.inserts;
 }
@@ -25,7 +27,7 @@ void PredictionCache::Insert(uint64_t signature_hash, Entry entry) {
 size_t PredictionCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     total += shard.entries.size();
   }
   return total;
@@ -34,7 +36,7 @@ size_t PredictionCache::size() const {
 PredictionCache::Counters PredictionCache::counters() const {
   Counters total;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     total.hits += shard.hits;
     total.misses += shard.misses;
     total.inserts += shard.inserts;
@@ -44,7 +46,7 @@ PredictionCache::Counters PredictionCache::counters() const {
 
 void PredictionCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     shard.entries.clear();
   }
 }

@@ -3,9 +3,11 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace psi::core {
 
@@ -63,14 +65,16 @@ class PredictionCache {
  private:
   static constexpr size_t kShards = 16;
 
+  /// Everything in a shard — the map and its traffic counters — is guarded
+  /// by the shard's own mutex; shards never nest, so no lock order exists.
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<uint64_t, Entry> entries;
+    mutable util::Mutex mutex;
+    std::unordered_map<uint64_t, Entry> entries PSI_GUARDED_BY(mutex);
     // Plain integers bumped under the shard lock already held for the map
     // operation itself — no extra synchronization on the fast path.
-    mutable uint64_t hits = 0;
-    mutable uint64_t misses = 0;
-    uint64_t inserts = 0;
+    mutable uint64_t hits PSI_GUARDED_BY(mutex) = 0;
+    mutable uint64_t misses PSI_GUARDED_BY(mutex) = 0;
+    uint64_t inserts PSI_GUARDED_BY(mutex) = 0;
   };
 
   /// The low bits feed unordered_map's bucketing; shard on high bits so the

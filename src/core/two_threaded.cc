@@ -80,7 +80,13 @@ TwoThreadedBaseline::Result TwoThreadedBaseline::Evaluate(
       const RaceState decided = ToRaceState(outcome);
       if (decided == kUndecided) return;
       int expected = kUndecided;
-      if (state.compare_exchange_strong(expected, decided)) {
+      // acq_rel: the winner's release publishes its decision before the
+      // loser (or the main thread) can acquire-observe the decided state;
+      // only the single CAS winner touches the win counters, and the main
+      // thread reads them after joining both racers.
+      if (state.compare_exchange_strong(expected, decided,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
         if (from_optimist) {
           ++result.optimistic_wins;
         } else {
@@ -121,7 +127,9 @@ TwoThreadedBaseline::Result TwoThreadedBaseline::Evaluate(
       pool->Wait();
     }
 
-    switch (state.load()) {
+    // Relaxed suffices: both racers were joined (or drained via the pool)
+    // above, which already orders their writes before this read.
+    switch (state.load(std::memory_order_relaxed)) {
       case kDecidedValid:
         result.valid_nodes.push_back(u);
         break;

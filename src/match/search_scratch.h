@@ -2,13 +2,14 @@
 #define SMARTPSI_MATCH_SEARCH_SCRATCH_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "graph/types.h"
 #include "match/plan.h"
 #include "signature/kernels.h"
 #include "signature/sparse_requirement.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace psi::match {
 
@@ -86,7 +87,7 @@ class SearchScratchPool {
   };
 
   std::unique_ptr<SearchScratch> Acquire() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (free_.empty()) return std::make_unique<SearchScratch>();
     auto scratch = std::move(free_.back());
     free_.pop_back();
@@ -94,18 +95,18 @@ class SearchScratchPool {
   }
 
   void Release(std::unique_ptr<SearchScratch> scratch) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     free_.push_back(std::move(scratch));
   }
 
   size_t idle_count() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return free_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<SearchScratch>> free_;
+  mutable util::Mutex mutex_;
+  std::vector<std::unique_ptr<SearchScratch>> free_ PSI_GUARDED_BY(mutex_);
 };
 
 }  // namespace psi::match

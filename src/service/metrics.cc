@@ -13,13 +13,17 @@ LatencyReservoir::LatencyReservoir(size_t capacity)
 }
 
 void LatencyReservoir::Record(double seconds) {
-  const uint64_t i = count_.fetch_add(1, std::memory_order_relaxed);
+  // Release: a reader that observes this count also observes every write
+  // the recording thread made before claiming the slot (in particular the
+  // terminal-status increment MetricsRegistry performs first — the
+  // latency.count <= Settled() half of the snapshot contract).
+  const uint64_t i = count_.fetch_add(1, std::memory_order_release);
   slots_[i % slots_.size()].store(seconds, std::memory_order_relaxed);
 }
 
 LatencyReservoir::Summary LatencyReservoir::Summarize() const {
   Summary s;
-  s.count = count_.load(std::memory_order_relaxed);
+  s.count = count_.load(std::memory_order_acquire);
   const size_t n =
       static_cast<size_t>(std::min<uint64_t>(s.count, slots_.size()));
   if (n == 0) return s;
@@ -50,18 +54,22 @@ LatencyReservoir::Summary LatencyReservoir::Summarize() const {
 void MetricsRegistry::RecordOutcome(const QueryResponse& response,
                                     uint64_t method_recoveries,
                                     uint64_t plan_fallbacks) {
+  // Terminal-status increments use release so a Snapshot() that acquires
+  // one of them also sees the admission that preceded it (the
+  // Settled() <= admitted half of the snapshot contract); the latency
+  // record below then publishes this increment in turn.
   switch (response.status) {
     case RequestStatus::kOk:
-      completed_.fetch_add(1, std::memory_order_relaxed);
+      completed_.fetch_add(1, std::memory_order_release);
       break;
     case RequestStatus::kTimeout:
-      timed_out_.fetch_add(1, std::memory_order_relaxed);
+      timed_out_.fetch_add(1, std::memory_order_release);
       break;
     case RequestStatus::kCancelled:
-      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      cancelled_.fetch_add(1, std::memory_order_release);
       break;
     case RequestStatus::kInvalid:
-      invalid_.fetch_add(1, std::memory_order_relaxed);
+      invalid_.fetch_add(1, std::memory_order_release);
       break;
     case RequestStatus::kRejected:
       rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -76,19 +84,25 @@ void MetricsRegistry::RecordOutcome(const QueryResponse& response,
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
+  // Read order is the reverse of the write order in RecordOutcome so the
+  // snapshot invariants hold under concurrent writers: the latency window
+  // first (acquire on its count), then the terminal-status counters
+  // (acquire), then admissions last. Each acquire pairs with the writers'
+  // release increments, so anything a writer did before a value we read is
+  // visible to the later loads. See the contract on the class comment.
   MetricsSnapshot s;
-  s.admitted = admitted_.load(std::memory_order_relaxed);
-  s.rejected = rejected_.load(std::memory_order_relaxed);
-  s.completed = completed_.load(std::memory_order_relaxed);
-  s.timed_out = timed_out_.load(std::memory_order_relaxed);
-  s.cancelled = cancelled_.load(std::memory_order_relaxed);
-  s.invalid = invalid_.load(std::memory_order_relaxed);
+  s.latency = latencies_.Summarize();
+  s.completed = completed_.load(std::memory_order_acquire);
+  s.timed_out = timed_out_.load(std::memory_order_acquire);
+  s.cancelled = cancelled_.load(std::memory_order_acquire);
+  s.invalid = invalid_.load(std::memory_order_acquire);
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   s.method_recoveries = method_recoveries_.load(std::memory_order_relaxed);
   s.plan_fallbacks = plan_fallbacks_.load(std::memory_order_relaxed);
   s.candidates_evaluated =
       candidates_evaluated_.load(std::memory_order_relaxed);
-  s.latency = latencies_.Summarize();
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
   return s;
 }
 

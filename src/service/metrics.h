@@ -75,10 +75,29 @@ struct MetricsSnapshot {
 /// Thread-safe service instrumentation: atomic counters plus a lock-free
 /// latency reservoir. One instance is shared by every worker; all methods
 /// are safe for concurrent use.
+///
+/// Snapshot consistency contract (tested by service_metrics_test and the
+/// TSan race harness): in every Snapshot(), regardless of concurrent
+/// writers,
+///   * latency.count <= Settled()  — every latency sample was preceded by
+///     its terminal-status increment, and
+///   * Settled() <= admitted       — every terminal status was preceded by
+///     its admission (PsiService counts admission before enqueueing).
+/// Both hold because settling writes use release ordering, Snapshot() reads
+/// in the reverse order (latency first, admissions last) with acquire on
+/// the settling counters, and the release sequence on each RMW chain
+/// publishes every earlier increment along with the value read.
 class MetricsRegistry {
  public:
   void RecordRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
   void RecordAdmitted() { admitted_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Revokes a provisional RecordAdmitted() whose enqueue was subsequently
+  /// shed. Counting admission first and revoking on failure (rather than
+  /// counting after a successful enqueue) is what keeps Settled() from
+  /// overtaking `admitted` when a worker finishes the request before the
+  /// submitter's next instruction runs.
+  void UndoAdmitted() { admitted_.fetch_sub(1, std::memory_order_relaxed); }
 
   /// Records a terminal response (status bucket + engine counters +
   /// latency). kRejected responses route to RecordRejected's counter and

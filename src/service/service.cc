@@ -56,6 +56,9 @@ void PsiService::StartWorkers() {
   config.query_keyed_cache = true;
   options_.engine = config;
   engines_.reserve(options_.num_workers);
+  // Construction is single-threaded, but the free list is guarded state, so
+  // take its (uncontended) lock to keep the annotations honest.
+  util::MutexLock lock(engines_mutex_);
   free_engines_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
     // Same seed everywhere: with query_keyed_cache every engine derives an
@@ -77,7 +80,7 @@ void PsiService::Shutdown() {
 }
 
 core::SmartPsiEngine* PsiService::CheckoutEngine() {
-  std::lock_guard<std::mutex> lock(engines_mutex_);
+  util::MutexLock lock(engines_mutex_);
   assert(!free_engines_.empty() && "more checkouts than pool workers");
   core::SmartPsiEngine* engine = free_engines_.back();
   free_engines_.pop_back();
@@ -85,7 +88,7 @@ core::SmartPsiEngine* PsiService::CheckoutEngine() {
 }
 
 void PsiService::ReturnEngine(core::SmartPsiEngine* engine) {
-  std::lock_guard<std::mutex> lock(engines_mutex_);
+  util::MutexLock lock(engines_mutex_);
   free_engines_.push_back(engine);
 }
 
@@ -103,16 +106,22 @@ std::optional<std::future<QueryResponse>> PsiService::Submit(
   util::WallTimer admission_timer;
   auto promise = std::make_shared<std::promise<QueryResponse>>();
   std::future<QueryResponse> future = promise->get_future();
+  // Count the admission BEFORE the task becomes runnable: once TrySubmit
+  // enqueues it, a worker may record the request's outcome immediately, and
+  // a concurrent Stats() must never observe Settled() > admitted. A shed
+  // submission revokes the provisional count (admitted may transiently read
+  // one high, never low).
+  metrics_.RecordAdmitted();
   const bool admitted = pool_->TrySubmit(
       [this, request = std::move(request), promise, admission_timer]() mutable {
         promise->set_value(Run(std::move(request), admission_timer));
       },
       options_.max_queue_depth);
   if (!admitted) {
+    metrics_.UndoAdmitted();
     metrics_.RecordRejected();
     return std::nullopt;
   }
-  metrics_.RecordAdmitted();
   return future;
 }
 

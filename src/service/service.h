@@ -4,7 +4,6 @@
 #include <atomic>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -15,7 +14,9 @@
 #include "service/metrics.h"
 #include "service/request.h"
 #include "signature/signature_matrix.h"
+#include "util/mutex.h"
 #include "util/stop_token.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -120,8 +121,8 @@ class PsiService {
   void PrewarmRowHashes();
   QueryResponse Run(QueryRequest request, util::WallTimer admission_timer);
 
-  core::SmartPsiEngine* CheckoutEngine();
-  void ReturnEngine(core::SmartPsiEngine* engine);
+  core::SmartPsiEngine* CheckoutEngine() PSI_EXCLUDES(engines_mutex_);
+  void ReturnEngine(core::SmartPsiEngine* engine) PSI_EXCLUDES(engines_mutex_);
 
   const graph::Graph& graph_;
   ServiceOptions options_;
@@ -130,13 +131,20 @@ class PsiService {
   core::PredictionCache shared_cache_;
   MetricsRegistry metrics_;
   util::StopSource shutdown_;
+  /// Admission gate flipped by Shutdown(). Relaxed accesses suffice: it is
+  /// a monotonic bool carrying no payload, and the authoritative cancel
+  /// signal workers act on is `shutdown_` (release/acquire, see
+  /// util/stop_token.h).
   std::atomic<bool> accepting_{true};
   std::atomic<uint64_t> next_auto_id_{1};
   util::WallTimer uptime_;
 
+  // `engines_` itself is written only at construction (StartWorkers) and is
+  // immutable afterwards; the checkout free list is the shared mutable part.
   std::vector<std::unique_ptr<core::SmartPsiEngine>> engines_;
-  std::vector<core::SmartPsiEngine*> free_engines_;
-  std::mutex engines_mutex_;
+  util::Mutex engines_mutex_;
+  std::vector<core::SmartPsiEngine*> free_engines_
+      PSI_GUARDED_BY(engines_mutex_);
 
   // Declared last: destroyed first, so draining workers still see live
   // engines, cache and metrics.

@@ -12,6 +12,23 @@ namespace psi::util {
 /// The flag is monotonic: once requested, a stop cannot be rescinded except
 /// via Reset(), which must only be called when no worker is observing the
 /// token.
+///
+/// Memory-ordering contract
+/// ------------------------
+/// RequestStop() is a release store and StopRequested() an acquire load, so
+/// they form a synchronizes-with pair: every write the initiator made
+/// *before* requesting the stop (a published race result, a response
+/// status, a shutdown reason) is visible to any worker *after* it observes
+/// StopRequested() == true. Workers may therefore read such state without
+/// further synchronization once they have seen the stop.
+///
+/// The reverse direction is deliberately unordered: a worker's writes are
+/// NOT published to the initiator by polling the flag — joining the worker
+/// (or another release/acquire edge, e.g. a mutex or promise) is still
+/// required before inspecting its results.
+///
+/// Reset() is relaxed because its precondition (quiescence: no concurrent
+/// observer) already rules out any race the ordering could fix.
 class StopSource {
  public:
   StopSource() : stop_(false) {}
@@ -19,9 +36,9 @@ class StopSource {
   StopSource(const StopSource&) = delete;
   StopSource& operator=(const StopSource&) = delete;
 
-  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+  void RequestStop() { stop_.store(true, std::memory_order_release); }
 
-  bool StopRequested() const { return stop_.load(std::memory_order_relaxed); }
+  bool StopRequested() const { return stop_.load(std::memory_order_acquire); }
 
   /// Rearms the source for reuse. Caller must guarantee quiescence.
   void Reset() { stop_.store(false, std::memory_order_relaxed); }
@@ -39,6 +56,7 @@ class StopToken {
 
   explicit StopToken(const StopSource* source) : source_(source) {}
 
+  /// Inherits the acquire semantics of StopSource::StopRequested().
   bool StopRequested() const {
     return source_ != nullptr && source_->StopRequested();
   }

@@ -1,14 +1,14 @@
 #ifndef SMARTPSI_UTIL_THREAD_POOL_H_
 #define SMARTPSI_UTIL_THREAD_POOL_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace psi::util {
 
@@ -17,6 +17,10 @@ namespace psi::util {
 /// This is the parallel substrate for signature construction, SmartPSI's
 /// multi-candidate evaluation, and the FSM miner (where the worker count
 /// stands in for the paper's "compute nodes" axis in Figure 12).
+///
+/// Locking: `mutex_` guards the queue, the in-flight count and the shutdown
+/// flag (compiler-checked via the PSI_GUARDED_BY annotations below). Both
+/// condition variables pair with `mutex_`.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1 enforced).
@@ -29,22 +33,23 @@ class ThreadPool {
   ~ThreadPool();
 
   /// Enqueues a task. Safe to call from worker threads.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) PSI_EXCLUDES(mutex_);
 
   /// Enqueues a task only if fewer than `max_queue_depth` tasks are queued
   /// and not yet started; returns false (task dropped) otherwise. This is
   /// the admission-control primitive for the query service: callers shed
   /// load instead of buffering unboundedly. Executing tasks do not count
   /// against the bound.
-  bool TrySubmit(std::function<void()> task, size_t max_queue_depth);
+  bool TrySubmit(std::function<void()> task, size_t max_queue_depth)
+      PSI_EXCLUDES(mutex_);
 
   /// Tasks queued but not yet picked up by a worker (racy by nature; use
   /// for admission decisions and monitoring, not synchronization).
-  size_t queue_depth() const;
+  size_t queue_depth() const PSI_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task (including tasks submitted by tasks)
   /// has finished executing.
-  void Wait();
+  void Wait() PSI_EXCLUDES(mutex_);
 
   size_t num_threads() const { return threads_.size(); }
 
@@ -53,15 +58,15 @@ class ThreadPool {
   void ParallelFor(size_t count, const std::function<void(size_t, size_t)>& body);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() PSI_EXCLUDES(mutex_);
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;  // queued + executing
-  bool shutting_down_ = false;
+  mutable Mutex mutex_;
+  std::queue<std::function<void()>> queue_ PSI_GUARDED_BY(mutex_);
+  CondVar work_available_;
+  CondVar all_done_;
+  size_t in_flight_ PSI_GUARDED_BY(mutex_) = 0;  // queued + executing
+  bool shutting_down_ PSI_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace psi::util

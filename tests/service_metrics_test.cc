@@ -110,6 +110,60 @@ TEST(MetricsRegistryTest, EngineCountersAggregateAcrossOutcomes) {
   EXPECT_EQ(s.plan_fallbacks, 2u);
 }
 
+// Regression for the admission/settling ordering bug: PsiService used to
+// count an admission only after the task was enqueued, so a fast worker
+// could settle the request first and a concurrent Snapshot() observed
+// Settled() > admitted. The fix counts admission up front and revokes it
+// with UndoAdmitted() when the enqueue is shed.
+TEST(MetricsRegistryTest, UndoAdmittedRevokesProvisionalAdmission) {
+  MetricsRegistry metrics;
+  metrics.RecordAdmitted();  // provisional, enqueue will "fail"
+  metrics.UndoAdmitted();
+  metrics.RecordRejected();
+  metrics.RecordAdmitted();  // a real admission afterwards
+  metrics.RecordOutcome(MakeResponse(RequestStatus::kOk, 1e-3));
+  const MetricsSnapshot s = metrics.Snapshot();
+  EXPECT_EQ(s.admitted, 1u);
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.Settled(), 1u);
+}
+
+// Snapshot consistency contract under concurrent writers (see the class
+// comment in service/metrics.h): every snapshot, taken at any instant,
+// satisfies latency.count <= Settled() <= admitted. The heavier TSan-aimed
+// variant lives in race_harness_test.cc; this one runs everywhere.
+TEST(MetricsRegistryTest, SnapshotInvariantsHoldUnderConcurrentWriters) {
+  MetricsRegistry metrics;
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 3000;
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&metrics, t] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        metrics.RecordAdmitted();
+        const RequestStatus status = (t + i) % 5 == 0
+                                         ? RequestStatus::kCancelled
+                                         : RequestStatus::kOk;
+        metrics.RecordOutcome(MakeResponse(status, 1e-6));
+      }
+    });
+  }
+  // Snapshot continuously while the writers run.
+  for (int round = 0; round < 2000; ++round) {
+    const MetricsSnapshot s = metrics.Snapshot();
+    ASSERT_LE(s.latency.count, s.Settled());
+    ASSERT_LE(s.Settled(), s.admitted);
+  }
+  for (auto& writer : writers) writer.join();
+
+  const MetricsSnapshot s = metrics.Snapshot();
+  EXPECT_EQ(s.admitted, static_cast<uint64_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(s.Settled(), s.admitted);
+  EXPECT_EQ(s.latency.count, s.admitted);
+}
+
 TEST(MetricsSnapshotTest, ToStringMentionsEverySection) {
   MetricsRegistry metrics;
   metrics.RecordAdmitted();

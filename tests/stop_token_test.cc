@@ -55,6 +55,26 @@ TEST(DeadlineTest, ExpiresAfterDuration) {
   EXPECT_LE(d.RemainingSeconds(), 0.0);
 }
 
+// The documented memory-ordering contract (stop_token.h): RequestStop() is
+// a release store, StopRequested() an acquire load, so plain data written
+// before the request is safely readable after observing the stop. TSan
+// verifies the absence of a race when the CI job runs this under
+// -fsanitize=thread; the assertion checks the visibility direction.
+TEST(StopTokenTest, RequestStopPublishesPriorWrites) {
+  for (int round = 0; round < 100; ++round) {
+    StopSource source;
+    int reason = 0;  // non-atomic on purpose: ordered by the flag alone
+    std::thread initiator([&] {
+      reason = round + 1;
+      source.RequestStop();
+    });
+    const StopToken token(&source);
+    while (!token.StopRequested()) std::this_thread::yield();
+    EXPECT_EQ(reason, round + 1);
+    initiator.join();
+  }
+}
+
 TEST(DeadlineTest, NonPositiveExpiresImmediately) {
   EXPECT_TRUE(Deadline::After(0.0).Expired());
   EXPECT_TRUE(Deadline::After(-1.0).Expired());

@@ -1,7 +1,8 @@
 #include "util/thread_pool.h"
 
+#include "util/mutex.h"
+
 #include <atomic>
-#include <mutex>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -78,9 +79,9 @@ TEST(ThreadPoolTest, ParallelForSmallCount) {
 
 TEST(ThreadPoolTest, TrySubmitRejectsWhenQueueFull) {
   ThreadPool pool(1);
-  std::mutex gate;
-  gate.lock();  // hold the single worker hostage
-  pool.Submit([&gate] { std::lock_guard<std::mutex> hold(gate); });
+  Mutex gate;
+  gate.Lock();  // hold the single worker hostage
+  pool.Submit([&gate] { MutexLock hold(gate); });
   // Give the worker a moment to pick up the blocking task so it no longer
   // counts against the queue bound (executing tasks are not "queued").
   while (pool.queue_depth() > 0) std::this_thread::yield();
@@ -92,7 +93,7 @@ TEST(ThreadPoolTest, TrySubmitRejectsWhenQueueFull) {
   EXPECT_FALSE(pool.TrySubmit([&ran] { ran.fetch_add(1); }, 2));
   EXPECT_EQ(pool.queue_depth(), 2u);
 
-  gate.unlock();
+  gate.Unlock();
   pool.Wait();
   EXPECT_EQ(ran.load(), 2);  // the shed task never ran
   EXPECT_EQ(pool.queue_depth(), 0u);

@@ -11,9 +11,12 @@
 // shed (status=rejected) rather than buffered into unbounded latency.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <iostream>
 #include <map>
 #include <string>
@@ -51,7 +54,14 @@ void Usage() {
       "  --depth D             signature depth (default 2)\n"
       "  --seed S              workload/graph seed (default 42)\n"
       "  --baseline            also run serially (1 worker) and report the\n"
-      "                        concurrency speedup\n";
+      "                        concurrency speedup\n"
+      "  --stress              cancellation/deadline storm: tight random\n"
+      "                        deadlines (unless set explicitly), saturation\n"
+      "                        submission in waves, each wave shut down with\n"
+      "                        requests still in flight, plus a concurrent\n"
+      "                        stats poller. Used by the TSan CI job to\n"
+      "                        exercise the service's cancel paths end-to-end\n"
+      "  --waves N             stress waves, each on a fresh service (default 4)\n";
 }
 
 struct RunReport {
@@ -107,6 +117,59 @@ RunReport OfferLoad(const graph::Graph& g,
   return report;
 }
 
+/// One stress wave: saturate the admission queue (no retry — shed stays
+/// shed), then shut the service down while requests are still queued and
+/// executing, with a poller hammering Stats() throughout. Returns settled
+/// status counts; aborts the process if a snapshot ever violates the
+/// metrics consistency contract (latency.count <= Settled() <= admitted).
+std::map<std::string, uint64_t> StressWave(
+    const graph::Graph& g, const std::vector<service::QueryRequest>& requests,
+    const service::ServiceOptions& options) {
+  service::PsiService psi_service(g, options);
+
+  std::atomic<bool> poll{true};
+  std::thread poller([&] {
+    while (poll.load(std::memory_order_acquire)) {
+      const service::ServiceStats stats = psi_service.Stats();
+      const auto& m = stats.metrics;
+      if (m.latency.count > m.Settled() || m.Settled() > m.admitted) {
+        std::cerr << "metrics snapshot invariant violated: latency.count="
+                  << m.latency.count << " settled=" << m.Settled()
+                  << " admitted=" << m.admitted << "\n";
+        std::abort();
+      }
+    }
+  });
+
+  std::vector<std::future<service::QueryResponse>> futures;
+  futures.reserve(requests.size());
+  size_t shed = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    // Shut down with the tail of the workload still in flight: roughly the
+    // last quarter of submissions races Shutdown() and gets cancelled,
+    // shed, or finishes under the wire.
+    if (i == requests.size() - requests.size() / 4) {
+      psi_service.Shutdown();
+    }
+    auto future = psi_service.Submit(requests[i]);
+    if (future.has_value()) {
+      futures.push_back(std::move(*future));
+    } else {
+      ++shed;
+    }
+  }
+  psi_service.Shutdown();
+
+  std::map<std::string, uint64_t> outcomes;
+  outcomes["rejected"] = shed;
+  for (auto& future : futures) {
+    ++outcomes[service::RequestStatusName(future.get().status)];
+  }
+  poll.store(false, std::memory_order_release);
+  poller.join();
+  return outcomes;
+}
+
 void PrintReport(const char* title, const RunReport& report) {
   const auto& m = report.stats.metrics;
   std::cout << "--- " << title << " ---\n"
@@ -126,7 +189,7 @@ int main(int argc, char** argv) {
   std::string graph_path;
   for (int i = 1; i < argc; ++i) {
     const std::string key = argv[i];
-    if (key == "--baseline") {
+    if (key == "--baseline" || key == "--stress") {
       args[key] = "1";
     } else if (key.rfind("--", 0) == 0) {
       if (i + 1 >= argc) {
@@ -188,6 +251,13 @@ int main(int argc, char** argv) {
       std::strtoull(get("--query-size", "5").c_str(), nullptr, 10);
   spec.deadline_ms_min = std::atof(get("--deadline-ms-min", "0").c_str());
   spec.deadline_ms_max = std::atof(get("--deadline-ms-max", "0").c_str());
+  const bool stress = args.count("--stress") > 0;
+  if (stress && spec.deadline_ms_max <= 0.0) {
+    // Tight deadline mix: some requests finish, many expire mid-search, so
+    // the timeout path races the shutdown-cancellation path.
+    spec.deadline_ms_min = 0.05;
+    spec.deadline_ms_max = 5.0;
+  }
   const std::string method = get("--method", "smart");
   if (method == "optimistic") {
     spec.method = service::Method::kOptimistic;
@@ -224,6 +294,27 @@ int main(int argc, char** argv) {
   options.engine.signature_depth = static_cast<uint32_t>(
       std::strtoul(get("--depth", "2").c_str(), nullptr, 10));
   const double qps = std::atof(get("--qps", "0").c_str());
+
+  if (stress) {
+    const size_t waves =
+        std::max<size_t>(1, std::strtoull(get("--waves", "4").c_str(),
+                                          nullptr, 10));
+    std::map<std::string, uint64_t> totals;
+    util::WallTimer wall;
+    for (size_t wave = 0; wave < waves; ++wave) {
+      for (const auto& [status, count] : StressWave(g, requests, options)) {
+        totals[status] += count;
+      }
+    }
+    std::cout << "--- stress (" << waves << " waves, "
+              << requests.size() << " requests each, deadlines "
+              << spec.deadline_ms_min << ".." << spec.deadline_ms_max
+              << " ms) ---\nwall: " << wall.Seconds() << " s\n";
+    for (const auto& [status, count] : totals) {
+      std::cout << status << ": " << count << "\n";
+    }
+    return 0;
+  }
 
   const RunReport concurrent = OfferLoad(g, requests, options, qps);
   PrintReport("concurrent", concurrent);

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# clang-tidy driver for the PSI tree (config: repo-root .clang-tidy).
+#
+#   tools/run_lint.sh [build-dir] [-- extra clang-tidy args]
+#
+# Configures `build-dir` (default: build-lint) with compile_commands.json
+# exported, then runs clang-tidy over every first-party translation unit
+# (src/, tools/, tests/, bench/, examples/). Exits non-zero on any finding
+# (.clang-tidy sets WarningsAsErrors: '*'), which is what the CI lint job
+# keys off. On machines without clang-tidy the script reports the skip and
+# exits 0 so the gate only binds where the toolchain exists (CI installs
+# it; see .github/workflows/ci.yml).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-build-lint}"
+shift || true
+[[ "${1:-}" == "--" ]] && shift
+
+# Locate clang-tidy (plain or versioned) and, if present, the run-clang-tidy
+# wrapper that parallelizes across translation units.
+clang_tidy=""
+for candidate in clang-tidy clang-tidy-{20,19,18,17,16,15,14}; do
+  if command -v "${candidate}" >/dev/null 2>&1; then
+    clang_tidy="${candidate}"
+    break
+  fi
+done
+if [[ -z "${clang_tidy}" ]]; then
+  echo "run_lint.sh: clang-tidy not found; skipping lint (install clang-tidy to enable)." >&2
+  exit 0
+fi
+
+cd "${repo_root}"
+
+# A compilation database is required so clang-tidy sees the real flags and
+# include paths. Reuse the build dir if it already has one.
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  cmake -B "${build_dir}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+mapfile -t sources < <(git ls-files 'src/**/*.cc' 'tools/*.cc' 'tests/*.cc' \
+    'bench/*.cc' 'examples/*.cc')
+if [[ "${#sources[@]}" -eq 0 ]]; then
+  echo "run_lint.sh: no sources found (run from a checkout)." >&2
+  exit 1
+fi
+echo "run_lint.sh: ${clang_tidy} over ${#sources[@]} translation units" >&2
+
+# Prefer the parallel wrapper when its version matches the located tidy.
+run_wrapper=""
+for candidate in run-clang-tidy "run-${clang_tidy}"; do
+  if command -v "${candidate}" >/dev/null 2>&1; then
+    run_wrapper="${candidate}"
+    break
+  fi
+done
+
+if [[ -n "${run_wrapper}" ]]; then
+  "${run_wrapper}" -clang-tidy-binary "$(command -v "${clang_tidy}")" \
+      -p "${build_dir}" -quiet "$@" "${sources[@]/#/${repo_root}/}"
+else
+  status=0
+  for source in "${sources[@]}"; do
+    "${clang_tidy}" -p "${build_dir}" --quiet "$@" "${source}" || status=1
+  done
+  exit "${status}"
+fi
