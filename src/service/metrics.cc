@@ -17,6 +17,12 @@ void LatencyReservoir::Record(double seconds) {
   // the recording thread made before claiming the slot (in particular the
   // terminal-status increment MetricsRegistry performs first — the
   // latency.count <= Settled() half of the snapshot contract).
+  //
+  // The slot index is claimed *before* the sample is stored, so a
+  // concurrent Summarize may see a count that covers a slot whose store
+  // has not landed yet; that slot reads as its previous value (0.0 when
+  // fresh, a stale sample once the ring has wrapped). Acceptable for
+  // monitoring stats — see the caveat in Summarize.
   const uint64_t i = count_.fetch_add(1, std::memory_order_release);
   slots_[i % slots_.size()].store(seconds, std::memory_order_relaxed);
 }
@@ -27,8 +33,12 @@ LatencyReservoir::Summary LatencyReservoir::Summarize() const {
   const size_t n =
       static_cast<size_t>(std::min<uint64_t>(s.count, slots_.size()));
   if (n == 0) return s;
-  // Concurrent writers may overwrite slots while we copy; each slot read is
-  // atomic, so the window is merely fuzzy at the edges, never torn.
+  // Concurrent writers may overwrite slots while we copy. Each slot read
+  // is atomic, so no individual sample is ever torn, but the window is not
+  // a consistent cut: a slot claimed in Record whose store has not landed
+  // yet reads as its previous value (0.0 when fresh, a stale sample after
+  // wrap), which can fold a spurious value into mean/percentiles. Fine for
+  // monitoring; do not treat the summary as an exact transcript.
   std::vector<double> window(n);
   double sum = 0.0;
   for (size_t i = 0; i < n; ++i) {

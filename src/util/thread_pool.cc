@@ -49,7 +49,10 @@ size_t ThreadPool::queue_depth() const {
 
 void ThreadPool::Wait() {
   MutexLock lock(mutex_);
-  all_done_.Wait(mutex_, [this]() PSI_REQUIRES(mutex_) {
+  // The predicate runs inside CondVar::Wait, where the held capability is
+  // the `mu` parameter; the analysis cannot equate that with `mutex_`, so
+  // the lambda opts out. The enclosing MutexLock guarantees the invariant.
+  all_done_.Wait(mutex_, [this]() PSI_NO_THREAD_SAFETY_ANALYSIS {
     return in_flight_ == 0;
   });
 }
@@ -71,7 +74,8 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       MutexLock lock(mutex_);
-      work_available_.Wait(mutex_, [this]() PSI_REQUIRES(mutex_) {
+      // Opted out of the analysis for the same reason as in Wait() above.
+      work_available_.Wait(mutex_, [this]() PSI_NO_THREAD_SAFETY_ANALYSIS {
         return shutting_down_ || !queue_.empty();
       });
       if (queue_.empty()) {
