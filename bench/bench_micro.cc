@@ -15,6 +15,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/prediction_cache.h"
 #include "core/query_context.h"
 #include "graph/datasets.h"
 #include "graph/query_extractor.h"
@@ -25,6 +26,7 @@
 #include "signature/builders.h"
 #include "signature/kernels.h"
 #include "signature/sparse_requirement.h"
+#include "util/fault_injection.h"
 #include "util/timer.h"
 
 namespace {
@@ -243,6 +245,28 @@ BENCHMARK(BM_ScoreAndRank)
     ->Args({4096, 1})
     ->Args({16384, 0})
     ->Args({16384, 1});
+
+void BM_PredictionCacheLookup(benchmark::State& state) {
+  // Warm-cache lookups on the path that carries the cache.lookup.* fault
+  // hooks. Comparing an injection-ON build (sites disarmed — the hook is
+  // one relaxed atomic load) against an -DPSI_ENABLE_FAULT_INJECTION=OFF
+  // build (hooks compiled out) bounds the chaos layer's hot-path cost.
+  util::FaultInjector::Global().DisarmAll();
+  core::PredictionCache cache;
+  constexpr uint64_t kEntries = 4096;
+  for (uint64_t h = 0; h < kEntries; ++h) {
+    cache.Insert(h * 0x9e3779b97f4a7c15ULL, {h % 2 == 0, uint32_t(h % 8)});
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.Lookup((i % kEntries) * 0x9e3779b97f4a7c15ULL));
+    ++i;
+  }
+  state.SetLabel(PSI_FAULT_INJECTION_ENABLED ? "hooks-on(disarmed)"
+                                             : "hooks-off");
+}
+BENCHMARK(BM_PredictionCacheLookup);
 
 void BM_RandomForestPredict(benchmark::State& state) {
   const auto& sigs = BenchSigs(signature::Method::kMatrix);

@@ -1,20 +1,34 @@
 #include "core/prediction_cache.h"
 
+#include "util/fault_injection.h"
 #include "util/mutex.h"
 
 namespace psi::core {
 
 std::optional<PredictionCache::Entry> PredictionCache::Lookup(
     uint64_t signature_hash) const {
+  // Chaos hooks, evaluated before the shard lock so a firing schedule never
+  // extends the critical section. A forced miss models cache eviction /
+  // cold restart; poison models a stale or corrupted entry. Both are
+  // correctness-safe by design: entries only steer the (method, plan)
+  // choice, every node is still evaluated (see class comment).
+  const bool forced_miss = PSI_INJECT_FAULT(util::faults::kCacheLookupMiss);
+  const bool poison = PSI_INJECT_FAULT(util::faults::kCacheLookupPoison);
   const Shard& shard = shards_[ShardIndex(signature_hash)];
   util::MutexLock lock(shard.mutex);
-  const auto it = shard.entries.find(signature_hash);
+  const auto it =
+      forced_miss ? shard.entries.end() : shard.entries.find(signature_hash);
   if (it == shard.entries.end()) {
     ++shard.misses;
     return std::nullopt;
   }
   ++shard.hits;
-  return it->second;
+  Entry entry = it->second;
+  if (poison) {
+    entry.valid = !entry.valid;
+    ++entry.plan_index;  // consumers clamp out-of-range plan indices
+  }
+  return entry;
 }
 
 void PredictionCache::Insert(uint64_t signature_hash, Entry entry) {

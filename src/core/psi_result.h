@@ -24,6 +24,11 @@ struct PsiQueryResult {
   size_t num_candidates = 0;
   size_t num_training_nodes = 0;
   size_t cache_hits = 0;
+  /// Cache hits whose predicted node type disagreed with the evaluation's
+  /// actual outcome. Nonzero means stale or corrupted entries (the entry
+  /// only steered the method choice, so the answer is still exact) — the
+  /// service's poisoning detector samples this (DESIGN.md §11).
+  size_t cache_mismatches = 0;
 
   // --- Model α quality (measured on non-training candidates whose true
   // --- type the evaluation itself establishes) ---------------------------

@@ -13,6 +13,7 @@
 #include "core/classifier.h"
 #include "ml/dataset.h"
 #include "signature/builders.h"
+#include "util/fault_injection.h"
 #include "util/stats.h"
 
 namespace psi::core {
@@ -51,6 +52,7 @@ struct WorkerState {
   std::vector<graph::NodeId> valid;
   match::SearchStats stats;
   size_t cache_hits = 0;
+  size_t cache_mismatches = 0;
   size_t alpha_predictions = 0;
   size_t alpha_correct = 0;
   size_t method_recoveries = 0;
@@ -385,6 +387,16 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
                                   static_cast<int32_t>(num_plans - 1)));
         }
       }
+      // Chaos hooks: simulated Model α / Model β mispredictions. The
+      // preemptive executor below is exactly the machinery that must absorb
+      // these — a flip costs a state-2/3 recovery, never correctness.
+      if (PSI_INJECT_FAULT(util::faults::kSmartPredictFlip)) {
+        predicted_valid = !predicted_valid;
+      }
+      if (num_plans > 1 &&
+          PSI_INJECT_FAULT(util::faults::kSmartPlanMispredict)) {
+        plan_index = (plan_index + 1) % static_cast<uint32_t>(num_plans);
+      }
       ws.predict_seconds += predict_timer.Seconds();
 
       // --- Preemptive execution (3 states) ---------------------------
@@ -399,6 +411,13 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
                             MinDeadline(util::Deadline::After(max_time),
                                         deadline),
                             stop, &ws.stats);
+        // Chaos hook: pretend MaxTime expired even though state 1 finished,
+        // forcing the recovery ladder. Both PSI methods are exact, so the
+        // re-evaluation in state 2/3 reaches the same answer.
+        if (outcome != Outcome::kTimeout && !deadline.Expired() &&
+            PSI_INJECT_FAULT(util::faults::kSmartPreemptExpire)) {
+          outcome = Outcome::kTimeout;
+        }
         if (outcome == Outcome::kTimeout && !deadline.Expired()) {
           // State 2: opposite method, restarted, still limited — recovers
           // from Model α mispredictions.
@@ -433,7 +452,12 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
       }
       const bool actual_valid = outcome == Outcome::kValid;
       if (actual_valid) ws.valid.push_back(u);
-      if (!from_cache) {
+      if (from_cache) {
+        // A cached decision that disagrees with the confirmed outcome means
+        // the entry was stale or corrupted — the poisoning signal the
+        // service's verify-on-sample detector consumes.
+        if (predicted_valid != actual_valid) ++ws.cache_mismatches;
+      } else {
         ++ws.alpha_predictions;
         if (predicted_valid == actual_valid) ++ws.alpha_correct;
       }
@@ -468,6 +492,7 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
                               ws.valid.end());
     result.search += ws.stats;
     result.cache_hits += ws.cache_hits;
+    result.cache_mismatches += ws.cache_mismatches;
     result.alpha_predictions += ws.alpha_predictions;
     result.alpha_correct += ws.alpha_correct;
     result.method_recoveries += ws.method_recoveries;

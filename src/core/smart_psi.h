@@ -94,6 +94,13 @@ class SmartPsiEngine {
   /// Drops all cached predictions (e.g., between unrelated query batches).
   void ClearCache() { active_cache_->Clear(); }
 
+  /// Toggles prediction-cache consultation at runtime — the service's
+  /// cache-bypass degradation switch (DESIGN.md §11). Only call while no
+  /// Evaluate() is in flight on this engine (the service flips it between
+  /// checkout and evaluation, where it holds the engine exclusively).
+  void set_cache_enabled(bool enabled) { config_.enable_cache = enabled; }
+  bool cache_enabled() const { return config_.enable_cache; }
+
  private:
   /// Lazily computed equivalence partition (exploit_equivalence only).
   const graph::EquivalenceClasses& EquivalencePartition();

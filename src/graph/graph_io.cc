@@ -5,6 +5,7 @@
 #include <string>
 
 #include "graph/graph_builder.h"
+#include "util/fault_injection.h"
 
 namespace psi::graph {
 
@@ -14,6 +15,12 @@ util::Result<Graph> ReadLg(std::istream& in) {
   size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    // Chaos hook: simulated short read (stream truncated mid-file). Must
+    // surface as an error Status like any real truncation would.
+    if (PSI_INJECT_FAULT(util::faults::kGraphIoShortRead)) {
+      return util::Status::IoError("injected short read at line " +
+                                   std::to_string(line_no));
+    }
     if (line.empty() || line[0] == '#' || line[0] == 't') continue;
     std::istringstream fields(line);
     char kind = 0;
@@ -105,6 +112,11 @@ util::Result<std::vector<QueryGraph>> ReadQueries(std::istream& in) {
   std::string line;
   while (std::getline(in, line)) {
     ++line_no;
+    // Chaos hook: see ReadLg.
+    if (PSI_INJECT_FAULT(util::faults::kQueryIoShortRead)) {
+      return util::Status::IoError("injected short read at line " +
+                                   std::to_string(line_no));
+    }
     if (line.empty() || line[0] == '#') continue;
     std::istringstream fields(line);
     char kind = 0;

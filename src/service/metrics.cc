@@ -90,6 +90,11 @@ void MetricsRegistry::RecordOutcome(const QueryResponse& response,
   plan_fallbacks_.fetch_add(plan_fallbacks, std::memory_order_relaxed);
   candidates_evaluated_.fetch_add(response.num_candidates,
                                   std::memory_order_relaxed);
+  cache_mismatches_.fetch_add(response.cache_mismatches,
+                              std::memory_order_relaxed);
+  if (response.served_degraded) {
+    degraded_requests_.fetch_add(1, std::memory_order_relaxed);
+  }
   latencies_.Record(response.latency_seconds);
 }
 
@@ -111,6 +116,14 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   s.plan_fallbacks = plan_fallbacks_.load(std::memory_order_relaxed);
   s.candidates_evaluated =
       candidates_evaluated_.load(std::memory_order_relaxed);
+  s.cache_mismatches = cache_mismatches_.load(std::memory_order_relaxed);
+  s.degraded_entries = degraded_entries_.load(std::memory_order_relaxed);
+  s.degraded_exits = degraded_exits_.load(std::memory_order_relaxed);
+  s.degraded_requests = degraded_requests_.load(std::memory_order_relaxed);
+  s.cache_bypass_entries =
+      cache_bypass_entries_.load(std::memory_order_relaxed);
+  s.cache_bypass_exits = cache_bypass_exits_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
   s.admitted = admitted_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
   return s;
@@ -119,12 +132,19 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 std::string MetricsSnapshot::ToString() const {
   std::ostringstream oss;
   oss << "requests: admitted=" << admitted << " rejected=" << rejected
-      << " completed=" << completed << " timed_out=" << timed_out
-      << " cancelled=" << cancelled << " invalid=" << invalid << "\n"
+      << " retries=" << retries << " completed=" << completed
+      << " timed_out=" << timed_out << " cancelled=" << cancelled
+      << " invalid=" << invalid << "\n"
       << "engine: cache_hits=" << cache_hits
       << " method_recoveries=" << method_recoveries
       << " plan_fallbacks=" << plan_fallbacks
-      << " candidates=" << candidates_evaluated << "\n"
+      << " candidates=" << candidates_evaluated
+      << " cache_mismatches=" << cache_mismatches << "\n"
+      << "degradation: entries=" << degraded_entries
+      << " exits=" << degraded_exits
+      << " degraded_requests=" << degraded_requests
+      << " cache_bypass_entries=" << cache_bypass_entries
+      << " cache_bypass_exits=" << cache_bypass_exits << "\n"
       << "latency (" << latency.count
       << " samples): mean=" << util::FormatDuration(latency.mean)
       << " p50=" << util::FormatDuration(latency.p50)

@@ -62,6 +62,14 @@ struct QueryResponse {
 
   size_t num_candidates = 0;
   size_t cache_hits = 0;
+  /// Cache hits whose prediction the evaluation then contradicted (stale or
+  /// poisoned entries; the answer is unaffected — see PsiQueryResult).
+  size_t cache_mismatches = 0;
+
+  /// True when the service's degradation policy served this kSmart request
+  /// with pessimist-only evaluation instead (DESIGN.md §11). The answer is
+  /// exact either way; only the latency profile differs.
+  bool served_degraded = false;
 
   /// Admission-to-completion latency (queue wait + execution) — the number
   /// a caller experiences and the one the tail-latency metrics track.

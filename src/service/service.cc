@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "core/pure_drivers.h"
 #include "signature/builders.h"
+#include "util/fault_injection.h"
 
 namespace psi::service {
 
@@ -106,23 +109,50 @@ std::optional<std::future<QueryResponse>> PsiService::Submit(
   util::WallTimer admission_timer;
   auto promise = std::make_shared<std::promise<QueryResponse>>();
   std::future<QueryResponse> future = promise->get_future();
-  // Count the admission BEFORE the task becomes runnable: once TrySubmit
-  // enqueues it, a worker may record the request's outcome immediately, and
-  // a concurrent Stats() must never observe Settled() > admitted. A shed
-  // submission revokes the provisional count (admitted may transiently read
-  // one high, never low).
-  metrics_.RecordAdmitted();
-  const bool admitted = pool_->TrySubmit(
-      [this, request = std::move(request), promise, admission_timer]() mutable {
-        promise->set_value(Run(std::move(request), admission_timer));
-      },
-      options_.max_queue_depth);
-  if (!admitted) {
+  // The request lives in shared state (not the task closure) so a shed
+  // TrySubmit — which destroys the closure it was handed — leaves it
+  // intact for the next retry attempt.
+  auto shared_request = std::make_shared<QueryRequest>(std::move(request));
+
+  const size_t max_retries =
+      options_.degradation.enabled ? options_.degradation.max_shed_retries : 0;
+  double backoff_ms = options_.degradation.retry_backoff_ms;
+  for (size_t attempt = 0;; ++attempt) {
+    // Count the admission BEFORE the task becomes runnable: once TrySubmit
+    // enqueues it, a worker may record the request's outcome immediately,
+    // and a concurrent Stats() must never observe Settled() > admitted. A
+    // shed submission revokes the provisional count (admitted may
+    // transiently read one high, never low).
+    metrics_.RecordAdmitted();
+    // Chaos hook: pretend the queue was at its bound — exercises the shed
+    // path (and the retry policy above it) without real overload.
+    const bool injected_shed =
+        PSI_INJECT_FAULT(util::faults::kServiceAdmissionShed);
+    const bool admitted =
+        !injected_shed &&
+        pool_->TrySubmit(
+            [this, shared_request, promise, admission_timer]() mutable {
+              promise->set_value(
+                  Run(std::move(*shared_request), admission_timer));
+            },
+            options_.max_queue_depth);
+    if (admitted) {
+      if (attempt > 0) metrics_.RecordRetriedAdmission();
+      return future;
+    }
     metrics_.UndoAdmitted();
-    metrics_.RecordRejected();
-    return std::nullopt;
+    if (attempt >= max_retries ||
+        !accepting_.load(std::memory_order_relaxed)) {
+      metrics_.RecordRejected();
+      return std::nullopt;
+    }
+    // Bounded exponential backoff before the next attempt. Blocking the
+    // caller is the point: retry-with-backoff converts a shed into
+    // backpressure instead of an error, for callers that opted in.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+    backoff_ms *= 2.0;
   }
-  return future;
 }
 
 QueryResponse PsiService::Execute(QueryRequest request) {
@@ -139,10 +169,15 @@ QueryResponse PsiService::Execute(QueryRequest request) {
 
 QueryResponse PsiService::Run(QueryRequest request,
                               util::WallTimer admission_timer) {
+  // Chaos hook: a worker descheduled between dequeue and execution (the
+  // slow-worker scenario — queue wait inflates, deadlines burn down).
+  PSI_FAULT_STALL(util::faults::kServiceWorkerStall);
+
   QueryResponse response;
   response.id = request.id;
   uint64_t method_recoveries = 0;
   uint64_t plan_fallbacks = 0;
+  bool smart_evaluated = false;
   util::WallTimer exec_timer;
 
   if (request.query.num_nodes() == 0 || !request.query.has_pivot()) {
@@ -157,21 +192,39 @@ QueryResponse PsiService::Run(QueryRequest request,
         limit > 0.0 ? util::Deadline::After(limit) : util::Deadline();
     const util::StopToken stop(&shutdown_);
 
+    // Degradation policy: under a misprediction-timeout storm, kSmart
+    // requests are served by the pure pessimistic driver until cooldown —
+    // exact answers, no models to mispredict (DESIGN.md §11).
+    Method effective = request.method;
+    if (effective == Method::kSmart && DegradedModeActive()) {
+      effective = Method::kPessimistic;
+      response.served_degraded = true;
+    }
+
     bool complete = true;
-    if (request.method == Method::kSmart) {
+    if (effective == Method::kSmart) {
+      smart_evaluated = true;
       core::SmartPsiEngine* engine = CheckoutEngine();
+      // Cache-bypass degradation: serve this evaluation model-only. The
+      // engine is held exclusively between checkout and return, so the
+      // toggle cannot race another Evaluate.
+      const bool bypass =
+          options_.engine.enable_cache && CacheBypassActive();
+      if (bypass) engine->set_cache_enabled(false);
       core::PsiQueryResult result =
           engine->Evaluate(request.query, deadline, stop);
+      if (bypass) engine->set_cache_enabled(options_.engine.enable_cache);
       ReturnEngine(engine);
       response.valid_nodes = std::move(result.valid_nodes);
       response.num_candidates = result.num_candidates;
       response.cache_hits = result.cache_hits;
+      response.cache_mismatches = result.cache_mismatches;
       method_recoveries = result.method_recoveries;
       plan_fallbacks = result.plan_fallbacks;
       complete = result.complete;
     } else {
       core::PureDriverOptions pure;
-      pure.strategy = request.method == Method::kOptimistic
+      pure.strategy = effective == Method::kOptimistic
                           ? core::PureStrategy::kOptimistic
                           : core::PureStrategy::kPessimistic;
       pure.deadline = deadline;
@@ -188,12 +241,121 @@ QueryResponse PsiService::Run(QueryRequest request,
     } else {
       response.status = RequestStatus::kTimeout;
     }
+    // Only kSmart traffic feeds the state machine: pure-method requests
+    // say nothing about model health, and cancelled requests say nothing
+    // about anything.
+    if (request.method == Method::kSmart &&
+        response.status != RequestStatus::kCancelled &&
+        (smart_evaluated || response.served_degraded)) {
+      UpdateDegradation(response, method_recoveries, plan_fallbacks);
+    }
   }
 
   response.exec_seconds = exec_timer.Seconds();
   response.latency_seconds = admission_timer.Seconds();
   metrics_.RecordOutcome(response, method_recoveries, plan_fallbacks);
   return response;
+}
+
+bool PsiService::DegradedModeActive() const {
+  if (!options_.degradation.enabled) return false;
+  util::MutexLock lock(degrade_mutex_);
+  return degrade_.pessimist_only;
+}
+
+bool PsiService::CacheBypassActive() const {
+  if (!options_.degradation.enabled) return false;
+  util::MutexLock lock(degrade_mutex_);
+  return degrade_.cache_bypass;
+}
+
+void PsiService::UpdateDegradation(const QueryResponse& response,
+                                   uint64_t method_recoveries,
+                                   uint64_t plan_fallbacks) {
+  if (!options_.degradation.enabled) return;
+  const DegradationOptions& dg = options_.degradation;
+  bool entered_degraded = false;
+  bool exited_degraded = false;
+  bool entered_bypass = false;
+  bool exited_bypass = false;
+  {
+    util::MutexLock lock(degrade_mutex_);
+
+    // --- Pessimist-only fallback -----------------------------------------
+    if (degrade_.pessimist_only) {
+      // Every degraded-served request burns cooldown; smart service is
+      // retried once it elapses (with fresh windows, so one bad request
+      // cannot re-trigger immediately).
+      if (response.served_degraded && degrade_.cooldown_remaining > 0 &&
+          --degrade_.cooldown_remaining == 0) {
+        degrade_.pessimist_only = false;
+        degrade_.window_requests = 0;
+        degrade_.window_timeouts = 0;
+        exited_degraded = true;
+      }
+    } else {
+      ++degrade_.window_requests;
+      // A misprediction timeout: the preemptive executor's MaxTime fired
+      // (state-2/3 recovery) or the request deadline expired outright.
+      if (method_recoveries + plan_fallbacks > 0 ||
+          response.status == RequestStatus::kTimeout) {
+        ++degrade_.window_timeouts;
+      }
+      if (degrade_.window_requests >= std::max<size_t>(1, dg.timeout_window)) {
+        const double rate = static_cast<double>(degrade_.window_timeouts) /
+                            static_cast<double>(degrade_.window_requests);
+        if (rate >= dg.timeout_rate_threshold) {
+          degrade_.pessimist_only = true;
+          degrade_.cooldown_remaining = std::max<size_t>(1,
+                                                         dg.degraded_cooldown);
+          entered_degraded = true;
+        }
+        degrade_.window_requests = 0;
+        degrade_.window_timeouts = 0;
+      }
+    }
+
+    // --- Cache bypass on poisoning ---------------------------------------
+    if (degrade_.cache_bypass) {
+      // Bypassed evaluations produce no cache hits, so the mismatch window
+      // cannot refill; cooldown is the only exit.
+      if (!response.served_degraded &&
+          degrade_.bypass_cooldown_remaining > 0 &&
+          --degrade_.bypass_cooldown_remaining == 0) {
+        degrade_.cache_bypass = false;
+        degrade_.window_cache_hits = 0;
+        degrade_.window_cache_mismatches = 0;
+        exited_bypass = true;
+      }
+    } else {
+      degrade_.window_cache_hits += response.cache_hits;
+      degrade_.window_cache_mismatches += response.cache_mismatches;
+      if (degrade_.window_cache_hits >= std::max<size_t>(1,
+                                                         dg.poison_window)) {
+        const double rate =
+            static_cast<double>(degrade_.window_cache_mismatches) /
+            static_cast<double>(degrade_.window_cache_hits);
+        if (rate >= dg.mismatch_rate_threshold) {
+          degrade_.cache_bypass = true;
+          degrade_.bypass_cooldown_remaining =
+              std::max<size_t>(1, dg.cache_bypass_cooldown);
+          entered_bypass = true;
+        }
+        degrade_.window_cache_hits = 0;
+        degrade_.window_cache_mismatches = 0;
+      }
+    }
+  }
+  // Side effects outside the leaf lock.
+  if (entered_degraded) metrics_.RecordDegradedTransition(true);
+  if (exited_degraded) metrics_.RecordDegradedTransition(false);
+  if (entered_bypass) {
+    // Poisoned entries steer predictions until evicted — drop them all;
+    // the cache refills from confirmed outcomes once bypass lifts.
+    shared_cache_.Clear();
+    metrics_.RecordCacheBypassTransition(true);
+  }
+  if (exited_bypass) metrics_.RecordCacheBypassTransition(false);
 }
 
 ServiceStats PsiService::Stats() const {
@@ -205,6 +367,9 @@ ServiceStats PsiService::Stats() const {
   stats.num_workers = options_.num_workers;
   stats.signature_build_seconds = signature_build_seconds_;
   stats.uptime_seconds = uptime_.Seconds();
+  stats.degraded_mode = DegradedModeActive();
+  stats.cache_bypass = CacheBypassActive();
+  stats.faults_injected = util::FaultInjector::Global().TotalFires();
   return stats;
 }
 

@@ -22,6 +22,44 @@
 
 namespace psi::service {
 
+/// Graceful-degradation policies (DESIGN.md §11). Disabled by default:
+/// the service then sheds, times out and caches exactly as in earlier
+/// revisions. Every policy trades throughput or freshness for stability —
+/// never correctness, which no mode can affect (answers stay exact).
+struct DegradationOptions {
+  /// Master switch for all three policies below.
+  bool enabled = false;
+
+  // --- Bounded retry-with-backoff for shed submissions -------------------
+  /// Extra admission attempts after an initial shed; 0 restores
+  /// fail-fast shedding even when `enabled`.
+  size_t max_shed_retries = 3;
+  /// First retry waits this long; each later retry doubles it. Submit()
+  /// blocks the caller for at most the sum of these backoffs.
+  double retry_backoff_ms = 1.0;
+
+  // --- Pessimist-only fallback on misprediction-timeout storms -----------
+  /// Sliding window (in settled kSmart requests) over which the
+  /// misprediction-timeout rate is measured.
+  size_t timeout_window = 32;
+  /// Fraction of windowed requests with a misprediction timeout (a state-2/3
+  /// recovery or a deadline expiry) at or above which the service enters
+  /// pessimist-only mode: kSmart requests are served by the pure pessimistic
+  /// driver (no models, no MaxTime) until the cooldown elapses.
+  double timeout_rate_threshold = 0.5;
+  /// Requests served degraded before normal (smart) service is retried.
+  size_t degraded_cooldown = 64;
+
+  // --- Cache bypass on poisoning ------------------------------------------
+  /// Sliding window (in cache hits) for the verify-on-sample detector.
+  size_t poison_window = 32;
+  /// Mismatch fraction (confirmed-wrong hits / hits) at or above which the
+  /// shared cache is cleared and bypassed until the cooldown elapses.
+  double mismatch_rate_threshold = 0.25;
+  /// Smart evaluations served cache-less before the cache is re-enabled.
+  size_t cache_bypass_cooldown = 64;
+};
+
 struct ServiceOptions {
   /// Concurrent query executions. Each worker owns one single-threaded
   /// SmartPsiEngine; cross-query parallelism replaces the engine's internal
@@ -43,6 +81,9 @@ struct ServiceOptions {
   /// for steady first-query latency.
   bool prewarm_row_hashes = false;
 
+  /// Graceful-degradation policies; disabled by default.
+  DegradationOptions degradation;
+
   /// Per-worker engine tuning. num_threads is forced to 1 and
   /// query_keyed_cache to true regardless of what is set here (the service
   /// owns parallelism and shares one cache across query shapes).
@@ -59,6 +100,13 @@ struct ServiceStats {
   size_t num_workers = 0;
   double signature_build_seconds = 0.0;
   double uptime_seconds = 0.0;
+  /// Degraded-mode gauges: current state, not monotonic counters (those
+  /// live in metrics.degraded_entries/exits etc.).
+  bool degraded_mode = false;
+  bool cache_bypass = false;
+  /// Faults fired by the process-wide injector since process start
+  /// (0 in PSI_ENABLE_FAULT_INJECTION=OFF builds and un-armed runs).
+  uint64_t faults_injected = 0;
 };
 
 /// Multi-threaded in-process PSI query service (the serving layer over the
@@ -124,6 +172,14 @@ class PsiService {
   core::SmartPsiEngine* CheckoutEngine() PSI_EXCLUDES(engines_mutex_);
   void ReturnEngine(core::SmartPsiEngine* engine) PSI_EXCLUDES(engines_mutex_);
 
+  /// Degradation state machine (DESIGN.md §11). Folds one settled kSmart
+  /// request into the sliding windows and performs any mode transition.
+  void UpdateDegradation(const QueryResponse& response,
+                         uint64_t method_recoveries, uint64_t plan_fallbacks)
+      PSI_EXCLUDES(degrade_mutex_);
+  bool DegradedModeActive() const PSI_EXCLUDES(degrade_mutex_);
+  bool CacheBypassActive() const PSI_EXCLUDES(degrade_mutex_);
+
   const graph::Graph& graph_;
   ServiceOptions options_;
   signature::SignatureMatrix graph_sigs_;
@@ -138,6 +194,23 @@ class PsiService {
   std::atomic<bool> accepting_{true};
   std::atomic<uint64_t> next_auto_id_{1};
   util::WallTimer uptime_;
+
+  /// Sliding windows and mode flags for the degradation policies. Leaf
+  /// lock: never held while acquiring engines_mutex_ or sleeping.
+  struct DegradeState {
+    // Pessimist-only fallback.
+    bool pessimist_only = false;
+    size_t cooldown_remaining = 0;
+    size_t window_requests = 0;
+    size_t window_timeouts = 0;
+    // Cache bypass.
+    bool cache_bypass = false;
+    size_t bypass_cooldown_remaining = 0;
+    uint64_t window_cache_hits = 0;
+    uint64_t window_cache_mismatches = 0;
+  };
+  mutable util::Mutex degrade_mutex_;
+  DegradeState degrade_ PSI_GUARDED_BY(degrade_mutex_);
 
   // `engines_` itself is written only at construction (StartWorkers) and is
   // immutable afterwards; the checkout free list is the shared mutable part.

@@ -8,6 +8,7 @@
 
 #include "graph/query_extractor.h"
 #include "graph/types.h"
+#include "util/fault_injection.h"
 
 namespace psi::service {
 
@@ -186,6 +187,11 @@ Result<std::vector<QueryRequest>> ReadWorkload(std::istream& in) {
   size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
+    // Chaos hook: simulated short read (see graph_io.cc).
+    if (PSI_INJECT_FAULT(util::faults::kWorkloadShortRead)) {
+      return Status::IoError("injected short read at line " +
+                             std::to_string(line_number));
+    }
     const size_t start = line.find_first_not_of(" \t\r");
     if (start == std::string::npos || line[start] == '#') continue;
     Result<QueryRequest> parsed = ParseWorkloadLine(line);

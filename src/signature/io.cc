@@ -3,7 +3,10 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
+
+#include "util/fault_injection.h"
 
 namespace psi::signature {
 
@@ -66,9 +69,35 @@ util::Result<SignatureMatrix> ReadSignatures(std::istream& in) {
     return util::Status::InvalidArgument("decay out of range");
   }
 
+  // A hostile or corrupted header could claim a payload of petabytes and
+  // drive the allocation below out of memory before the payload check ever
+  // runs. Reject dimensions whose payload cannot possibly fit: first by
+  // arithmetic (overflow), then — on seekable streams — against the bytes
+  // actually remaining.
+  constexpr uint64_t kMaxElems =
+      std::numeric_limits<uint64_t>::max() / sizeof(float);
+  if (num_labels != 0 && num_rows > kMaxElems / num_labels) {
+    return util::Status::InvalidArgument("PSIG dimensions overflow");
+  }
+  const uint64_t payload_bytes = num_rows * num_labels * sizeof(float);
+  if (const std::streampos here = in.tellg(); here != std::streampos(-1)) {
+    in.seekg(0, std::ios::end);
+    const std::streampos end = in.tellg();
+    in.seekg(here);
+    if (end != std::streampos(-1) &&
+        static_cast<uint64_t>(end - here) < payload_bytes) {
+      return util::Status::InvalidArgument(
+          "PSIG header claims more payload than the stream holds");
+    }
+  }
+
   SignatureMatrix sigs(num_rows, num_labels,
                        static_cast<Method>(method_raw), depth, decay);
   for (size_t r = 0; r < num_rows; ++r) {
+    // Chaos hook: simulated short read mid-payload.
+    if (PSI_INJECT_FAULT(util::faults::kSignatureIoShortRead)) {
+      return util::Status::IoError("injected short read in PSIG payload");
+    }
     auto row = sigs.row(r);
     in.read(reinterpret_cast<char*>(row.data()),
             static_cast<std::streamsize>(row.size() * sizeof(float)));

@@ -1,0 +1,234 @@
+#include "util/fault_injection.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace psi::util {
+
+namespace {
+
+/// Parses a base-10 uint64; empty or trailing garbage fails.
+bool ParseU64(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  const std::string buf(s);
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  const std::string buf(s);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// Parses one `site=trigger[@ms]` entry. A parsed `off` entry is returned
+/// with `*disarm = true` and an unspecified schedule.
+Status ParseEntry(std::string_view entry, std::string* site,
+                  FaultSchedule* schedule, bool* disarm) {
+  *disarm = false;
+  const size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return Status::InvalidArgument("fault entry '" + std::string(entry) +
+                                   "' is not site=trigger");
+  }
+  *site = std::string(entry.substr(0, eq));
+  std::string_view trigger = entry.substr(eq + 1);
+
+  double stall_ms = -1.0;
+  if (const size_t at = trigger.find('@'); at != std::string_view::npos) {
+    if (!ParseDouble(trigger.substr(at + 1), &stall_ms) || stall_ms < 0.0) {
+      return Status::InvalidArgument("bad stall duration in '" +
+                                     std::string(entry) + "'");
+    }
+    trigger = trigger.substr(0, at);
+  }
+
+  if (trigger == "off") {
+    *disarm = true;
+    return Status::Ok();
+  }
+  if (trigger == "always") {
+    *schedule = FaultSchedule::Always();
+  } else if (trigger.rfind("nth:", 0) == 0) {
+    uint64_t n = 0;
+    if (!ParseU64(trigger.substr(4), &n) || n == 0) {
+      return Status::InvalidArgument("bad nth trigger in '" +
+                                     std::string(entry) + "'");
+    }
+    *schedule = FaultSchedule::Nth(n);
+  } else if (trigger.rfind("every:", 0) == 0) {
+    uint64_t k = 0;
+    if (!ParseU64(trigger.substr(6), &k) || k == 0) {
+      return Status::InvalidArgument("bad every trigger in '" +
+                                     std::string(entry) + "'");
+    }
+    *schedule = FaultSchedule::EveryK(k);
+  } else if (trigger.rfind("prob:", 0) == 0) {
+    std::string_view rest = trigger.substr(5);
+    uint64_t seed = FaultSchedule().seed;
+    if (const size_t colon = rest.find(':');
+        colon != std::string_view::npos) {
+      if (!ParseU64(rest.substr(colon + 1), &seed)) {
+        return Status::InvalidArgument("bad probability seed in '" +
+                                       std::string(entry) + "'");
+      }
+      rest = rest.substr(0, colon);
+    }
+    double p = 0.0;
+    if (!ParseDouble(rest, &p) || p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("bad probability in '" +
+                                     std::string(entry) + "'");
+    }
+    *schedule = FaultSchedule::WithProbability(seed, p);
+  } else {
+    return Status::InvalidArgument("unknown trigger '" +
+                                   std::string(trigger) + "' in '" +
+                                   std::string(entry) + "'");
+  }
+  if (stall_ms >= 0.0) schedule->StallMs(stall_ms);
+  return Status::Ok();
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(std::string_view site, FaultSchedule schedule) {
+  MutexLock lock(mutex_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    it = sites_.emplace(std::string(site), Site{}).first;
+  }
+  Site& s = it->second;
+  s.schedule = schedule;
+  s.hits = 0;
+  s.fires = 0;
+  s.rng = Rng(schedule.seed);
+  armed_sites_.store(sites_.size(), std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(std::string_view site) {
+  MutexLock lock(mutex_);
+  const auto it = sites_.find(site);
+  if (it != sites_.end()) sites_.erase(it);
+  armed_sites_.store(sites_.size(), std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmAll() {
+  MutexLock lock(mutex_);
+  sites_.clear();
+  armed_sites_.store(0, std::memory_order_relaxed);
+}
+
+Status FaultInjector::ArmFromSpec(std::string_view spec) {
+  // Two passes: validate everything, then arm, so a bad tail entry cannot
+  // leave a half-armed schedule behind.
+  struct Parsed {
+    std::string site;
+    FaultSchedule schedule;
+    bool disarm;
+  };
+  std::vector<Parsed> entries;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find(',', begin);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) continue;
+    Parsed parsed;
+    const Status status =
+        ParseEntry(entry, &parsed.site, &parsed.schedule, &parsed.disarm);
+    if (!status.ok()) return status;
+    entries.push_back(std::move(parsed));
+  }
+  for (const Parsed& parsed : entries) {
+    if (parsed.disarm) {
+      Disarm(parsed.site);
+    } else {
+      Arm(parsed.site, parsed.schedule);
+    }
+  }
+  return Status::Ok();
+}
+
+bool FaultInjector::Fire(Site& site) {
+  ++site.hits;
+  bool fires = false;
+  switch (site.schedule.trigger) {
+    case FaultSchedule::Trigger::kNth:
+      fires = site.hits == site.schedule.n;
+      break;
+    case FaultSchedule::Trigger::kEveryK:
+      fires = site.hits % site.schedule.n == 0;
+      break;
+    case FaultSchedule::Trigger::kProbability:
+      fires = site.rng.NextBool(site.schedule.probability);
+      break;
+    case FaultSchedule::Trigger::kAlways:
+      fires = true;
+      break;
+  }
+  if (fires) {
+    ++site.fires;
+    total_fires_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fires;
+}
+
+bool FaultInjector::ShouldFailSlow(std::string_view site) {
+  MutexLock lock(mutex_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  return Fire(it->second);
+}
+
+void FaultInjector::MaybeStallSlow(std::string_view site) {
+  double stall_ms = 0.0;
+  {
+    MutexLock lock(mutex_);
+    const auto it = sites_.find(site);
+    if (it == sites_.end() || !Fire(it->second)) return;
+    stall_ms = std::max(it->second.schedule.stall_ms, 0.0);
+  }
+  // Sleep outside the lock so a stalled worker cannot serialize every other
+  // armed hook in the process.
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+      stall_ms));
+}
+
+FaultInjector::SiteStats FaultInjector::Stats(std::string_view site) const {
+  MutexLock lock(mutex_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return SiteStats{};
+  return SiteStats{it->second.hits, it->second.fires};
+}
+
+std::vector<std::pair<std::string, FaultInjector::SiteStats>>
+FaultInjector::AllStats() const {
+  std::vector<std::pair<std::string, SiteStats>> all;
+  {
+    MutexLock lock(mutex_);
+    all.reserve(sites_.size());
+    for (const auto& [name, site] : sites_) {
+      all.emplace_back(name, SiteStats{site.hits, site.fires});
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return all;
+}
+
+}  // namespace psi::util

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/fault_injection.h"
+
 namespace psi::util {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -85,6 +87,9 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
+    // Chaos hook: simulate a scheduler hiccup / descheduled worker before
+    // the task runs (io stall, noisy neighbor, cgroup throttling).
+    PSI_FAULT_STALL(faults::kThreadPoolTaskStart);
     task();
     {
       MutexLock lock(mutex_);

@@ -1,0 +1,139 @@
+// Differential correctness harness (DESIGN.md §11): every evaluation path
+// in the repository — the Realist (SmartPSI), both pure single-method
+// drivers, and all four enumeration engines — must produce the exact pivot
+// set that brute-force enumerate-and-project produces, on the same inputs.
+// Each comparison then runs again under the standard chaos schedule: an
+// injected fault may change counters and latency, never the answer. In
+// injection-OFF builds the chaos pass degenerates to a repeat run, which
+// keeps the suite meaningful in both configurations.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pure_drivers.h"
+#include "core/smart_psi.h"
+#include "match/cfl_match.h"
+#include "match/engine.h"
+#include "match/turbo_iso.h"
+#include "match/ullmann.h"
+#include "match/vf2.h"
+#include "signature/builders.h"
+#include "tests/test_fixtures.h"
+#include "util/fault_injection.h"
+
+namespace psi {
+namespace {
+
+using DifferentialParam = std::tuple<uint64_t /*seed*/, size_t /*query size*/>;
+
+class DifferentialTest : public ::testing::TestWithParam<DifferentialParam> {
+ protected:
+  void SetUp() override { util::FaultInjector::Global().DisarmAll(); }
+  void TearDown() override { util::FaultInjector::Global().DisarmAll(); }
+};
+
+/// One full sweep: evaluates `q` on `g` through every path and checks each
+/// against the brute-force oracle. `context` labels the pass (bare/chaos).
+void ExpectAllPathsMatchOracle(const graph::Graph& g,
+                               const graph::QueryGraph& q,
+                               uint64_t seed, const std::string& context) {
+  SCOPED_TRACE(context);
+
+  match::BasicEngine basic(g);
+  const auto truth = basic.ProjectPivot(q, match::MatchingEngine::Options());
+  ASSERT_TRUE(truth.complete);
+  const std::vector<graph::NodeId>& oracle = truth.pivot_matches;
+
+  // The Realist, with the ML pipeline forced on so the models, the plan
+  // pool, the preemptive executor and the prediction cache all execute.
+  core::SmartPsiConfig config;
+  config.min_candidates_for_ml = 4;
+  config.seed = seed;
+  core::SmartPsiEngine smart(g, config);
+  const core::PsiQueryResult smart_result = smart.Evaluate(q);
+  ASSERT_TRUE(smart_result.complete);
+  EXPECT_EQ(smart_result.valid_nodes, oracle) << "smart";
+
+  // Both pure single-method drivers.
+  const auto gs = signature::BuildSignatures(
+      g, signature::Method::kMatrix, 2, g.num_labels());
+  for (const core::PureStrategy strategy :
+       {core::PureStrategy::kOptimistic, core::PureStrategy::kPessimistic}) {
+    core::PureDriverOptions pure;
+    pure.strategy = strategy;
+    const core::PureDriverResult result = core::EvaluatePure(g, gs, q, pure);
+    ASSERT_TRUE(result.complete);
+    EXPECT_EQ(result.valid_nodes, oracle)
+        << (strategy == core::PureStrategy::kOptimistic ? "optimistic"
+                                                        : "pessimistic");
+  }
+
+  // Every enumeration engine, via pivot projection.
+  match::TurboIsoEngine turbo(g);
+  EXPECT_EQ(
+      turbo.ProjectPivot(q, match::MatchingEngine::Options()).pivot_matches,
+      oracle)
+      << "turboiso";
+  EXPECT_EQ(turbo.EvaluatePsi(q, match::MatchingEngine::Options()).valid_nodes,
+            oracle)
+      << "turboiso-psi";
+  match::CflMatchEngine cfl(g);
+  EXPECT_EQ(cfl.ProjectPivot(q, match::MatchingEngine::Options()).pivot_matches,
+            oracle)
+      << "cfl";
+  match::UllmannEngine ullmann(g);
+  EXPECT_EQ(
+      ullmann.ProjectPivot(q, match::MatchingEngine::Options()).pivot_matches,
+      oracle)
+      << "ullmann";
+  match::Vf2Engine vf2(g);
+  EXPECT_EQ(vf2.ProjectPivot(q, match::MatchingEngine::Options()).pivot_matches,
+            oracle)
+      << "vf2";
+}
+
+TEST_P(DifferentialTest, EveryPathMatchesBruteForceWithAndWithoutFaults) {
+  const auto [base_seed, query_size] = GetParam();
+  const uint64_t seed = psi::testing::TestSeed(base_seed, query_size);
+  PSI_LOG_TEST_SEED(seed);
+
+  const graph::Graph g = psi::testing::MakeRandomGraph(220, 700, 3, seed);
+  const graph::QueryGraph q =
+      psi::testing::ExtractQuery(g, query_size, seed * 7919 + 3);
+  if (q.num_nodes() != query_size) GTEST_SKIP() << "extraction failed";
+
+  ExpectAllPathsMatchOracle(g, q, seed, "bare");
+  {
+    util::ScopedFaultSpec chaos(psi::testing::MakeChaosSchedule());
+    ExpectAllPathsMatchOracle(g, q, seed, "chaos");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, DifferentialTest,
+    ::testing::Combine(::testing::Values(11, 23, 37, 41, 53),
+                       ::testing::Values(3, 4, 5)));
+
+// The paper's running example, pinned: no skip path, every engine, chaos on
+// top. If the randomized sweep ever regresses silently (extraction skips),
+// this one still bites.
+TEST_F(DifferentialTest, Figure1AgreesEverywhereUnderChaos) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const graph::QueryGraph q = psi::testing::MakeFigure1Query();
+  ExpectAllPathsMatchOracle(g, q, /*seed=*/1, "bare");
+  util::ScopedFaultSpec chaos(psi::testing::MakeChaosSchedule());
+  ExpectAllPathsMatchOracle(g, q, /*seed=*/1, "chaos");
+
+  match::BasicEngine basic(g);
+  EXPECT_EQ(basic.ProjectPivot(q, match::MatchingEngine::Options())
+                .pivot_matches,
+            (std::vector<graph::NodeId>{0, 5}));
+}
+
+}  // namespace
+}  // namespace psi

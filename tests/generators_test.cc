@@ -3,9 +3,15 @@
 #include <gtest/gtest.h>
 
 #include "graph/algorithms.h"
+#include "tests/test_fixtures.h"
 
 namespace psi::graph {
 namespace {
+
+// Generator tests seed their Rng through psi::testing::TestSeed: failures
+// log the seed, and PSI_TEST_SEED=<n> replays the binary under it. The
+// Deterministic test keeps a literal seed — it asserts same-seed equality,
+// which holds for every seed.
 
 LabelConfig ThreeLabels() {
   LabelConfig c;
@@ -15,7 +21,9 @@ LabelConfig ThreeLabels() {
 }
 
 TEST(ErdosRenyiTest, ExactCounts) {
-  util::Rng rng(1);
+  const uint64_t seed = psi::testing::TestSeed(1);
+  PSI_LOG_TEST_SEED(seed);
+  util::Rng rng(seed);
   const Graph g = ErdosRenyi(100, 250, ThreeLabels(), rng);
   EXPECT_EQ(g.num_nodes(), 100u);
   EXPECT_EQ(g.num_edges(), 250u);
@@ -37,13 +45,17 @@ TEST(ErdosRenyiTest, Deterministic) {
 }
 
 TEST(ErdosRenyiTest, ZeroEdges) {
-  util::Rng rng(2);
+  const uint64_t seed = psi::testing::TestSeed(2);
+  PSI_LOG_TEST_SEED(seed);
+  util::Rng rng(seed);
   const Graph g = ErdosRenyi(10, 0, ThreeLabels(), rng);
   EXPECT_EQ(g.num_edges(), 0u);
 }
 
 TEST(BarabasiAlbertTest, SizeAndAttachment) {
-  util::Rng rng(3);
+  const uint64_t seed = psi::testing::TestSeed(3);
+  PSI_LOG_TEST_SEED(seed);
+  util::Rng rng(seed);
   const Graph g = BarabasiAlbert(200, 3, ThreeLabels(), rng);
   EXPECT_EQ(g.num_nodes(), 200u);
   // Seed clique (4 nodes, 6 edges) + 196 nodes × 3 edges.
@@ -57,7 +69,9 @@ TEST(BarabasiAlbertTest, SizeAndAttachment) {
 }
 
 TEST(BarabasiAlbertTest, Connected) {
-  util::Rng rng(4);
+  const uint64_t seed = psi::testing::TestSeed(4);
+  PSI_LOG_TEST_SEED(seed);
+  util::Rng rng(seed);
   const Graph g = BarabasiAlbert(100, 2, ThreeLabels(), rng);
   size_t components = 0;
   ConnectedComponents(g, &components);
@@ -65,7 +79,9 @@ TEST(BarabasiAlbertTest, Connected) {
 }
 
 TEST(ChungLuTest, HeavyTail) {
-  util::Rng rng(5);
+  const uint64_t seed = psi::testing::TestSeed(5);
+  PSI_LOG_TEST_SEED(seed);
+  util::Rng rng(seed);
   const Graph g = ChungLuPowerLaw(2000, 6000, 2.2, ThreeLabels(), rng);
   EXPECT_EQ(g.num_nodes(), 2000u);
   EXPECT_GT(g.num_edges(), 5000u);  // duplicates may drop a few
@@ -75,14 +91,18 @@ TEST(ChungLuTest, HeavyTail) {
 }
 
 TEST(ChungLuTest, BoundedRetriesTerminate) {
-  util::Rng rng(6);
+  const uint64_t seed = psi::testing::TestSeed(6);
+  PSI_LOG_TEST_SEED(seed);
+  util::Rng rng(seed);
   // Absurdly dense request: must terminate with fewer edges, not loop.
   const Graph g = ChungLuPowerLaw(20, 5000, 2.0, ThreeLabels(), rng);
   EXPECT_LE(g.num_edges(), 190u);  // at most n(n-1)/2
 }
 
 TEST(RmatTest, SizeAndSkew) {
-  util::Rng rng(8);
+  const uint64_t seed = psi::testing::TestSeed(8);
+  PSI_LOG_TEST_SEED(seed);
+  util::Rng rng(seed);
   const Graph g = Rmat(10, 4000, 0.57, 0.19, 0.19, ThreeLabels(), rng);
   EXPECT_EQ(g.num_nodes(), 1024u);
   EXPECT_GT(g.num_edges(), 3000u);
@@ -91,7 +111,9 @@ TEST(RmatTest, SizeAndSkew) {
 }
 
 TEST(LabelAssignmentTest, ZipfSkewShowsInFrequencies) {
-  util::Rng rng(9);
+  const uint64_t seed = psi::testing::TestSeed(9);
+  PSI_LOG_TEST_SEED(seed);
+  util::Rng rng(seed);
   LabelConfig labels;
   labels.num_labels = 10;
   labels.zipf_exponent = 1.2;
@@ -100,7 +122,9 @@ TEST(LabelAssignmentTest, ZipfSkewShowsInFrequencies) {
 }
 
 TEST(EdgeLabelTest, MultipleEdgeLabelsGenerated) {
-  util::Rng rng(10);
+  const uint64_t seed = psi::testing::TestSeed(10);
+  PSI_LOG_TEST_SEED(seed);
+  util::Rng rng(seed);
   LabelConfig labels = ThreeLabels();
   labels.num_edge_labels = 4;
   const Graph g = ErdosRenyi(100, 400, labels, rng);

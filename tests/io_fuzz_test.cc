@@ -1,0 +1,332 @@
+// Fuzz-style robustness suite for every parser in the repository (DESIGN.md
+// §11): malformed, truncated and oversized inputs must come back as error
+// Statuses — never a crash, a hang, an unbounded allocation, or a silently
+// wrong in-memory object. The CI chaos job runs this binary under
+// AddressSanitizer, which turns any parser over-read into a hard failure.
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_io.h"
+#include "service/workload.h"
+#include "signature/builders.h"
+#include "signature/io.h"
+#include "tests/test_fixtures.h"
+#include "util/fault_injection.h"
+
+namespace psi {
+namespace {
+
+// --- .lg graph files -------------------------------------------------------
+
+constexpr char kValidLg[] =
+    "# comment\n"
+    "t 1\n"
+    "v 0 1\n"
+    "v 1 2\n"
+    "v 2 1\n"
+    "e 0 1\n"
+    "e 1 2 3\n";
+
+TEST(IoFuzzTest, ValidGraphParses) {
+  std::istringstream in(kValidLg);
+  const auto result = graph::ReadLg(in);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().num_nodes(), 3u);
+  EXPECT_EQ(result.value().num_edges(), 2u);
+}
+
+TEST(IoFuzzTest, MalformedGraphInputsErrorCleanly) {
+  const char* kBad[] = {
+      "v 0\n",                        // vertex missing its label
+      "v x y\n",                      // non-numeric fields
+      "v 1 0\n",                      // ids must be dense from 0
+      "v 0 1\nv 2 1\n",               // gap in the id sequence
+      "v 99999999999999999999 1\n",   // id overflows uint64
+      "e 0 1\n",                      // edge before any vertex
+      "v 0 1\ne 0 5\n",               // endpoint out of range
+      "v 0 1\ne 0\n",                 // edge missing an endpoint
+      "z what is this\n",             // unknown record kind
+  };
+  for (const char* text : kBad) {
+    std::istringstream in(text);
+    const auto result = graph::ReadLg(in);
+    EXPECT_FALSE(result.ok()) << "accepted: " << text;
+  }
+}
+
+// Truncation at every byte offset: each prefix either parses (the cut fell
+// on a record boundary of this edges-last format) or errors — never crashes,
+// and never yields a graph larger than the full file's.
+TEST(IoFuzzTest, GraphTruncationAtEveryByteIsHandled) {
+  const std::string full(kValidLg);
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    std::istringstream in(full.substr(0, cut));
+    const auto result = graph::ReadLg(in);
+    if (result.ok()) {
+      EXPECT_LE(result.value().num_nodes(), 3u) << "cut at " << cut;
+      EXPECT_LE(result.value().num_edges(), 2u) << "cut at " << cut;
+    }
+  }
+}
+
+// --- Pivoted query files ---------------------------------------------------
+
+constexpr char kValidQueries[] =
+    "t 1\n"
+    "v 0 1\n"
+    "v 1 2\n"
+    "e 0 1\n"
+    "p 0\n"
+    "t 2\n"
+    "v 0 3\n"
+    "p 0\n";
+
+TEST(IoFuzzTest, ValidQueriesParse) {
+  std::istringstream in(kValidQueries);
+  const auto result = graph::ReadQueries(in);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().size(), 2u);
+  EXPECT_EQ(result.value()[0].pivot(), 0u);
+}
+
+TEST(IoFuzzTest, MalformedQueryInputsErrorCleanly) {
+  const char* kBad[] = {
+      "t 1\nv 0 1\n",                 // block ends without a pivot
+      "t 1\nv 0 1\nt 2\nv 0 1\np 0\n",// first block never got its pivot
+      "v 0 1\np 0\n",                 // records before any 't' header
+      "t 1\nv 1 1\np 0\n",            // non-dense vertex id
+      "t 1\nv 0 1\ne 0 7\np 0\n",     // edge endpoint out of range
+      "t 1\nv 0 1\np 4\n",            // pivot out of range
+      "t 1\nv 0 1\nq 0\n",            // unknown record kind
+      "t 1\nv 999999 1\np 0\n",       // id far beyond kMaxNodes
+  };
+  for (const char* text : kBad) {
+    std::istringstream in(text);
+    const auto result = graph::ReadQueries(in);
+    EXPECT_FALSE(result.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(IoFuzzTest, EmptyStreamsAreValidAndEmpty) {
+  std::istringstream empty_graph("");
+  const auto g = graph::ReadLg(empty_graph);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_nodes(), 0u);
+
+  std::istringstream empty_queries("");
+  const auto qs = graph::ReadQueries(empty_queries);
+  ASSERT_TRUE(qs.ok());
+  EXPECT_TRUE(qs.value().empty());
+}
+
+// --- Binary signature files ------------------------------------------------
+
+std::string ValidSignatureBytes() {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const auto sigs = signature::BuildSignatures(
+      g, signature::Method::kMatrix, 2, g.num_labels());
+  std::ostringstream out(std::ios::binary);
+  signature::WriteSignatures(sigs, out);
+  return out.str();
+}
+
+template <typename T>
+void AppendScalar(std::string* buf, T value) {
+  buf->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Builds a syntactically well-formed PSIG header with the given dimensions
+/// and no payload behind it.
+std::string HeaderOnly(uint64_t num_rows, uint64_t num_labels) {
+  std::string buf = "PSIG";
+  AppendScalar<uint32_t>(&buf, 1);     // version
+  AppendScalar<uint32_t>(&buf, 0);     // method
+  AppendScalar<uint32_t>(&buf, 2);     // depth
+  AppendScalar<float>(&buf, 0.5f);     // decay
+  AppendScalar<uint64_t>(&buf, num_rows);
+  AppendScalar<uint64_t>(&buf, num_labels);
+  return buf;
+}
+
+TEST(IoFuzzTest, SignatureTruncationAtEveryByteErrors) {
+  const std::string full = ValidSignatureBytes();
+  ASSERT_GT(full.size(), 36u);
+  {
+    std::istringstream in(full, std::ios::binary);
+    ASSERT_TRUE(signature::ReadSignatures(in).ok());
+  }
+  // Binary payloads have no record boundaries: every strict prefix must be
+  // rejected outright.
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    std::istringstream in(full.substr(0, cut), std::ios::binary);
+    const auto result = signature::ReadSignatures(in);
+    EXPECT_FALSE(result.ok()) << "accepted prefix of " << cut << " bytes";
+  }
+}
+
+// A hostile header claiming a petabyte payload must be rejected by the
+// bounds check before the row allocation happens — an OOM here would be a
+// crash, which is exactly what this suite exists to rule out.
+TEST(IoFuzzTest, OversizedSignatureHeaderRejectedBeforeAllocation) {
+  const std::string buf =
+      HeaderOnly(/*num_rows=*/uint64_t{1} << 40, /*num_labels=*/8);
+  std::istringstream in(buf, std::ios::binary);
+  const auto result = signature::ReadSignatures(in);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(IoFuzzTest, OverflowingSignatureDimensionsRejected) {
+  // num_rows * num_labels * sizeof(float) wraps past 2^64.
+  const std::string buf = HeaderOnly(
+      /*num_rows=*/std::numeric_limits<uint64_t>::max() / 2, /*num_labels=*/8);
+  std::istringstream in(buf, std::ios::binary);
+  EXPECT_FALSE(signature::ReadSignatures(in).ok());
+}
+
+TEST(IoFuzzTest, SignatureDecayOutOfRangeRejected) {
+  std::string buf = "PSIG";
+  AppendScalar<uint32_t>(&buf, 1);
+  AppendScalar<uint32_t>(&buf, 0);
+  AppendScalar<uint32_t>(&buf, 2);
+  AppendScalar<float>(&buf, 0.0f);  // decay must be in (0, 1]
+  AppendScalar<uint64_t>(&buf, 0);
+  AppendScalar<uint64_t>(&buf, 0);
+  std::istringstream in(buf, std::ios::binary);
+  EXPECT_FALSE(signature::ReadSignatures(in).ok());
+}
+
+// Single-byte corruption anywhere in the header: any outcome is fine except
+// a crash or an absurd allocation. (Payload-byte flips just change float
+// values — well-formed by construction — so the header is the whole attack
+// surface.)
+TEST(IoFuzzTest, SignatureHeaderByteFlipsNeverCrash) {
+  const std::string full = ValidSignatureBytes();
+  const size_t header_bytes = 36;  // magic + 3*u32 + f32 + 2*u64
+  ASSERT_GE(full.size(), header_bytes);
+  for (size_t i = 0; i < header_bytes; ++i) {
+    for (const unsigned char mask : {0x01, 0x80, 0xff}) {
+      std::string corrupted = full;
+      corrupted[i] = static_cast<char>(corrupted[i] ^ mask);
+      std::istringstream in(corrupted, std::ios::binary);
+      const auto result = signature::ReadSignatures(in);
+      if (result.ok()) {
+        // A surviving parse must still describe at most the real payload.
+        EXPECT_LE(result.value().num_rows() * result.value().num_labels() *
+                      sizeof(float),
+                  full.size());
+      }
+    }
+  }
+}
+
+// --- Workload lines --------------------------------------------------------
+
+TEST(IoFuzzTest, ValidWorkloadLineParses) {
+  const auto result =
+      service::ParseWorkloadLine("v=0,1,2 e=0-1,1-2,0-2 p=0 d=50 m=smart");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().query.num_nodes(), 3u);
+  EXPECT_EQ(result.value().deadline_seconds, 0.05);
+}
+
+TEST(IoFuzzTest, MalformedWorkloadLinesErrorCleanly) {
+  const char* kBad[] = {
+      "complete garbage",            // not key=value
+      "e=0-1 p=0",                   // no nodes
+      "v= p=0",                      // empty label list piece
+      "v=0,,1 p=0",                  // empty piece mid-list
+      "v=a,b p=0",                   // non-numeric labels
+      "v=0,1 e=0 p=0",               // edge without endpoints
+      "v=0,1 e=0-1-2-3 p=0",         // too many edge fields
+      "v=0,1 e=0-5 p=0",             // endpoint out of range
+      "v=0,1 e=0-0 p=0",             // self loop
+      "v=0,1 e=0-1",                 // missing pivot
+      "v=0,1 e=0-1 p=9",             // pivot out of range
+      "v=0,1 e=0-1 p=0 d=abc",       // bad deadline
+      "v=0,1 e=0-1 p=0 d=-5",        // negative deadline
+      "v=0,1 e=0-1 p=0 m=warp",      // unknown method
+      "v=0,1 e=0-1 p=0 id=xyz",      // bad id
+      "v=0,1 e=0-1 p=0 zz=1",        // unknown key
+  };
+  for (const char* line : kBad) {
+    EXPECT_FALSE(service::ParseWorkloadLine(line).ok()) << "accepted: "
+                                                        << line;
+  }
+}
+
+TEST(IoFuzzTest, WorkloadStreamFailsOnFirstBadLineWithItsNumber) {
+  std::istringstream in(
+      "# header comment\n"
+      "v=0 e= p=0\n"
+      "\n"
+      "v=0,1 e=0-1 p=borken\n");
+  const auto result = service::ReadWorkload(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("4"), std::string::npos)
+      << result.status().ToString();
+}
+
+#if PSI_FAULT_INJECTION_ENABLED
+
+// --- Injected short reads --------------------------------------------------
+
+class IoFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::FaultInjector::Global().DisarmAll(); }
+  void TearDown() override { util::FaultInjector::Global().DisarmAll(); }
+};
+
+TEST_F(IoFaultTest, InjectedShortReadsSurfaceAsErrorStatuses) {
+  {
+    util::ScopedFaultSpec chaos("io.graph.short_read=nth:2");
+    std::istringstream in(kValidLg);
+    const auto result = graph::ReadLg(in);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("short read"), std::string::npos);
+  }
+  {
+    util::ScopedFaultSpec chaos("io.query.short_read=nth:3");
+    std::istringstream in(kValidQueries);
+    EXPECT_FALSE(graph::ReadQueries(in).ok());
+  }
+  {
+    util::ScopedFaultSpec chaos("io.signature.short_read=nth:2");
+    std::istringstream in(ValidSignatureBytes(), std::ios::binary);
+    const auto result = signature::ReadSignatures(in);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("short read"), std::string::npos);
+  }
+  {
+    util::ScopedFaultSpec chaos("io.workload.short_read=nth:1");
+    std::istringstream in("v=0,1 e=0-1 p=0\n");
+    EXPECT_FALSE(service::ReadWorkload(in).ok());
+  }
+}
+
+// A short read injected on one call must not poison the next: the reader
+// retries the identical stream and succeeds once the schedule is exhausted.
+TEST_F(IoFaultTest, ShortReadIsTransientAcrossCalls) {
+  util::ScopedFaultSpec chaos("io.graph.short_read=nth:1");
+  {
+    std::istringstream in(kValidLg);
+    EXPECT_FALSE(graph::ReadLg(in).ok());
+  }
+  {
+    std::istringstream in(kValidLg);  // nth:1 already fired; clean replay
+    const auto result = graph::ReadLg(in);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().num_nodes(), 3u);
+  }
+}
+
+#endif  // PSI_FAULT_INJECTION_ENABLED
+
+}  // namespace
+}  // namespace psi

@@ -7,8 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/test_fixtures.h"
+
 namespace psi::util {
 namespace {
+
+// Statistical tests derive their seed through psi::testing::TestSeed, so a
+// failure logs the seed that produced it and PSI_TEST_SEED=<n> replays the
+// binary under that seed. The determinism tests keep literal seeds — they
+// assert a property of *every* seed, so the value is irrelevant.
 
 TEST(SplitMix64Test, DeterministicStream) {
   SplitMix64 a(123);
@@ -29,26 +36,34 @@ TEST(RngTest, DeterministicStream) {
 }
 
 TEST(RngTest, BoundedStaysInRange) {
-  Rng rng(7);
+  const uint64_t seed = psi::testing::TestSeed(7);
+  PSI_LOG_TEST_SEED(seed);
+  Rng rng(seed);
   for (int i = 0; i < 10000; ++i) {
     EXPECT_LT(rng.NextBounded(17), 17u);
   }
 }
 
 TEST(RngTest, BoundedOneAlwaysZero) {
-  Rng rng(7);
+  const uint64_t seed = psi::testing::TestSeed(7, 1);
+  PSI_LOG_TEST_SEED(seed);
+  Rng rng(seed);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
 }
 
 TEST(RngTest, BoundedCoversAllValues) {
-  Rng rng(9);
+  const uint64_t seed = psi::testing::TestSeed(9);
+  PSI_LOG_TEST_SEED(seed);
+  Rng rng(seed);
   std::set<uint64_t> seen;
   for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(5));
   EXPECT_EQ(seen.size(), 5u);
 }
 
 TEST(RngTest, NextIntInclusiveRange) {
-  Rng rng(11);
+  const uint64_t seed = psi::testing::TestSeed(11);
+  PSI_LOG_TEST_SEED(seed);
+  Rng rng(seed);
   bool saw_lo = false;
   bool saw_hi = false;
   for (int i = 0; i < 5000; ++i) {
@@ -63,7 +78,9 @@ TEST(RngTest, NextIntInclusiveRange) {
 }
 
 TEST(RngTest, NextDoubleInUnitInterval) {
-  Rng rng(13);
+  const uint64_t seed = psi::testing::TestSeed(13);
+  PSI_LOG_TEST_SEED(seed);
+  Rng rng(seed);
   double sum = 0.0;
   for (int i = 0; i < 20000; ++i) {
     const double x = rng.NextDouble();
@@ -75,7 +92,9 @@ TEST(RngTest, NextDoubleInUnitInterval) {
 }
 
 TEST(RngTest, NextBoolProbability) {
-  Rng rng(17);
+  const uint64_t seed = psi::testing::TestSeed(17);
+  PSI_LOG_TEST_SEED(seed);
+  Rng rng(seed);
   int heads = 0;
   for (int i = 0; i < 20000; ++i) heads += rng.NextBool(0.25) ? 1 : 0;
   EXPECT_NEAR(heads / 20000.0, 0.25, 0.02);
@@ -84,7 +103,9 @@ TEST(RngTest, NextBoolProbability) {
 }
 
 TEST(RngTest, GaussianMoments) {
-  Rng rng(19);
+  const uint64_t seed = psi::testing::TestSeed(19);
+  PSI_LOG_TEST_SEED(seed);
+  Rng rng(seed);
   double sum = 0.0;
   double sum_sq = 0.0;
   const int n = 50000;
@@ -98,7 +119,9 @@ TEST(RngTest, GaussianMoments) {
 }
 
 TEST(RngTest, ForkProducesIndependentStream) {
-  Rng parent(23);
+  const uint64_t seed = psi::testing::TestSeed(23);
+  PSI_LOG_TEST_SEED(seed);
+  Rng parent(seed);
   Rng child = parent.Fork();
   // Not a rigorous independence test — just that they differ.
   int equal = 0;
@@ -109,7 +132,9 @@ TEST(RngTest, ForkProducesIndependentStream) {
 }
 
 TEST(ZipfSamplerTest, UniformWhenExponentZero) {
-  Rng rng(29);
+  const uint64_t seed = psi::testing::TestSeed(29);
+  PSI_LOG_TEST_SEED(seed);
+  Rng rng(seed);
   ZipfSampler zipf(4, 0.0);
   std::vector<int> counts(4, 0);
   for (int i = 0; i < 40000; ++i) ++counts[zipf.Sample(rng)];
@@ -117,7 +142,9 @@ TEST(ZipfSamplerTest, UniformWhenExponentZero) {
 }
 
 TEST(ZipfSamplerTest, SkewPrefersSmallIndices) {
-  Rng rng(31);
+  const uint64_t seed = psi::testing::TestSeed(31);
+  PSI_LOG_TEST_SEED(seed);
+  Rng rng(seed);
   ZipfSampler zipf(10, 1.2);
   std::vector<int> counts(10, 0);
   for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(rng)];
@@ -126,13 +153,17 @@ TEST(ZipfSamplerTest, SkewPrefersSmallIndices) {
 }
 
 TEST(ZipfSamplerTest, SingleElement) {
-  Rng rng(37);
+  const uint64_t seed = psi::testing::TestSeed(37);
+  PSI_LOG_TEST_SEED(seed);
+  Rng rng(seed);
   ZipfSampler zipf(1, 1.0);
   for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
 }
 
 TEST(ShuffleTest, IsPermutation) {
-  Rng rng(41);
+  const uint64_t seed = psi::testing::TestSeed(41);
+  PSI_LOG_TEST_SEED(seed);
+  Rng rng(seed);
   std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
   std::vector<int> original = items;
   Shuffle(items, rng);
@@ -141,7 +172,9 @@ TEST(ShuffleTest, IsPermutation) {
 }
 
 TEST(ShuffleTest, ActuallyShuffles) {
-  Rng rng(43);
+  const uint64_t seed = psi::testing::TestSeed(43);
+  PSI_LOG_TEST_SEED(seed);
+  Rng rng(seed);
   std::vector<int> items(50);
   for (int i = 0; i < 50; ++i) items[i] = i;
   const std::vector<int> original = items;
@@ -150,7 +183,9 @@ TEST(ShuffleTest, ActuallyShuffles) {
 }
 
 TEST(SampleWithoutReplacementTest, ExactSizeAndDistinct) {
-  Rng rng(47);
+  const uint64_t seed = psi::testing::TestSeed(47);
+  PSI_LOG_TEST_SEED(seed);
+  Rng rng(seed);
   const auto sample = SampleWithoutReplacement(100, 30, rng);
   EXPECT_EQ(sample.size(), 30u);
   std::set<size_t> distinct(sample.begin(), sample.end());
@@ -159,7 +194,9 @@ TEST(SampleWithoutReplacementTest, ExactSizeAndDistinct) {
 }
 
 TEST(SampleWithoutReplacementTest, KAtLeastNReturnsAll) {
-  Rng rng(53);
+  const uint64_t seed = psi::testing::TestSeed(53);
+  PSI_LOG_TEST_SEED(seed);
+  Rng rng(seed);
   const auto sample = SampleWithoutReplacement(10, 10, rng);
   EXPECT_EQ(sample.size(), 10u);
   const auto bigger = SampleWithoutReplacement(10, 100, rng);
@@ -167,7 +204,9 @@ TEST(SampleWithoutReplacementTest, KAtLeastNReturnsAll) {
 }
 
 TEST(SampleWithoutReplacementTest, UniformCoverage) {
-  Rng rng(59);
+  const uint64_t seed = psi::testing::TestSeed(59);
+  PSI_LOG_TEST_SEED(seed);
+  Rng rng(seed);
   std::vector<int> counts(20, 0);
   for (int trial = 0; trial < 4000; ++trial) {
     for (const size_t s : SampleWithoutReplacement(20, 5, rng)) ++counts[s];

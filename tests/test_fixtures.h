@@ -1,15 +1,43 @@
 #ifndef SMARTPSI_TESTS_TEST_FIXTURES_H_
 #define SMARTPSI_TESTS_TEST_FIXTURES_H_
 
+#include <cstdint>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/graph_builder.h"
+#include "graph/query_extractor.h"
 #include "graph/query_graph.h"
 #include "util/random.h"
 
 namespace psi::testing {
+
+/// Seed for randomized tests: `base_seed` by default, overridden globally
+/// by the PSI_TEST_SEED environment variable. Every randomized suite
+/// derives its RNGs from this (never std::random_device) so any failure
+/// replays exactly with `PSI_TEST_SEED=<seed> ./the_test`. `salt` keeps
+/// tests within one binary decorrelated under the same override.
+inline uint64_t TestSeed(uint64_t base_seed, uint64_t salt = 0) {
+  if (const char* env = std::getenv("PSI_TEST_SEED")) {
+    char* end = nullptr;
+    const uint64_t parsed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') {
+      return parsed ^ (salt * 0x9e3779b97f4a7c15ULL);
+    }
+  }
+  return base_seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+}
+
+/// Annotates every assertion in scope with the seed that produced the
+/// failure, so the log line alone is enough to replay:
+///   const uint64_t seed = psi::testing::TestSeed(42);
+///   PSI_LOG_TEST_SEED(seed);
+#define PSI_LOG_TEST_SEED(seed)                                       \
+  SCOPED_TRACE(::testing::Message()                                   \
+               << "replay with PSI_TEST_SEED=" << (seed))
 
 // Labels used by the paper's running examples.
 inline constexpr graph::Label kA = 0;
@@ -84,6 +112,51 @@ inline graph::Graph MakeRandomGraph(size_t nodes, size_t edges,
   labels.num_labels = num_labels;
   labels.zipf_exponent = 0.6;
   return graph::ErdosRenyi(nodes, edges, labels, rng);
+}
+
+/// The extract-a-connected-query idiom most randomized suites repeat:
+/// random walk extraction from `g`, deterministic in `seed`. Returns a
+/// query with fewer than `query_size` nodes when extraction fails (callers
+/// GTEST_SKIP on that, matching QueryExtractor's contract).
+inline graph::QueryGraph ExtractQuery(const graph::Graph& g, size_t query_size,
+                                      uint64_t seed) {
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(seed);
+  return extractor.Extract(query_size, rng);
+}
+
+/// A single-node pivot query: matches every data node with `label`.
+/// The simplest fixture that exercises the full service path.
+inline graph::QueryGraph MakeSingleNodeQuery(graph::Label label) {
+  graph::QueryGraph q;
+  q.set_pivot(q.AddNode(label));
+  return q;
+}
+
+/// A labeled path query v0–v1–…–v(k-1) with the pivot at one end.
+inline graph::QueryGraph MakePathQuery(const std::vector<graph::Label>& labels) {
+  graph::QueryGraph q;
+  for (const graph::Label l : labels) q.AddNode(l);
+  for (graph::NodeId v = 0; v + 1 < q.num_nodes(); ++v) {
+    q.AddEdge(v, v + 1);
+  }
+  q.set_pivot(0);
+  return q;
+}
+
+/// The standard chaos schedule for tests: every engine-side fault site
+/// armed deterministically (fail-every-K with coprime periods, so firings
+/// interleave rather than align). Use with ScopedFaultSpec:
+///   util::ScopedFaultSpec chaos(psi::testing::MakeChaosSchedule());
+/// IO short-read sites are intentionally absent — they make loads fail by
+/// design and belong in the io_fuzz suite, not under differential runs.
+inline std::string MakeChaosSchedule() {
+  return "cache.lookup.miss=every:3,"
+         "cache.lookup.poison=every:5,"
+         "smart.predict.flip=every:4,"
+         "smart.plan.mispredict=every:7,"
+         "smart.preempt.expire=every:6,"
+         "threadpool.task.start=prob:0.05:13@0.2";
 }
 
 }  // namespace psi::testing
