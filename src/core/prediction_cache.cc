@@ -6,7 +6,7 @@
 namespace psi::core {
 
 std::optional<PredictionCache::Entry> PredictionCache::Lookup(
-    uint64_t signature_hash) const {
+    uint64_t signature_hash, uint64_t expected_epoch) const {
   // Chaos hooks, evaluated before the shard lock so a firing schedule never
   // extends the critical section. A forced miss models cache eviction /
   // cold restart; poison models a stale or corrupted entry. Both are
@@ -19,6 +19,14 @@ std::optional<PredictionCache::Entry> PredictionCache::Lookup(
   const auto it =
       forced_miss ? shard.entries.end() : shard.entries.find(signature_hash);
   if (it == shard.entries.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  if (it->second.epoch != expected_epoch) {
+    // Key matched but the entry was confirmed against a different snapshot
+    // generation. With version-salted keys this should be unreachable; the
+    // counter is the tripwire swap-storm asserts on.
+    ++shard.epoch_drops;
     ++shard.misses;
     return std::nullopt;
   }
@@ -53,6 +61,7 @@ PredictionCache::Counters PredictionCache::counters() const {
     util::MutexLock lock(shard.mutex);
     total.hits += shard.hits;
     total.misses += shard.misses;
+    total.epoch_drops += shard.epoch_drops;
     total.inserts += shard.inserts;
   }
   return total;

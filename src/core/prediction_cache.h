@@ -30,6 +30,12 @@ class PredictionCache {
     bool valid;
     /// Plan-pool index that completed the evaluation.
     uint32_t plan_index;
+    /// Generation stamp of the state the decision was confirmed against —
+    /// the service stamps entries with the graph-snapshot version. 0 for
+    /// standalone engines with no snapshot. An entry whose epoch differs
+    /// from the lookup's expected epoch is treated as a miss and counted
+    /// in Counters::epoch_drops (the cross-snapshot tripwire).
+    uint64_t epoch = 0;
   };
 
   /// Monotonic usage counters, aggregated across shards. A consistent
@@ -40,6 +46,12 @@ class PredictionCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t inserts = 0;
+    /// Lookups that found an entry under the right key but from a
+    /// different epoch (dropped, counted as a miss). With the service's
+    /// version-salted keys this must stay 0 — asserted by
+    /// `psi_loadgen --swap-storm`; a nonzero value means a cache key
+    /// collided across snapshot generations.
+    uint64_t epoch_drops = 0;
 
     double HitRate() const {
       const uint64_t lookups = hits + misses;
@@ -49,8 +61,10 @@ class PredictionCache {
     }
   };
 
-  /// Returns the cached decision for a signature hash, if any.
-  std::optional<Entry> Lookup(uint64_t signature_hash) const;
+  /// Returns the cached decision for a signature hash, if any. An entry
+  /// stamped with a different epoch is dropped (nullopt + epoch_drops).
+  std::optional<Entry> Lookup(uint64_t signature_hash,
+                              uint64_t expected_epoch = 0) const;
 
   /// Records a confirmed decision (last writer wins).
   void Insert(uint64_t signature_hash, Entry entry);
@@ -74,6 +88,7 @@ class PredictionCache {
     // operation itself — no extra synchronization on the fast path.
     mutable uint64_t hits PSI_GUARDED_BY(mutex) = 0;
     mutable uint64_t misses PSI_GUARDED_BY(mutex) = 0;
+    mutable uint64_t epoch_drops PSI_GUARDED_BY(mutex) = 0;
     uint64_t inserts PSI_GUARDED_BY(mutex) = 0;
   };
 

@@ -66,13 +66,13 @@ struct WorkerState {
 const graph::EquivalenceClasses& SmartPsiEngine::EquivalencePartition() {
   if (equivalence_ == nullptr) {
     equivalence_ = std::make_unique<graph::EquivalenceClasses>(
-        graph::ComputeSyntacticEquivalence(graph_));
+        graph::ComputeSyntacticEquivalence(*graph_));
   }
   return *equivalence_;
 }
 
 SmartPsiEngine::SmartPsiEngine(const graph::Graph& g, SmartPsiConfig config)
-    : graph_(g), config_(config), rng_(config.seed) {
+    : graph_(&g), config_(config), rng_(config.seed) {
   if (config_.num_threads > 1) {
     pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
   }
@@ -84,10 +84,17 @@ SmartPsiEngine::SmartPsiEngine(const graph::Graph& g, SmartPsiConfig config)
   signature_build_seconds_ = timer.Seconds();
 }
 
+SmartPsiEngine::SmartPsiEngine(SmartPsiConfig config)
+    : config_(config), rng_(config.seed) {
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
+  }
+}
+
 SmartPsiEngine::SmartPsiEngine(const graph::Graph& g,
                                signature::SignatureMatrix graph_sigs,
                                SmartPsiConfig config)
-    : graph_(g), config_(config), rng_(config.seed) {
+    : graph_(&g), config_(config), rng_(config.seed) {
   assert(graph_sigs.num_rows() == g.num_nodes());
   assert(graph_sigs.num_labels() >= g.num_labels());
   if (config_.num_threads > 1) {
@@ -103,7 +110,7 @@ SmartPsiEngine::SmartPsiEngine(const graph::Graph& g,
 SmartPsiEngine::SmartPsiEngine(const graph::Graph& g,
                                const signature::SignatureMatrix* shared_sigs,
                                SmartPsiConfig config)
-    : graph_(g), config_(config), sigs_view_(shared_sigs), rng_(config.seed) {
+    : graph_(&g), config_(config), sigs_view_(shared_sigs), rng_(config.seed) {
   assert(shared_sigs != nullptr);
   assert(shared_sigs->num_rows() == g.num_nodes());
   assert(shared_sigs->num_labels() >= g.num_labels());
@@ -115,14 +122,30 @@ SmartPsiEngine::SmartPsiEngine(const graph::Graph& g,
   config_.signature_decay = shared_sigs->decay();
 }
 
+void SmartPsiEngine::Rebind(const graph::Graph& g,
+                            const signature::SignatureMatrix* sigs) {
+  assert(sigs != nullptr);
+  if (graph_ == &g && sigs_view_ == sigs) return;  // steady-state fast path
+  assert(sigs->num_rows() == g.num_nodes());
+  assert(sigs->num_labels() >= g.num_labels());
+  graph_ = &g;
+  sigs_view_ = sigs;
+  graph_sigs_ = signature::SignatureMatrix();  // drop any adopted matrix
+  equivalence_.reset();  // memoized partition belongs to the old graph
+  config_.signature_method = sigs->method();
+  config_.signature_depth = sigs->depth();
+  config_.signature_decay = sigs->decay();
+}
+
 PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
                                         util::Deadline deadline,
                                         util::StopToken stop) {
   assert(q.has_pivot());
+  assert(bound() && "Evaluate() on an unbound engine — call Rebind() first");
   util::WallTimer total_timer;
   PsiQueryResult result;
 
-  const QueryContext ctx = PrepareQuery(graph_, sigs(), q);
+  const QueryContext ctx = PrepareQuery(*graph_, sigs(), q);
   result.num_candidates = ctx.candidates.size();
   if (!ctx.feasible || ctx.candidates.empty()) {
     result.total_seconds = total_timer.Seconds();
@@ -134,11 +157,15 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
   // one engine are then valid for every engine sharing the cache.
   const uint64_t query_salt =
       config_.query_keyed_cache ? q.Fingerprint() : 0;
+  // Snapshot keying composes by XOR on top of the query salt: entries from
+  // different snapshot generations land under different keys, and the epoch
+  // stamp makes any residual collision observable (epoch_drops).
+  const uint64_t cache_key_salt = query_salt ^ cache_salt_;
   util::Rng rng = config_.query_keyed_cache
                       ? util::Rng(config_.seed ^ query_salt)
                       : rng_.Fork();
   const std::vector<match::Plan> plan_pool = match::SamplePlanPool(
-      q, graph_, q.pivot(), std::max<size_t>(1, config_.plan_pool_size), rng);
+      q, *graph_, q.pivot(), std::max<size_t>(1, config_.plan_pool_size), rng);
   const size_t num_plans = plan_pool.size();
 
   // Optional BoostIso-style dedup: keep one representative per syntactic-
@@ -183,7 +210,7 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
   if (candidates.size() < config_.min_candidates_for_ml) {
     util::WallTimer eval_timer;
     match::SearchScratchPool::Lease scratch(&scratch_pool_);
-    PsiEvaluator evaluator(graph_, sigs(), scratch.get());
+    PsiEvaluator evaluator(*graph_, sigs(), scratch.get());
     evaluator.BindQuery(q, ctx.query_sigs, plan_pool[0]);
     // Everything below runs pessimistically, so one bulk kernel sweep
     // replaces the per-candidate pivot signature checks.
@@ -237,7 +264,7 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
   util::RunningStats all_times;
 
   match::SearchScratchPool::Lease trainer_scratch(&scratch_pool_);
-  PsiEvaluator trainer(graph_, sigs(), trainer_scratch.get());
+  PsiEvaluator trainer(*graph_, sigs(), trainer_scratch.get());
   bool training_aborted = false;
   for (const size_t idx : train_indices) {
     const graph::NodeId u = candidates[idx];
@@ -304,8 +331,9 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
     beta_data.AddExample(row, best_plan);
     if (node_valid) result.valid_nodes.push_back(u);
     if (config_.enable_cache) {
-      active_cache_->Insert(sigs().RowHash(u) ^ query_salt,
-                            {node_valid, static_cast<uint32_t>(best_plan)});
+      active_cache_->Insert(
+          sigs().RowHash(u) ^ cache_key_salt,
+          {node_valid, static_cast<uint32_t>(best_plan), cache_epoch_});
     }
   }
 
@@ -348,7 +376,7 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
   std::atomic<bool> global_incomplete{false};
   auto evaluate_range = [&](size_t begin, size_t end, WorkerState& ws) {
     match::SearchScratchPool::Lease scratch(&scratch_pool_);
-    PsiEvaluator evaluator(graph_, sigs(), scratch.get());
+    PsiEvaluator evaluator(*graph_, sigs(), scratch.get());
     for (size_t r = begin; r < end; ++r) {
       if (global_incomplete.load(std::memory_order_relaxed)) return;
       // Check before starting a candidate, not only inside the search (which
@@ -368,9 +396,9 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
       bool predicted_valid = false;
       uint32_t plan_index = 0;
       bool from_cache = false;
-      const uint64_t hash = sigs().RowHash(u) ^ query_salt;
+      const uint64_t hash = sigs().RowHash(u) ^ cache_key_salt;
       if (config_.enable_cache) {
-        if (const auto entry = active_cache_->Lookup(hash)) {
+        if (const auto entry = active_cache_->Lookup(hash, cache_epoch_)) {
           predicted_valid = entry->valid;
           plan_index = std::min<uint32_t>(entry->plan_index,
                                           static_cast<uint32_t>(num_plans -
@@ -462,7 +490,8 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
         if (predicted_valid == actual_valid) ++ws.alpha_correct;
       }
       if (config_.enable_cache) {
-        active_cache_->Insert(hash, {actual_valid, completed_plan});
+        active_cache_->Insert(hash,
+                              {actual_valid, completed_plan, cache_epoch_});
       }
     }
   };

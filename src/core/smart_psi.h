@@ -48,6 +48,11 @@ class SmartPsiEngine {
   explicit SmartPsiEngine(const graph::Graph& g,
                           SmartPsiConfig config = SmartPsiConfig());
 
+  /// Unbound engine: no graph, no signatures. Evaluate() asserts until the
+  /// first Rebind(). This is the service-worker form — workers are created
+  /// once and rebound to whichever pinned snapshot each request resolved.
+  explicit SmartPsiEngine(SmartPsiConfig config);
+
   /// Adopts precomputed graph signatures (e.g. loaded with
   /// signature::LoadSignatureFile) instead of building them. The config's
   /// signature method/depth/decay are overridden from the matrix metadata;
@@ -73,11 +78,35 @@ class SmartPsiEngine {
                           util::Deadline deadline = util::Deadline(),
                           util::StopToken stop = util::StopToken());
 
+  /// Points the engine at a different (graph, shared signatures) pair — the
+  /// per-request snapshot rebind. No-op when already bound to the same
+  /// pair (the steady-state fast path: one pointer comparison). Otherwise
+  /// drops graph-derived memos (the equivalence partition) and overrides
+  /// the config's signature metadata from the matrix, exactly like the
+  /// shared-signature constructor. Both `g` and `sigs` must outlive the
+  /// binding — the service guarantees this by holding a snapshot pin for
+  /// the whole request. Only call between Evaluate() calls.
+  void Rebind(const graph::Graph& g, const signature::SignatureMatrix* sigs);
+
+  /// True once the engine has a graph + signatures (construction-time or
+  /// via Rebind). Evaluate() asserts this.
+  bool bound() const { return graph_ != nullptr; }
+
+  /// Sets the snapshot keying applied to every prediction-cache access:
+  /// `salt` is XORed into the key (version-salted keys keep generations
+  /// apart) and `epoch` stamps inserts / gates lookups (the belt-and-
+  /// braces tripwire behind Counters::epoch_drops). Standalone engines
+  /// keep the default (0, 0). Only call between Evaluate() calls.
+  void set_cache_keying(uint64_t salt, uint64_t epoch) {
+    cache_salt_ = salt;
+    cache_epoch_ = epoch;
+  }
+
   const signature::SignatureMatrix& graph_signatures() const {
     return *sigs_view_;
   }
   const SmartPsiConfig& config() const { return config_; }
-  const graph::Graph& graph() const { return graph_; }
+  const graph::Graph& graph() const { return *graph_; }
 
   /// Seconds spent building the graph signatures at construction.
   double signature_build_seconds() const { return signature_build_seconds_; }
@@ -107,7 +136,9 @@ class SmartPsiEngine {
 
   const signature::SignatureMatrix& sigs() const { return *sigs_view_; }
 
-  const graph::Graph& graph_;
+  /// Null only for an unbound engine (see bound()); never null once a
+  /// constructor with a graph or Rebind() has run.
+  const graph::Graph* graph_ = nullptr;
   SmartPsiConfig config_;
   std::unique_ptr<util::ThreadPool> pool_;  // null when num_threads <= 1
   signature::SignatureMatrix graph_sigs_;  // empty when signatures are shared
@@ -115,6 +146,10 @@ class SmartPsiEngine {
   double signature_build_seconds_ = 0.0;
   PredictionCache cache_;
   PredictionCache* active_cache_ = &cache_;
+  /// Snapshot keying (set_cache_keying): XOR salt on every cache key plus
+  /// the epoch stamped into inserts and expected by lookups.
+  uint64_t cache_salt_ = 0;
+  uint64_t cache_epoch_ = 0;
   /// Search arenas reused across queries: every evaluator built inside
   /// Evaluate() leases one, so a long-lived engine (e.g. a service
   /// worker's) reaches an allocation-free steady state per candidate.

@@ -4,6 +4,17 @@
 
 namespace psi::graph {
 
+Graph Graph::Clone() const {
+  Graph copy;
+  copy.offsets_ = offsets_;
+  copy.neighbors_ = neighbors_;
+  copy.edge_labels_ = edge_labels_;
+  copy.node_labels_ = node_labels_;
+  copy.nodes_by_label_ = nodes_by_label_;
+  copy.label_offsets_ = label_offsets_;
+  return copy;
+}
+
 bool Graph::HasEdge(NodeId u, NodeId v) const {
   const auto nbrs = neighbors(u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);

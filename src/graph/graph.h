@@ -31,13 +31,22 @@ class Graph {
   Graph(Graph&&) = default;
   Graph& operator=(Graph&&) = default;
 
+  /// Explicit deep copy. The implicit copy operations are deleted so a
+  /// multi-GB CSR graph can never be duplicated by accident; the snapshot
+  /// catalog uses Clone() to give each published snapshot its own arrays.
+  Graph Clone() const;
+
   size_t num_nodes() const { return node_labels_.size(); }
 
   /// Number of undirected edges (each stored twice internally).
   size_t num_edges() const { return neighbors_.size() / 2; }
 
-  /// Number of distinct node labels (= max label + 1).
-  size_t num_labels() const { return label_offsets_.size() - 1; }
+  /// Number of distinct node labels (= max label + 1; 0 for a
+  /// default-constructed graph, whose label index is empty — the
+  /// unconditional `size() - 1` would wrap to SIZE_MAX).
+  size_t num_labels() const {
+    return label_offsets_.empty() ? 0 : label_offsets_.size() - 1;
+  }
 
   Label label(NodeId u) const { return node_labels_[u]; }
 
@@ -62,13 +71,19 @@ class Graph {
   std::optional<Label> EdgeLabelBetween(NodeId u, NodeId v) const;
 
   /// All node ids carrying label `l`, sorted ascending. Empty span for an
-  /// unused label value < num_labels().
+  /// unused label value < num_labels() and for any l >= num_labels() (the
+  /// bounds check keeps out-of-alphabet queries — and the empty graph —
+  /// from indexing past the label index).
   std::span<const NodeId> nodes_with_label(Label l) const {
+    if (static_cast<size_t>(l) + 1 >= label_offsets_.size()) return {};
     return {nodes_by_label_.data() + label_offsets_[l],
             nodes_by_label_.data() + label_offsets_[l + 1]};
   }
 
+  /// Count of nodes carrying label `l`; 0 for l >= num_labels() (same
+  /// bounds rule as nodes_with_label).
   size_t label_frequency(Label l) const {
+    if (static_cast<size_t>(l) + 1 >= label_offsets_.size()) return 0;
     return label_offsets_[l + 1] - label_offsets_[l];
   }
 

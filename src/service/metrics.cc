@@ -81,6 +81,9 @@ void MetricsRegistry::RecordOutcome(const QueryResponse& response,
     case RequestStatus::kInvalid:
       invalid_.fetch_add(1, std::memory_order_release);
       break;
+    case RequestStatus::kNotFound:
+      not_found_.fetch_add(1, std::memory_order_release);
+      break;
     case RequestStatus::kRejected:
       rejected_.fetch_add(1, std::memory_order_relaxed);
       return;  // never admitted: no latency, no engine work
@@ -111,6 +114,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   s.timed_out = timed_out_.load(std::memory_order_acquire);
   s.cancelled = cancelled_.load(std::memory_order_acquire);
   s.invalid = invalid_.load(std::memory_order_acquire);
+  s.not_found = not_found_.load(std::memory_order_acquire);
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   s.method_recoveries = method_recoveries_.load(std::memory_order_relaxed);
   s.plan_fallbacks = plan_fallbacks_.load(std::memory_order_relaxed);
@@ -134,7 +138,7 @@ std::string MetricsSnapshot::ToString() const {
   oss << "requests: admitted=" << admitted << " rejected=" << rejected
       << " retries=" << retries << " completed=" << completed
       << " timed_out=" << timed_out << " cancelled=" << cancelled
-      << " invalid=" << invalid << "\n"
+      << " invalid=" << invalid << " not_found=" << not_found << "\n"
       << "engine: cache_hits=" << cache_hits
       << " method_recoveries=" << method_recoveries
       << " plan_fallbacks=" << plan_fallbacks
@@ -145,6 +149,9 @@ std::string MetricsSnapshot::ToString() const {
       << " degraded_requests=" << degraded_requests
       << " cache_bypass_entries=" << cache_bypass_entries
       << " cache_bypass_exits=" << cache_bypass_exits << "\n"
+      << "catalog: publishes=" << snapshot_publishes
+      << " swaps=" << snapshot_swaps << " retires=" << snapshot_retires
+      << " publish_failures=" << snapshot_publish_failures << "\n"
       << "latency (" << latency.count
       << " samples): mean=" << util::FormatDuration(latency.mean)
       << " p50=" << util::FormatDuration(latency.p50)

@@ -58,6 +58,8 @@ struct MetricsSnapshot {
   uint64_t timed_out = 0;
   uint64_t cancelled = 0;
   uint64_t invalid = 0;
+  /// Admitted, but the requested graph name resolved to no snapshot.
+  uint64_t not_found = 0;
 
   // Engine-side work, aggregated across requests.
   uint64_t cache_hits = 0;
@@ -75,11 +77,19 @@ struct MetricsSnapshot {
   uint64_t cache_bypass_entries = 0;
   uint64_t cache_bypass_exits = 0;
 
+  // Snapshot catalog traffic. The MetricsRegistry does not own these —
+  // PsiService::Stats() folds them in from GraphCatalog::counters() so one
+  // snapshot (and one ToString) covers the whole service surface.
+  uint64_t snapshot_publishes = 0;
+  uint64_t snapshot_swaps = 0;      // publishes that replaced a current name
+  uint64_t snapshot_retires = 0;
+  uint64_t snapshot_publish_failures = 0;  // catalog.publish fault aborts
+
   LatencyReservoir::Summary latency;
 
   /// Terminal events recorded so far (== admitted once the queue drains).
   uint64_t Settled() const {
-    return completed + timed_out + cancelled + invalid;
+    return completed + timed_out + cancelled + invalid + not_found;
   }
 
   /// Multi-line human-readable dump for tools.
@@ -155,6 +165,7 @@ class MetricsRegistry {
   std::atomic<uint64_t> timed_out_{0};
   std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> invalid_{0};
+  std::atomic<uint64_t> not_found_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> method_recoveries_{0};
   std::atomic<uint64_t> plan_fallbacks_{0};

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/query_graph.h"
@@ -33,6 +34,12 @@ struct QueryRequest {
   double deadline_seconds = 0.0;
 
   Method method = Method::kSmart;
+
+  /// Catalog name of the data graph to run against; empty selects the
+  /// service's default graph. Resolution happens at admission: the request
+  /// pins whatever snapshot is current then and keeps it for its whole
+  /// lifetime, even across a concurrent hot swap.
+  std::string graph;
 };
 
 /// Terminal state of a request.
@@ -48,6 +55,9 @@ enum class RequestStatus {
   kRejected,
   /// Malformed request (empty query or missing pivot).
   kInvalid,
+  /// The requested graph name resolved to no catalog snapshot (unknown or
+  /// retired); never evaluated.
+  kNotFound,
 };
 
 const char* RequestStatusName(RequestStatus s);
@@ -70,6 +80,12 @@ struct QueryResponse {
   /// with pessimist-only evaluation instead (DESIGN.md §11). The answer is
   /// exact either way; only the latency profile differs.
   bool served_degraded = false;
+
+  /// Version of the graph snapshot this request was evaluated against
+  /// (GraphSnapshot::version); 0 when the request never resolved a
+  /// snapshot (kRejected / kInvalid / kNotFound). A request runs against
+  /// exactly one snapshot end to end — swap-storm asserts this.
+  uint64_t snapshot_version = 0;
 
   /// Admission-to-completion latency (queue wait + execution) — the number
   /// a caller experiences and the one the tail-latency metrics track.
@@ -104,6 +120,8 @@ inline const char* RequestStatusName(RequestStatus s) {
       return "rejected";
     case RequestStatus::kInvalid:
       return "invalid";
+    case RequestStatus::kNotFound:
+      return "not_found";
   }
   return "unknown";
 }

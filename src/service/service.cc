@@ -7,48 +7,73 @@
 #include <utility>
 
 #include "core/pure_drivers.h"
-#include "signature/builders.h"
 #include "util/fault_injection.h"
 
 namespace psi::service {
 
 PsiService::PsiService(const graph::Graph& g, ServiceOptions options)
-    : graph_(g), options_(options) {
+    : options_(options) {
   options_.num_workers = std::max<size_t>(1, options_.num_workers);
   pool_ = std::make_unique<util::ThreadPool>(options_.num_workers);
-  util::WallTimer timer;
-  graph_sigs_ = signature::BuildSignatures(
-      g, options_.engine.signature_method, options_.engine.signature_depth,
-      g.num_labels(), pool_.get(), options_.engine.signature_decay);
-  signature_build_seconds_ = timer.Seconds();
-  PrewarmRowHashes();
+  owned_catalog_ = std::make_unique<GraphCatalog>();
+  catalog_ = owned_catalog_.get();
+  GraphCatalog::BuildOptions build;
+  build.signature_method = options_.engine.signature_method;
+  build.signature_depth = options_.engine.signature_depth;
+  build.signature_decay = options_.engine.signature_decay;
+  build.prewarm_row_hashes = options_.prewarm_row_hashes;
+  // The service pool is idle until StartWorkers below, so the startup
+  // build may parallelize on it safely (the no-serving-pool rule in
+  // BuildOptions only bites once queries are in flight).
+  build.pool = pool_.get();
+  // If an armed catalog.publish fault fires here the service starts with
+  // an empty catalog and every request settles kNotFound — degraded, not
+  // broken, matching the chaos layer's graceful-failure contract.
+  auto published =
+      catalog_->BuildAndPublish(options_.default_graph, g.Clone(), build);
+  if (published.ok()) {
+    signature_build_seconds_ =
+        published.value()->timings().signature_build_seconds;
+  }
   StartWorkers();
 }
 
 PsiService::PsiService(const graph::Graph& g,
                        signature::SignatureMatrix graph_sigs,
                        ServiceOptions options)
-    : graph_(g), options_(options), graph_sigs_(std::move(graph_sigs)) {
-  assert(graph_sigs_.num_rows() == g.num_nodes());
+    : options_(options) {
+  assert(graph_sigs.num_rows() == g.num_nodes());
   options_.num_workers = std::max<size_t>(1, options_.num_workers);
   pool_ = std::make_unique<util::ThreadPool>(options_.num_workers);
-  PrewarmRowHashes();
+  owned_catalog_ = std::make_unique<GraphCatalog>();
+  catalog_ = owned_catalog_.get();
+  SnapshotTimings timings;
+  if (options_.prewarm_row_hashes && graph_sigs.num_rows() > 0) {
+    util::WallTimer prewarm_timer;
+    pool_->ParallelFor(graph_sigs.num_rows(),
+                       [&graph_sigs](size_t begin, size_t end) {
+                         for (size_t i = begin; i < end; ++i) {
+                           graph_sigs.RowHash(i);
+                         }
+                       });
+    timings.prewarm_seconds = prewarm_timer.Seconds();
+  }
+  // Same graceful-failure stance as the building constructor above.
+  auto published = catalog_->PublishPrebuilt(
+      options_.default_graph, g.Clone(), std::move(graph_sigs), timings);
+  (void)published;
   StartWorkers();
 }
 
-void PsiService::PrewarmRowHashes() {
-  if (!options_.prewarm_row_hashes) return;
-  const size_t n = graph_sigs_.num_rows();
-  if (n == 0) return;
-  const size_t chunks = options_.num_workers * 4;
-  const size_t chunk_size = (n + chunks - 1) / chunks;
-  for (size_t begin = 0; begin < n; begin += chunk_size) {
-    const size_t end = std::min(n, begin + chunk_size);
-    pool_->Submit([this, begin, end] {
-      for (size_t i = begin; i < end; ++i) graph_sigs_.RowHash(i);
-    });
+PsiService::PsiService(GraphCatalog* catalog, ServiceOptions options)
+    : options_(options), catalog_(catalog) {
+  assert(catalog != nullptr);
+  options_.num_workers = std::max<size_t>(1, options_.num_workers);
+  pool_ = std::make_unique<util::ThreadPool>(options_.num_workers);
+  if (const auto snapshot = catalog_->Resolve(options_.default_graph)) {
+    signature_build_seconds_ = snapshot->timings().signature_build_seconds;
   }
-  pool_->Wait();
+  StartWorkers();
 }
 
 void PsiService::StartWorkers() {
@@ -66,9 +91,10 @@ void PsiService::StartWorkers() {
   for (size_t i = 0; i < options_.num_workers; ++i) {
     // Same seed everywhere: with query_keyed_cache every engine derives an
     // identical plan pool for a given query, so cached plan indices written
-    // by one worker mean the same thing to all others.
-    engines_.push_back(
-        std::make_unique<core::SmartPsiEngine>(graph_, &graph_sigs_, config));
+    // by one worker mean the same thing to all others. Engines start
+    // unbound; each request rebinds its checked-out engine to the snapshot
+    // it pinned at admission.
+    engines_.push_back(std::make_unique<core::SmartPsiEngine>(config));
     engines_.back()->UseSharedCache(&shared_cache_);
     free_engines_.push_back(engines_.back().get());
   }
@@ -107,11 +133,19 @@ std::optional<std::future<QueryResponse>> PsiService::Submit(
   // The admission timer starts now so the recorded latency includes queue
   // wait — the delay a caller actually experiences.
   util::WallTimer admission_timer;
+  // Snapshot resolution happens at admission, not execution: the request
+  // pins whatever is current *now* and keeps that snapshot for its whole
+  // lifetime, so a swap that lands while it queues cannot change what it
+  // runs against. An empty pin (unknown name) is still admitted and
+  // settles kNotFound, keeping Settled() == admitted exact.
+  auto pin = std::make_shared<SnapshotPin>(catalog_->Pin(
+      request.graph.empty() ? options_.default_graph : request.graph));
   auto promise = std::make_shared<std::promise<QueryResponse>>();
   std::future<QueryResponse> future = promise->get_future();
   // The request lives in shared state (not the task closure) so a shed
   // TrySubmit — which destroys the closure it was handed — leaves it
-  // intact for the next retry attempt.
+  // intact for the next retry attempt. The pin rides the same way (it is
+  // move-only, and std::function closures must be copyable).
   auto shared_request = std::make_shared<QueryRequest>(std::move(request));
 
   const size_t max_retries =
@@ -131,9 +165,14 @@ std::optional<std::future<QueryResponse>> PsiService::Submit(
     const bool admitted =
         !injected_shed &&
         pool_->TrySubmit(
-            [this, shared_request, promise, admission_timer]() mutable {
-              promise->set_value(
-                  Run(std::move(*shared_request), admission_timer));
+            [this, shared_request, pin, promise, admission_timer]() mutable {
+              // The Run statement is its own full expression, so the pin
+              // parameter (and with it the pin gauge) drops before the
+              // promise is fulfilled: a caller observing its future never
+              // sees its own request still pinned.
+              QueryResponse response = Run(std::move(*shared_request),
+                                           std::move(*pin), admission_timer);
+              promise->set_value(std::move(response));
             },
             options_.max_queue_depth);
     if (admitted) {
@@ -167,7 +206,7 @@ QueryResponse PsiService::Execute(QueryRequest request) {
   return future->get();
 }
 
-QueryResponse PsiService::Run(QueryRequest request,
+QueryResponse PsiService::Run(QueryRequest request, SnapshotPin pin,
                               util::WallTimer admission_timer) {
   // Chaos hook: a worker descheduled between dequeue and execution (the
   // slow-worker scenario — queue wait inflates, deadlines burn down).
@@ -175,6 +214,7 @@ QueryResponse PsiService::Run(QueryRequest request,
 
   QueryResponse response;
   response.id = request.id;
+  response.snapshot_version = pin ? pin->version() : 0;
   uint64_t method_recoveries = 0;
   uint64_t plan_fallbacks = 0;
   bool smart_evaluated = false;
@@ -182,6 +222,8 @@ QueryResponse PsiService::Run(QueryRequest request,
 
   if (request.query.num_nodes() == 0 || !request.query.has_pivot()) {
     response.status = RequestStatus::kInvalid;
+  } else if (!pin) {
+    response.status = RequestStatus::kNotFound;
   } else if (shutdown_.StopRequested()) {
     response.status = RequestStatus::kCancelled;
   } else {
@@ -205,6 +247,12 @@ QueryResponse PsiService::Run(QueryRequest request,
     if (effective == Method::kSmart) {
       smart_evaluated = true;
       core::SmartPsiEngine* engine = CheckoutEngine();
+      // Bind the checked-out engine to this request's pinned snapshot
+      // (pointer-compare no-op when the worker last served the same one)
+      // and key its cache traffic by the snapshot generation so entries
+      // can never cross a swap.
+      engine->Rebind(pin->graph(), &pin->signatures());
+      engine->set_cache_keying(pin->cache_salt(), pin->version());
       // Cache-bypass degradation: serve this evaluation model-only. The
       // engine is held exclusively between checkout and return, so the
       // toggle cannot race another Evaluate.
@@ -229,8 +277,8 @@ QueryResponse PsiService::Run(QueryRequest request,
                           : core::PureStrategy::kPessimistic;
       pure.deadline = deadline;
       pure.stop = stop;
-      core::PureDriverResult result =
-          core::EvaluatePure(graph_, graph_sigs_, request.query, pure);
+      core::PureDriverResult result = core::EvaluatePure(
+          pin->graph(), pin->signatures(), request.query, pure);
       response.valid_nodes = std::move(result.valid_nodes);
       complete = result.complete;
     }
@@ -361,6 +409,12 @@ void PsiService::UpdateDegradation(const QueryResponse& response,
 ServiceStats PsiService::Stats() const {
   ServiceStats stats;
   stats.metrics = metrics_.Snapshot();
+  const GraphCatalog::Counters catalog_counters = catalog_->counters();
+  stats.metrics.snapshot_publishes = catalog_counters.published;
+  stats.metrics.snapshot_swaps = catalog_counters.swaps;
+  stats.metrics.snapshot_retires = catalog_counters.retired;
+  stats.metrics.snapshot_publish_failures = catalog_counters.publish_failures;
+  stats.snapshots = catalog_->List();
   stats.cache = shared_cache_.counters();
   stats.cache_entries = shared_cache_.size();
   stats.queue_depth = pool_->queue_depth();

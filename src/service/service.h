@@ -11,6 +11,7 @@
 #include "core/prediction_cache.h"
 #include "core/smart_psi.h"
 #include "graph/graph.h"
+#include "service/catalog.h"
 #include "service/metrics.h"
 #include "service/request.h"
 #include "signature/signature_matrix.h"
@@ -84,6 +85,10 @@ struct ServiceOptions {
   /// Graceful-degradation policies; disabled by default.
   DegradationOptions degradation;
 
+  /// Catalog name requests with an empty `QueryRequest::graph` resolve to.
+  /// The graph-reference constructors publish their graph under this name.
+  std::string default_graph = "default";
+
   /// Per-worker engine tuning. num_threads is forced to 1 and
   /// query_keyed_cache to true regardless of what is set here (the service
   /// owns parallelism and shares one cache across query shapes).
@@ -100,6 +105,9 @@ struct ServiceStats {
   size_t num_workers = 0;
   double signature_build_seconds = 0.0;
   double uptime_seconds = 0.0;
+  /// Per-snapshot gauges: every current catalog snapshot plus retired
+  /// generations still pinned by in-flight requests.
+  std::vector<CatalogEntry> snapshots;
   /// Degraded-mode gauges: current state, not monotonic counters (those
   /// live in metrics.degraded_entries/exits etc.).
   bool degraded_mode = false;
@@ -112,15 +120,19 @@ struct ServiceStats {
 /// Multi-threaded in-process PSI query service (the serving layer over the
 /// paper's single-query pipeline).
 ///
-/// Owns the amortizable, query-independent state once — the immutable data
-/// graph reference, its signature matrix, and the signature-keyed
-/// prediction cache (§4.2.3) — and shares it across all in-flight
-/// requests; per-request state (models, plan pools, search scratch) stays
-/// inside per-worker engines. Requests pass through a bounded admission
-/// queue onto a fixed worker pool; a per-request deadline bounds execution
-/// and Shutdown() cancels in-flight work through util::StopToken, so one
-/// pathological query can delay its own caller but never stall the
-/// service.
+/// Data-graph ownership flows through a GraphCatalog of versioned,
+/// shared_ptr-pinned snapshots (see catalog.h): every request resolves its
+/// graph name at admission, pins the current snapshot, and runs against it
+/// end to end — a concurrent hot swap never changes what an in-flight
+/// request sees, and a replaced snapshot's memory is reclaimed when its
+/// last pin drops. The signature-keyed prediction cache (§4.2.3) is shared
+/// across requests with version-salted keys, so entries can never cross a
+/// swap; per-request state (models, plan pools, search scratch) stays
+/// inside per-worker engines, which rebind to the pinned snapshot per
+/// request. Requests pass through a bounded admission queue onto a fixed
+/// worker pool; a per-request deadline bounds execution and Shutdown()
+/// cancels in-flight work through util::StopToken, so one pathological
+/// query can delay its own caller but never stall the service.
 ///
 /// Thread-safe: Submit/Execute/Stats may be called concurrently from any
 /// number of threads. Results are exact (status kOk) regardless of
@@ -129,12 +141,24 @@ struct ServiceStats {
 /// trusted less.
 class PsiService {
  public:
-  /// Builds the signature matrix on the service pool (parallel).
+  /// Single-graph convenience: clones `g` into a service-owned catalog
+  /// under options.default_graph, building the signature matrix on the
+  /// service pool (parallel). The caller's graph is not referenced after
+  /// construction returns.
   PsiService(const graph::Graph& g, ServiceOptions options = ServiceOptions());
 
-  /// Adopts a precomputed matrix (e.g. loaded from a signature file).
+  /// As above but adopting a precomputed matrix (e.g. loaded from a
+  /// signature file) instead of building one.
   PsiService(const graph::Graph& g, signature::SignatureMatrix graph_sigs,
              ServiceOptions options = ServiceOptions());
+
+  /// Serves a caller-owned catalog (which may be shared with an admin
+  /// surface doing live load/swap/retire). The catalog must outlive the
+  /// service; it need not contain options.default_graph yet — requests
+  /// resolve names at admission, so graphs published later just start
+  /// serving.
+  explicit PsiService(GraphCatalog* catalog,
+                      ServiceOptions options = ServiceOptions());
 
   PsiService(const PsiService&) = delete;
   PsiService& operator=(const PsiService&) = delete;
@@ -160,14 +184,18 @@ class PsiService {
   /// Idempotent; called by the destructor.
   void Shutdown();
 
-  const signature::SignatureMatrix& signatures() const { return graph_sigs_; }
-  const graph::Graph& graph() const { return graph_; }
+  /// The catalog this service resolves graph names against — the admin
+  /// surface for live load/swap/retire. Publishing or retiring through it
+  /// is safe while the service is serving.
+  GraphCatalog& catalog() { return *catalog_; }
+  const GraphCatalog& catalog() const { return *catalog_; }
+
   const ServiceOptions& options() const { return options_; }
 
  private:
   void StartWorkers();
-  void PrewarmRowHashes();
-  QueryResponse Run(QueryRequest request, util::WallTimer admission_timer);
+  QueryResponse Run(QueryRequest request, SnapshotPin pin,
+                    util::WallTimer admission_timer);
 
   core::SmartPsiEngine* CheckoutEngine() PSI_EXCLUDES(engines_mutex_);
   void ReturnEngine(core::SmartPsiEngine* engine) PSI_EXCLUDES(engines_mutex_);
@@ -180,9 +208,11 @@ class PsiService {
   bool DegradedModeActive() const PSI_EXCLUDES(degrade_mutex_);
   bool CacheBypassActive() const PSI_EXCLUDES(degrade_mutex_);
 
-  const graph::Graph& graph_;
   ServiceOptions options_;
-  signature::SignatureMatrix graph_sigs_;
+  /// Set for the convenience constructors; the catalog-pointer constructor
+  /// leaves it null and serves the caller's catalog.
+  std::unique_ptr<GraphCatalog> owned_catalog_;
+  GraphCatalog* catalog_ = nullptr;  // never null after construction
   double signature_build_seconds_ = 0.0;
   core::PredictionCache shared_cache_;
   MetricsRegistry metrics_;

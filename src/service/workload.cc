@@ -122,6 +122,11 @@ Result<QueryRequest> ParseWorkloadLine(const std::string& line) {
       if (!ParseU64(value, &request.id)) {
         return Status::InvalidArgument("bad id '" + value + "'");
       }
+    } else if (key == "g") {
+      if (value.empty()) {
+        return Status::InvalidArgument("empty graph name (g=)");
+      }
+      request.graph = value;
     } else {
       return Status::InvalidArgument("unknown key '" + key + "'");
     }
@@ -178,6 +183,7 @@ std::string FormatWorkloadLine(const QueryRequest& request) {
     oss << " m=" << MethodName(request.method);
   }
   if (request.id != 0) oss << " id=" << request.id;
+  if (!request.graph.empty()) oss << " g=" << request.graph;
   return oss.str();
 }
 

@@ -15,13 +15,15 @@ namespace psi::service {
 /// Newline-delimited request format, one request per line, so workloads
 /// stream through psi_serve's stdin without block framing:
 ///
-///   v=<l0>,<l1>,... e=<u>-<v>[-<label>],... p=<pivot> [d=<ms>] [m=<method>] [id=<n>]
+///   v=<l0>,<l1>,... e=<u>-<v>[-<label>],... p=<pivot> [d=<ms>] [m=<method>] [id=<n>] [g=<name>]
 ///
 /// `v=` lists node labels in id order (node count is implied), `e=` the
 /// undirected edges, `p=` the pivot node. `d=` is the per-request deadline
 /// in milliseconds (0/absent = service default), `m=` one of
-/// smart|optimistic|pessimistic, `id=` a caller correlation id. Tokens may
-/// appear in any order; `#` starts a comment line.
+/// smart|optimistic|pessimistic, `id=` a caller correlation id, `g=` the
+/// catalog name of the data graph to run against (absent = the service's
+/// default graph). Tokens may appear in any order; `#` starts a comment
+/// line.
 ///
 /// Example — the paper's Figure 1 triangle with a 50 ms budget:
 ///

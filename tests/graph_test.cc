@@ -120,5 +120,43 @@ TEST(GraphTest, MoveSemantics) {
   EXPECT_EQ(moved.num_edges(), 10u);
 }
 
+// Regression: num_labels() on a default-constructed graph used to compute
+// label_offsets_.size() - 1 on an empty vector, wrapping to SIZE_MAX —
+// which made `label < g.num_labels()` feasibility checks pass for any
+// label and index past the empty label index.
+TEST(GraphTest, DefaultConstructedGraphHasNoLabels) {
+  const Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.num_labels(), 0u);
+  EXPECT_TRUE(g.nodes_with_label(0).empty());
+  EXPECT_EQ(g.label_frequency(0), 0u);
+  EXPECT_EQ(g.average_degree(), 0.0);
+}
+
+TEST(GraphTest, LabelAccessorsBoundOutOfAlphabetQueries) {
+  const Graph g = testing::MakeFigure1Graph();
+  ASSERT_EQ(g.num_labels(), 3u);
+  EXPECT_TRUE(g.nodes_with_label(3).empty());
+  EXPECT_TRUE(g.nodes_with_label(12345).empty());
+  EXPECT_EQ(g.label_frequency(3), 0u);
+  EXPECT_EQ(g.label_frequency(12345), 0u);
+  // In-alphabet queries still index normally.
+  EXPECT_EQ(g.label_frequency(testing::kC), 2u);
+  EXPECT_EQ(g.nodes_with_label(testing::kA).size(), 2u);
+}
+
+TEST(GraphTest, CloneIsDeepAndIndependent) {
+  Graph g = testing::MakeFigure1Graph();
+  const Graph copy = g.Clone();
+  const Graph moved = std::move(g);  // invalidates g, must not touch copy
+  EXPECT_EQ(copy.num_nodes(), 6u);
+  EXPECT_EQ(copy.num_edges(), 10u);
+  EXPECT_EQ(copy.num_labels(), 3u);
+  EXPECT_EQ(copy.label_frequency(testing::kB), 2u);
+  EXPECT_TRUE(copy.HasEdge(0, 1));
+  EXPECT_EQ(copy.neighbors(0).size(), moved.neighbors(0).size());
+}
+
 }  // namespace
 }  // namespace psi::graph

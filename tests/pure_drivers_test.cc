@@ -26,17 +26,33 @@ TEST(PureDriversTest, Figure1BothStrategies) {
   }
 }
 
-TEST(PureDriversTest, InfeasibleQueryEmpty) {
-  const graph::Graph g = psi::testing::MakeFigure1Graph();
+// The QueryContext::feasible == false path must short-circuit both pure
+// strategies to a clean empty-and-complete result: an out-of-alphabet
+// label and an in-alphabet label no node carries are both infeasible.
+TEST(PureDriversTest, InfeasibleQueryEmptyForBothStrategies) {
+  graph::GraphBuilder b;
+  b.AddNode(0);
+  b.AddNode(2);  // label 1 exists in the alphabet but has zero frequency
+  b.AddEdge(0, 1);
+  const graph::Graph g = std::move(b).Build();
   const auto gs = signature::BuildSignatures(
       g, signature::Method::kMatrix, 2, g.num_labels());
-  graph::QueryGraph q;
-  q.AddNode(50);
-  q.set_pivot(0);
-  PureDriverOptions options;
-  const PureDriverResult result = EvaluatePure(g, gs, q, options);
-  EXPECT_TRUE(result.valid_nodes.empty());
-  EXPECT_TRUE(result.complete);
+
+  for (const graph::Label missing : {graph::Label{1}, graph::Label{50}}) {
+    graph::QueryGraph q;
+    q.AddNode(missing);
+    q.set_pivot(0);
+    for (const PureStrategy strategy :
+         {PureStrategy::kOptimistic, PureStrategy::kPessimistic}) {
+      PureDriverOptions options;
+      options.strategy = strategy;
+      const PureDriverResult result = EvaluatePure(g, gs, q, options);
+      EXPECT_TRUE(result.valid_nodes.empty()) << "label " << missing;
+      EXPECT_TRUE(result.complete) << "label " << missing;
+      EXPECT_EQ(result.stats.recursive_calls, 0u)
+          << "infeasible must not search";
+    }
+  }
 }
 
 class PureDriverAgreementTest : public ::testing::TestWithParam<uint64_t> {};

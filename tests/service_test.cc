@@ -300,6 +300,177 @@ TEST(PsiServiceTest, ShutdownStopsAdmissionAndIsIdempotent) {
   EXPECT_EQ(service.Stats().metrics.completed, 1u);
 }
 
+// An infeasible query (label absent from the data graph) is a *valid*
+// request with an empty answer — it must settle kOk with no nodes through
+// every method, not error out, for both the smart and pure execution paths.
+TEST(PsiServiceTest, InfeasibleQuerySettlesOkAndEmptyForEveryMethod) {
+  const graph::Graph g = testing::MakeFigure1Graph();
+  PsiService service(g, SmallOptions(2));
+  for (const Method method :
+       {Method::kSmart, Method::kOptimistic, Method::kPessimistic}) {
+    QueryRequest request;
+    request.query.AddNode(12345);  // not in the Figure 1 alphabet
+    request.query.set_pivot(0);
+    request.method = method;
+    const QueryResponse response = service.Execute(std::move(request));
+    EXPECT_EQ(response.status, RequestStatus::kOk) << MethodName(method);
+    EXPECT_TRUE(response.valid_nodes.empty()) << MethodName(method);
+  }
+  EXPECT_EQ(service.Stats().metrics.completed, 3u);
+}
+
+// --- Catalog-backed serving (DESIGN.md §12) --------------------------------
+
+TEST(PsiServiceTest, ResponsesReportTheirSnapshotVersion) {
+  const graph::Graph g = testing::MakeFigure1Graph();
+  PsiService service(g, SmallOptions(1));
+  QueryRequest request;
+  request.query = testing::MakeFigure1Query();
+  const QueryResponse response = service.Execute(std::move(request));
+  EXPECT_EQ(response.status, RequestStatus::kOk);
+  EXPECT_EQ(response.snapshot_version, 1u);
+}
+
+TEST(PsiServiceTest, UnknownGraphNameSettlesNotFound) {
+  const graph::Graph g = testing::MakeFigure1Graph();
+  PsiService service(g, SmallOptions(2));
+  QueryRequest request;
+  request.query = testing::MakeFigure1Query();
+  request.graph = "no-such-graph";
+  const QueryResponse response = service.Execute(std::move(request));
+  EXPECT_EQ(response.status, RequestStatus::kNotFound);
+  EXPECT_EQ(response.snapshot_version, 0u);
+  EXPECT_TRUE(response.valid_nodes.empty());
+
+  const MetricsSnapshot m = service.Stats().metrics;
+  EXPECT_EQ(m.not_found, 1u);
+  EXPECT_EQ(m.Settled(), m.admitted) << "not_found must settle, not leak";
+}
+
+TEST(PsiServiceTest, RoutesRequestsByGraphName) {
+  // Two graphs with different answers to the same query: Figure 1 answers
+  // {0, 5}; a single A–B–C path answers {0} only.
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.BuildAndPublish("fig1", testing::MakeFigure1Graph())
+                  .ok());
+  graph::GraphBuilder path;
+  const graph::NodeId a = path.AddNode(testing::kA);
+  const graph::NodeId b = path.AddNode(testing::kB);
+  const graph::NodeId c = path.AddNode(testing::kC);
+  path.AddEdge(a, b);
+  path.AddEdge(b, c);
+  path.AddEdge(c, a);
+  ASSERT_TRUE(catalog.BuildAndPublish("path", std::move(path).Build()).ok());
+
+  ServiceOptions options = SmallOptions(2);
+  options.default_graph = "fig1";
+  PsiService service(&catalog, options);
+
+  QueryRequest to_default;
+  to_default.query = testing::MakeFigure1Query();
+  const QueryResponse from_default = service.Execute(std::move(to_default));
+  EXPECT_EQ(from_default.valid_nodes, (std::vector<graph::NodeId>{0, 5}));
+
+  QueryRequest to_path;
+  to_path.query = testing::MakeFigure1Query();
+  to_path.graph = "path";
+  const QueryResponse from_path = service.Execute(std::move(to_path));
+  EXPECT_EQ(from_path.valid_nodes, (std::vector<graph::NodeId>{0}));
+  EXPECT_NE(from_path.snapshot_version, from_default.snapshot_version);
+}
+
+TEST(PsiServiceTest, HotSwapRebindsNewRequestsAndReleasesTheOldSnapshot) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(
+      catalog.BuildAndPublish("g", testing::MakeFigure1Graph()).ok());
+  ServiceOptions options = SmallOptions(2);
+  options.default_graph = "g";
+  PsiService service(&catalog, options);
+
+  QueryRequest before;
+  before.query = testing::MakeFigure1Query();
+  const QueryResponse v1 = service.Execute(std::move(before));
+  EXPECT_EQ(v1.snapshot_version, 1u);
+  EXPECT_EQ(v1.valid_nodes, (std::vector<graph::NodeId>{0, 5}));
+
+  std::weak_ptr<const GraphSnapshot> old_generation = catalog.Resolve("g");
+  ASSERT_TRUE(
+      catalog.BuildAndPublish("g", testing::MakeFigure1Graph()).ok());
+
+  QueryRequest after;
+  after.query = testing::MakeFigure1Query();
+  const QueryResponse v2 = service.Execute(std::move(after));
+  EXPECT_EQ(v2.snapshot_version, 2u);
+  EXPECT_EQ(v2.valid_nodes, (std::vector<graph::NodeId>{0, 5}));
+
+  // Nothing holds the old generation once its last request settled: the
+  // engines keep only non-owning views, so the memory is already gone.
+  EXPECT_TRUE(old_generation.expired());
+  EXPECT_EQ(service.Stats().metrics.snapshot_swaps, 1u);
+}
+
+TEST(PsiServiceTest, PinGaugeDrainsToZeroAfterTheLastResponse) {
+  const graph::Graph g = testing::MakeRandomGraph(200, 600, 3, /*seed=*/61);
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(67);
+  const auto queries = extractor.ExtractMany(4, 6, rng);
+  ASSERT_FALSE(queries.empty());
+
+  PsiService service(g, SmallOptions(3));
+  std::vector<std::future<QueryResponse>> futures;
+  for (int round = 0; round < 4; ++round) {
+    for (const auto& query : queries) {
+      QueryRequest request;
+      request.query = query;
+      auto future = service.Submit(std::move(request));
+      if (future.has_value()) futures.push_back(std::move(*future));
+    }
+  }
+  for (auto& future : futures) {
+    EXPECT_NE(future.get().snapshot_version, 0u);
+  }
+  // Pins drop before the response future is fulfilled, so after the last
+  // get() the gauge must already read zero — no grace period.
+  const std::vector<CatalogEntry> entries = service.catalog().List();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].pins, 0u);
+}
+
+TEST(PsiServiceTest, CacheIsSaltedPerSnapshotGeneration) {
+  const graph::Graph g = testing::MakeRandomGraph(300, 900, 3, /*seed=*/71);
+  graph::QueryExtractor extractor(g);
+  util::Rng rng(73);
+  const auto queries = extractor.ExtractMany(4, 3, rng);
+  ASSERT_FALSE(queries.empty());
+
+  PsiService service(g, SmallOptions(2));
+  auto run_rounds = [&] {
+    for (int round = 0; round < 3; ++round) {
+      for (const auto& query : queries) {
+        QueryRequest request;
+        request.query = query;
+        EXPECT_EQ(service.Execute(std::move(request)).status,
+                  RequestStatus::kOk);
+      }
+    }
+  };
+  run_rounds();
+  const uint64_t hits_before = service.Stats().cache.hits;
+  EXPECT_GT(hits_before, 0u);
+
+  // Swap to a new generation of the same graph and re-run: keys are salted
+  // per version, so the epoch tripwire must never fire — a cross-version
+  // key collision would surface as a nonzero epoch_drops count.
+  ASSERT_TRUE(service.catalog()
+                  .BuildAndPublish(service.options().default_graph, g.Clone())
+                  .ok());
+  run_rounds();
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache.epoch_drops, 0u);
+  EXPECT_GT(stats.cache.hits, hits_before)
+      << "the new generation must warm its own cache entries";
+}
+
 TEST(PsiServiceTest, AdoptsPrecomputedSignatures) {
   const graph::Graph g = testing::MakeFigure1Graph();
   ServiceOptions options = SmallOptions(2);

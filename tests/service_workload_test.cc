@@ -84,6 +84,90 @@ TEST(WorkloadParseTest, FormatParseRoundTrip) {
   EXPECT_EQ(back.query.Fingerprint(), request.query.Fingerprint());
 }
 
+// Property test: FormatWorkloadLine and ParseWorkloadLine are exact
+// inverses over randomized requests — every optional token (d=, m=, id=,
+// g=), edge labels, and token order included. Deadlines are drawn on a
+// quarter-millisecond grid so the float text round-trips exactly.
+TEST(WorkloadPropertyTest, FormatParseRoundTripsRandomizedRequests) {
+  const uint64_t seed = testing::TestSeed(0x9041d);
+  PSI_LOG_TEST_SEED(seed);
+  util::Rng rng(seed);
+  const char* graph_names[] = {"", "default", "social", "snapshot-2"};
+
+  for (int iter = 0; iter < 300; ++iter) {
+    QueryRequest request;
+    const size_t n = 1 + rng.NextBounded(6);
+    for (size_t v = 0; v < n; ++v) {
+      request.query.AddNode(static_cast<graph::Label>(rng.NextBounded(10)));
+    }
+    for (size_t u = 0; u < n; ++u) {
+      for (size_t v = u + 1; v < n; ++v) {
+        if (rng.NextDouble() < 0.4) {
+          // Mix default (omitted in the text form) and explicit edge labels.
+          const graph::Label label =
+              rng.NextDouble() < 0.5
+                  ? graph::kDefaultEdgeLabel
+                  : static_cast<graph::Label>(1 + rng.NextBounded(5));
+          request.query.AddEdge(static_cast<graph::NodeId>(u),
+                                static_cast<graph::NodeId>(v), label);
+        }
+      }
+    }
+    request.query.set_pivot(static_cast<graph::NodeId>(rng.NextBounded(n)));
+    if (rng.NextDouble() < 0.5) {
+      request.deadline_seconds = (1 + rng.NextBounded(400)) * 0.25e-3;
+    }
+    const Method methods[] = {Method::kSmart, Method::kOptimistic,
+                              Method::kPessimistic};
+    request.method = methods[rng.NextBounded(3)];
+    if (rng.NextDouble() < 0.5) request.id = 1 + rng.NextBounded(1 << 20);
+    request.graph = graph_names[rng.NextBounded(4)];
+
+    const std::string line = FormatWorkloadLine(request);
+    const auto reparsed = ParseWorkloadLine(line);
+    ASSERT_TRUE(reparsed.ok())
+        << line << " -> " << reparsed.status().ToString();
+    const QueryRequest& back = reparsed.value();
+    EXPECT_EQ(back.id, request.id) << line;
+    EXPECT_EQ(back.method, request.method) << line;
+    EXPECT_EQ(back.graph, request.graph) << line;
+    EXPECT_DOUBLE_EQ(back.deadline_seconds, request.deadline_seconds) << line;
+    EXPECT_EQ(back.query.pivot(), request.query.pivot()) << line;
+    EXPECT_EQ(back.query.num_edges(), request.query.num_edges()) << line;
+    EXPECT_EQ(back.query.Fingerprint(), request.query.Fingerprint()) << line;
+
+    // The format is order-insensitive: a token shuffle parses identically.
+    std::vector<std::string> tokens;
+    std::istringstream split(line);
+    std::string token;
+    while (split >> token) tokens.push_back(token);
+    for (size_t i = tokens.size(); i > 1; --i) {
+      std::swap(tokens[i - 1], tokens[rng.NextBounded(i)]);
+    }
+    std::string shuffled;
+    for (const std::string& t : tokens) {
+      if (!shuffled.empty()) shuffled += ' ';
+      shuffled += t;
+    }
+    const auto from_shuffled = ParseWorkloadLine(shuffled);
+    ASSERT_TRUE(from_shuffled.ok())
+        << shuffled << " -> " << from_shuffled.status().ToString();
+    EXPECT_EQ(from_shuffled.value().query.Fingerprint(),
+              request.query.Fingerprint())
+        << shuffled;
+    EXPECT_EQ(from_shuffled.value().graph, request.graph) << shuffled;
+  }
+}
+
+TEST(WorkloadParseTest, GraphTokenRoundTripsAndRejectsEmpty) {
+  const auto parsed = ParseWorkloadLine("v=0,1 e=0-1 p=0 g=social");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().graph, "social");
+  EXPECT_NE(FormatWorkloadLine(parsed.value()).find(" g=social"),
+            std::string::npos);
+  EXPECT_FALSE(ParseWorkloadLine("v=0,1 p=0 g=").ok());
+}
+
 TEST(WorkloadIoTest, ReadSkipsCommentsAndBlankLines) {
   std::istringstream in(
       "# a comment\n"

@@ -6,6 +6,7 @@
 
 #include "graph/query_extractor.h"
 #include "match/engine.h"
+#include "signature/builders.h"
 #include "tests/test_fixtures.h"
 
 namespace psi::core {
@@ -32,6 +33,33 @@ TEST(SmartPsiTest, InfeasibleQueryEmpty) {
   EXPECT_TRUE(result.valid_nodes.empty());
   EXPECT_TRUE(result.complete);
   EXPECT_EQ(result.num_candidates, 0u);
+}
+
+// The feasibility check must track the *bound* graph: after Rebind moves
+// an unbound engine onto a graph, a label outside that graph's alphabet
+// short-circuits to empty while a real query still answers correctly.
+TEST(SmartPsiTest, RebindTracksFeasibilityOfTheBoundGraph) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  SmartPsiConfig config;
+  config.signature_depth = 1;
+  const auto sigs = signature::BuildSignatures(
+      g, config.signature_method, config.signature_depth, g.num_labels());
+
+  SmartPsiEngine engine(config);  // unbound
+  EXPECT_FALSE(engine.bound());
+  engine.Rebind(g, &sigs);
+  ASSERT_TRUE(engine.bound());
+
+  graph::QueryGraph infeasible;
+  infeasible.AddNode(12345);
+  infeasible.set_pivot(0);
+  const PsiQueryResult empty = engine.Evaluate(infeasible);
+  EXPECT_TRUE(empty.valid_nodes.empty());
+  EXPECT_TRUE(empty.complete);
+
+  const PsiQueryResult answer =
+      engine.Evaluate(psi::testing::MakeFigure1Query());
+  EXPECT_EQ(answer.valid_nodes, (std::vector<graph::NodeId>{0, 5}));
 }
 
 TEST(SmartPsiTest, SignaturesBuiltAtConstruction) {

@@ -19,6 +19,8 @@
 #include <future>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -75,9 +77,22 @@ void Usage() {
       "                        process never crashes. Exits nonzero on any\n"
       "                        violation. Requires a PSI_ENABLE_FAULT_INJECTION\n"
       "                        build for faults to actually fire\n"
-      "  --faults SPEC         fault schedule for --chaos, e.g.\n"
+      "  --faults SPEC         fault schedule for --chaos/--swap-storm, e.g.\n"
       "                        'cache.lookup.miss=every:3,service.worker.stall=prob:0.1@2'\n"
-      "                        (see src/util/fault_injection.h for the grammar)\n";
+      "                        (see src/util/fault_injection.h for the grammar)\n"
+      "  --swap-storm          hot-swap storm: saturation offering against a\n"
+      "                        catalog-backed service while a swapper thread\n"
+      "                        republishes the served graph as fast as it can\n"
+      "                        build, with the catalog.publish fault site\n"
+      "                        armed (failed publishes must leave the old\n"
+      "                        snapshot serving). Verifies exact settlement,\n"
+      "                        that every response reports a published\n"
+      "                        snapshot version, zero cross-snapshot cache\n"
+      "                        hits (epoch_drops == 0), pins draining to\n"
+      "                        zero, and that every retired generation's\n"
+      "                        memory is actually released. Exits nonzero on\n"
+      "                        any violation\n"
+      "  --swaps N             publishes the swapper attempts (default 24)\n";
 }
 
 struct RunReport {
@@ -338,6 +353,216 @@ int ChaosRun(const graph::Graph& g,
   return failures == 0 ? 0 : 1;
 }
 
+/// Hot-swap storm: a swapper thread republishes the served graph while the
+/// main thread offers the workload at saturation (shed submissions retried,
+/// so every request is eventually admitted). The catalog.publish fault site
+/// is armed by default, so a fraction of publishes abort after the build —
+/// the previous snapshot must keep serving through those. Verifies the
+/// tentpole invariants end-to-end and returns the process exit code.
+int SwapStormRun(const graph::Graph& g,
+                 const std::vector<service::QueryRequest>& requests,
+                 const service::ServiceOptions& options,
+                 const std::string& spec, size_t swaps_target) {
+  util::FaultInjector& injector = util::FaultInjector::Global();
+  const util::Status armed = injector.ArmFromSpec(spec);
+  if (!armed.ok()) {
+    std::cerr << "bad --faults spec: " << armed.ToString() << "\n";
+    return 2;
+  }
+
+  service::GraphCatalog catalog;
+  service::SnapshotBuildOptions build;
+  build.signature_method = options.engine.signature_method;
+  build.signature_depth = options.engine.signature_depth;
+  build.signature_decay = options.engine.signature_decay;
+
+  // Every generation ever published: version (for the response check) and a
+  // weak_ptr (for the memory-release check).
+  std::vector<uint64_t> published_versions;
+  std::vector<std::weak_ptr<const service::GraphSnapshot>> generations;
+
+  // Seed snapshot; retried because the armed injector may fail the very
+  // first publish.
+  for (int attempt = 0; attempt < 16 && generations.empty(); ++attempt) {
+    auto published =
+        catalog.BuildAndPublish(options.default_graph, g.Clone(), build);
+    if (published.ok()) {
+      published_versions.push_back(published.value()->version());
+      generations.emplace_back(published.value());
+    }
+  }
+  if (generations.empty()) {
+    std::cerr << "could not publish the seed snapshot\n";
+    return 1;
+  }
+
+  service::PsiService psi_service(&catalog, options);
+
+  std::atomic<bool> swapping{true};
+  uint64_t swap_failures = 0;
+  std::vector<uint64_t> swapped_versions;
+  std::vector<std::weak_ptr<const service::GraphSnapshot>> swapped_generations;
+  std::thread swapper([&] {
+    for (size_t i = 0; i < swaps_target; ++i) {
+      auto published =
+          catalog.BuildAndPublish(options.default_graph, g.Clone(), build);
+      if (published.ok()) {
+        swapped_versions.push_back(published.value()->version());
+        swapped_generations.emplace_back(published.value());
+      } else {
+        ++swap_failures;
+      }
+    }
+    swapping.store(false, std::memory_order_release);
+  });
+
+  // Invariant poller: the metrics contract and the cross-snapshot cache
+  // tripwire must hold in *every* snapshot taken mid-swap, not just at the
+  // end of the run.
+  std::atomic<bool> poll{true};
+  std::atomic<bool> invariant_violated{false};
+  std::thread poller([&] {
+    while (poll.load(std::memory_order_acquire)) {
+      const service::ServiceStats stats = psi_service.Stats();
+      const auto& m = stats.metrics;
+      if (m.latency.count > m.Settled() || m.Settled() > m.admitted ||
+          stats.cache.epoch_drops != 0) {
+        std::cerr << "swap-storm invariant violated mid-run: latency.count="
+                  << m.latency.count << " settled=" << m.Settled()
+                  << " admitted=" << m.admitted
+                  << " epoch_drops=" << stats.cache.epoch_drops << "\n";
+        invariant_violated.store(true, std::memory_order_release);
+        return;
+      }
+    }
+  });
+
+  // Saturation offering, re-offering the workload until the swapper is
+  // done so the service is under load for every single swap. Each round
+  // drains before re-offering to bound the in-flight future count.
+  std::map<std::string, uint64_t> outcomes;
+  std::set<uint64_t> response_versions;
+  size_t admitted = 0;
+  size_t zero_version_responses = 0;
+  size_t rounds = 0;
+  util::WallTimer wall;
+  for (;;) {
+    // Sampled before the round: when the swapper was already done at round
+    // start, this round ran entirely against the final generation, so the
+    // run is guaranteed to span at least two versions (given one swap).
+    const bool swapper_done = !swapping.load(std::memory_order_acquire);
+    ++rounds;
+    std::vector<std::future<service::QueryResponse>> futures;
+    futures.reserve(requests.size());
+    for (const service::QueryRequest& request : requests) {
+      for (;;) {
+        auto future = psi_service.Submit(request);
+        if (future.has_value()) {
+          futures.push_back(std::move(*future));
+          ++admitted;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+    for (auto& future : futures) {
+      const service::QueryResponse response = future.get();
+      ++outcomes[service::RequestStatusName(response.status)];
+      if (response.snapshot_version == 0) ++zero_version_responses;
+      response_versions.insert(response.snapshot_version);
+    }
+    if (swapper_done) break;
+  }
+  swapper.join();
+  published_versions.insert(published_versions.end(), swapped_versions.begin(),
+                            swapped_versions.end());
+  generations.insert(generations.end(), swapped_generations.begin(),
+                     swapped_generations.end());
+  const double wall_seconds = wall.Seconds();
+
+  const service::ServiceStats stats = psi_service.Stats();
+  poll.store(false, std::memory_order_release);
+  poller.join();
+  const uint64_t fires = injector.TotalFires();
+  const auto publish_site_stats =
+      injector.Stats(util::faults::kCatalogPublish);
+  injector.DisarmAll();
+
+  // Quiesce and retire the served name so even the final generation should
+  // release: after this, nothing in the process holds a snapshot ref.
+  psi_service.Shutdown();
+  catalog.Retire(options.default_graph);
+
+  // --- Report -------------------------------------------------------------
+  const auto& m = stats.metrics;
+  std::cout << "--- swap-storm (" << requests.size() << " requests/round, "
+            << rounds << (rounds == 1 ? " round, " : " rounds, ")
+            << published_versions.size() << " publishes, " << swap_failures
+            << " injected publish failures) ---\n"
+            << "wall: " << wall_seconds << " s\n"
+            << m.ToString() << "\n"
+            << "cache: hits=" << stats.cache.hits
+            << " misses=" << stats.cache.misses
+            << " epoch_drops=" << stats.cache.epoch_drops << "\n"
+            << "response versions: " << response_versions.size()
+            << " distinct across " << admitted << " admitted\n";
+  for (const auto& [status, count] : outcomes) {
+    std::cout << status << ": " << count << "\n";
+  }
+
+  // --- Verification -------------------------------------------------------
+  int failures = 0;
+  auto check = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::cerr << "SWAP-STORM CHECK FAILED: " << what << "\n";
+      ++failures;
+    }
+  };
+  check(!invariant_violated.load(std::memory_order_acquire),
+        "metrics + epoch_drops invariants held in every mid-run poll");
+  check(m.Settled() == admitted, "every admitted request settled exactly once");
+  check(zero_version_responses == 0,
+        "every response reported a snapshot version");
+  check(std::all_of(response_versions.begin(), response_versions.end(),
+                    [&](uint64_t v) {
+                      return std::find(published_versions.begin(),
+                                       published_versions.end(),
+                                       v) != published_versions.end();
+                    }),
+        "every response version matches a published generation");
+  check(stats.cache.epoch_drops == 0,
+        "zero cross-snapshot cache hits (epoch_drops == 0)");
+  check(m.not_found == 0, "failed publishes never unserved the name");
+  check(stats.metrics.snapshot_publishes == published_versions.size(),
+        "publish counter matches successful publishes");
+  check(stats.metrics.snapshot_swaps == published_versions.size() - 1,
+        "swap counter matches republishes");
+  check(stats.metrics.snapshot_publish_failures == publish_site_stats.fires,
+        "publish-failure counter matches injected aborts");
+  if (swapped_versions.size() > 1) {
+    check(response_versions.size() > 1,
+          "load actually spanned more than one generation");
+  }
+  // Memory release: with the service quiesced and the name retired, every
+  // generation — including the last — must be gone. Pins drop before the
+  // response future is fulfilled, so no grace period is needed.
+  const size_t alive = static_cast<size_t>(
+      std::count_if(generations.begin(), generations.end(),
+                    [](const auto& weak) { return !weak.expired(); }));
+  check(alive == 0, "all retired generations released their memory");
+  for (const auto& entry : catalog.List()) {
+    check(entry.pins == 0, "pin gauge drained to zero");
+  }
+  if (fires > 0) {
+    check(swap_failures > 0, "injected publish failures were observed");
+  } else {
+    std::cout << "(no faults fired — PSI_ENABLE_FAULT_INJECTION=OFF build; "
+                 "publish-failure checks skipped)\n";
+  }
+  if (failures == 0) std::cout << "swap-storm OK\n";
+  return failures == 0 ? 0 : 1;
+}
+
 void PrintReport(const char* title, const RunReport& report) {
   const auto& m = report.stats.metrics;
   std::cout << "--- " << title << " ---\n"
@@ -357,7 +582,8 @@ int main(int argc, char** argv) {
   std::string graph_path;
   for (int i = 1; i < argc; ++i) {
     const std::string key = argv[i];
-    if (key == "--baseline" || key == "--stress" || key == "--chaos") {
+    if (key == "--baseline" || key == "--stress" || key == "--chaos" ||
+        key == "--swap-storm") {
       args[key] = "1";
     } else if (key.rfind("--", 0) == 0) {
       if (i + 1 >= argc) {
@@ -466,6 +692,13 @@ int main(int argc, char** argv) {
   if (args.count("--chaos")) {
     return ChaosRun(g, requests, options, get("--faults", kDefaultChaosSpec),
                     /*default_cocktail=*/args.count("--faults") == 0);
+  }
+
+  if (args.count("--swap-storm")) {
+    const size_t swaps = std::max<size_t>(
+        1, std::strtoull(get("--swaps", "24").c_str(), nullptr, 10));
+    return SwapStormRun(g, requests, options,
+                        get("--faults", "catalog.publish=every:3"), swaps);
   }
 
   if (stress) {

@@ -1,22 +1,37 @@
 // psi_serve — in-process PSI query service front-end: answers a stream of
 // newline-delimited pivoted queries (see service/workload.h for the line
-// format) against one shared engine state, with bounded admission and
-// per-request deadlines. No sockets: stdin/file in, stdout out.
+// format) against a catalog of named graph snapshots, with bounded
+// admission and per-request deadlines. No sockets: stdin/file in, stdout
+// out.
 //
 //   psi_serve graph.lg --workers 8 < workload.txt
 //   psi_serve --generate 100000,400000,8 --workload w.txt --deadline-ms 50
 //   psi_generate --nodes 1000 ... && psi_serve graph.lg   # end-to-end
+//
+// Admin commands ride the same control stream, prefixed with '!'; queries
+// before and after keep serving while a load builds in the background:
+//
+//   !load social graph2.lg       # background build + publish
+//   !swap social gen:5000,20000,8,7   # hot-swap from a generator spec
+//   !retire social
+//   !list
+// Queries select a graph with the g= token: v=0,1 e=0-1 p=0 g=social
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "graph/generators.h"
 #include "graph/graph_io.h"
@@ -40,13 +55,41 @@ void Usage() {
       "  --seed S          RNG seed for --generate (default 42)\n"
       "  --quiet           suppress per-request lines, print stats only\n"
       "\n"
-      "Per-request output: id=<id> status=<status> valid=<n> latency_ms=<t>\n";
+      "Admin commands (inline in the request stream):\n"
+      "  !load NAME SRC    build+publish graph SRC (file or gen:N,M[,L[,S]])\n"
+      "  !swap NAME SRC    alias for !load — hot-swaps a served name\n"
+      "  !retire NAME      stop serving NAME (in-flight requests finish)\n"
+      "  !list             print catalog snapshots and pin gauges\n"
+      "\n"
+      "Per-request output: id=<id> status=<status> valid=<n> latency_ms=<t> "
+      "snapshot=<v>\n";
 }
 
 void PrintResponse(const service::QueryResponse& r) {
   std::cout << "id=" << r.id << " status=" << RequestStatusName(r.status)
             << " valid=" << r.valid_nodes.size()
-            << " latency_ms=" << r.latency_seconds * 1e3 << "\n";
+            << " latency_ms=" << r.latency_seconds * 1e3
+            << " snapshot=" << r.snapshot_version << "\n";
+}
+
+/// Loads a graph for an admin command: either a .lg file path or an
+/// inline generator spec "gen:N,M[,L[,seed]]".
+util::Result<graph::Graph> LoadAdminGraph(const std::string& source) {
+  if (source.rfind("gen:", 0) == 0) {
+    size_t nodes = 0, edges = 0, labels = 8;
+    unsigned long long seed = 42;
+    if (std::sscanf(source.c_str(), "gen:%zu,%zu,%zu,%llu", &nodes, &edges,
+                    &labels, &seed) < 2) {
+      return util::Status::InvalidArgument("bad generator spec '" + source +
+                                           "' (want gen:N,M[,L[,seed]])");
+    }
+    util::Rng rng(seed);
+    graph::LabelConfig label_config;
+    label_config.num_labels = labels;
+    return graph::RelabelWithHomophily(
+        graph::ErdosRenyi(nodes, edges, label_config, rng), 0.6, 2, rng);
+  }
+  return graph::LoadLgFile(source);
 }
 
 }  // namespace
@@ -142,6 +185,74 @@ int main(int argc, char** argv) {
     if (!quiet) PrintResponse(r);
   };
 
+  // Background loads in flight: polled (non-blocking) every control-stream
+  // turn so completions print promptly, drained (blocking) before exit.
+  std::vector<std::pair<
+      std::string,
+      std::future<util::Result<std::shared_ptr<const service::GraphSnapshot>>>>>
+      pending_loads;
+  auto poll_loads = [&](bool block) {
+    for (auto it = pending_loads.begin(); it != pending_loads.end();) {
+      if (!block && it->second.wait_for(std::chrono::seconds(0)) !=
+                        std::future_status::ready) {
+        ++it;
+        continue;
+      }
+      auto result = it->second.get();
+      if (result.ok()) {
+        std::cerr << "loaded '" << it->first
+                  << "' version=" << result.value()->version() << " ("
+                  << result.value()->graph().num_nodes() << " nodes, built in "
+                  << result.value()->timings().signature_build_seconds
+                  << " s)\n";
+      } else {
+        std::cerr << "load '" << it->first
+                  << "' failed: " << result.status().ToString() << "\n";
+      }
+      it = pending_loads.erase(it);
+    }
+  };
+  auto handle_admin = [&](const std::string& command) {
+    std::istringstream tokens(command);
+    std::string op, name, source;
+    tokens >> op >> name >> source;
+    if ((op == "load" || op == "swap") && !name.empty() && !source.empty()) {
+      auto loaded = LoadAdminGraph(source);
+      if (!loaded.ok()) {
+        std::cerr << "!" << op << ": " << loaded.status().ToString() << "\n";
+        return false;
+      }
+      service::SnapshotBuildOptions build;
+      build.signature_depth = options.engine.signature_depth;
+      pending_loads.emplace_back(
+          name, psi_service.catalog().BuildAndPublishAsync(
+                    name, std::move(loaded).value(), build));
+      std::cerr << "building '" << name << "' in background...\n";
+      return true;
+    }
+    if (op == "retire" && !name.empty()) {
+      if (psi_service.catalog().Retire(name)) {
+        std::cerr << "retired '" << name << "'\n";
+      } else {
+        std::cerr << "!retire: unknown graph '" << name << "'\n";
+      }
+      return true;
+    }
+    if (op == "list") {
+      poll_loads(/*block=*/false);
+      for (const auto& e : psi_service.catalog().List()) {
+        std::cerr << (e.current ? "current" : "retired") << " " << e.name
+                  << " v" << e.version << " pins=" << e.pins
+                  << " nodes=" << e.num_nodes << " edges=" << e.num_edges
+                  << " labels=" << e.num_labels
+                  << " build_s=" << e.timings.signature_build_seconds << "\n";
+      }
+      return true;
+    }
+    std::cerr << "bad admin command: !" << command << "\n";
+    return false;
+  };
+
   std::string line;
   size_t line_number = 0;
   size_t parse_errors = 0;
@@ -150,6 +261,11 @@ int main(int argc, char** argv) {
     ++line_number;
     const size_t start = line.find_first_not_of(" \t\r");
     if (start == std::string::npos || line[start] == '#') continue;
+    poll_loads(/*block=*/false);
+    if (line[start] == '!') {
+      if (!handle_admin(line.substr(start + 1))) ++parse_errors;
+      continue;
+    }
     auto parsed = service::ParseWorkloadLine(line);
     if (!parsed.ok()) {
       std::cerr << "line " << line_number << ": "
@@ -172,12 +288,19 @@ int main(int argc, char** argv) {
     while (pending.size() >= window) drain_one();
   }
   while (!pending.empty()) drain_one();
+  poll_loads(/*block=*/true);
 
   // --- Stats --------------------------------------------------------------
   const service::ServiceStats stats = psi_service.Stats();
   std::cerr << stats.metrics.ToString() << "\n"
             << "cache: entries=" << stats.cache_entries
             << " hits=" << stats.cache.hits << " misses=" << stats.cache.misses
-            << " inserts=" << stats.cache.inserts << "\n";
+            << " inserts=" << stats.cache.inserts
+            << " epoch_drops=" << stats.cache.epoch_drops << "\n";
+  for (const auto& e : stats.snapshots) {
+    std::cerr << "snapshot: " << (e.current ? "current" : "retired") << " "
+              << e.name << " v" << e.version << " pins=" << e.pins
+              << " nodes=" << e.num_nodes << "\n";
+  }
   return parse_errors == 0 ? 0 : 1;
 }
