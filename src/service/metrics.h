@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,17 @@ class LatencyReservoir {
  private:
   std::vector<std::atomic<double>> slots_;
   std::atomic<uint64_t> count_{0};
+};
+
+/// Per-shard slice of the request counters (sharded serving, DESIGN.md
+/// §13). The shard id is the vector index; admitted/settled count shard
+/// subtasks (each sharded request fans out one subtask per shard), and
+/// cross_shard_forwards counts partial matches this shard delegated to a
+/// boundary vertex's owner.
+struct ShardCounterSnapshot {
+  uint64_t admitted = 0;
+  uint64_t settled = 0;
+  uint64_t cross_shard_forwards = 0;
 };
 
 /// Point-in-time copy of every service counter, cheap to pass around and
@@ -86,6 +98,11 @@ struct MetricsSnapshot {
   uint64_t snapshot_publish_failures = 0;  // catalog.publish fault aborts
 
   LatencyReservoir::Summary latency;
+
+  /// Per-shard labeled counters, indexed by shard id. Empty unless the
+  /// owning registry enabled the shard dimension (unsharded services) —
+  /// the flat counters above are always authoritative either way.
+  std::vector<ShardCounterSnapshot> shards;
 
   /// Terminal events recorded so far (== admitted once the queue drains).
   uint64_t Settled() const {
@@ -151,7 +168,36 @@ class MetricsRegistry {
 
   MetricsSnapshot Snapshot() const;
 
+  /// Sizes the per-shard counter dimension (sharded services call this once
+  /// at construction). Not safe to call concurrently with the shard
+  /// recorders below — the slot array is reallocated. The flat counters are
+  /// unaffected: unsharded registries never call this and their Snapshot()
+  /// keeps returning an empty `shards` vector.
+  void EnableShardCounters(size_t num_shards);
+
+  size_t num_shards() const { return num_shard_slots_; }
+
+  void RecordShardAdmitted(size_t shard) {
+    shard_slots_[shard].admitted.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Release pairing: Snapshot() reads settled with acquire before admitted
+  /// so per-shard settled <= admitted holds in every snapshot (the same
+  /// contract as the flat counters).
+  void RecordShardSettled(size_t shard) {
+    shard_slots_[shard].settled.fetch_add(1, std::memory_order_release);
+  }
+  void RecordShardForwards(size_t shard, uint64_t n) {
+    if (n == 0) return;
+    shard_slots_[shard].forwards.fetch_add(n, std::memory_order_relaxed);
+  }
+
  private:
+  struct ShardSlot {
+    std::atomic<uint64_t> admitted{0};
+    std::atomic<uint64_t> settled{0};
+    std::atomic<uint64_t> forwards{0};
+  };
+
   std::atomic<uint64_t> admitted_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> retries_{0};
@@ -171,6 +217,9 @@ class MetricsRegistry {
   std::atomic<uint64_t> plan_fallbacks_{0};
   std::atomic<uint64_t> candidates_evaluated_{0};
   LatencyReservoir latencies_;
+  /// Shard dimension (EnableShardCounters); null for unsharded registries.
+  std::unique_ptr<ShardSlot[]> shard_slots_;
+  size_t num_shard_slots_ = 0;
 };
 
 }  // namespace psi::service

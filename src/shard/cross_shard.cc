@@ -1,0 +1,391 @@
+#include "shard/cross_shard.h"
+
+#include <algorithm>
+#include <cassert>
+#include <climits>
+
+#include "signature/builders.h"
+
+namespace psi::shard {
+
+ShardedView ShardedView::Of(const PartitionedGraph& pg) {
+  ShardedView v;
+  v.shards.reserve(pg.parts.size());
+  for (const ShardPart& part : pg.parts) {
+    v.shards.push_back({&part.subgraph, &part.sigs, &part.layout});
+  }
+  v.owner = &pg.assignment.owner;
+  v.local_in_owner = &pg.local_in_owner;
+  v.label_counts = &pg.label_counts;
+  v.num_labels = pg.num_labels;
+  return v;
+}
+
+CrossShardEvaluator::CrossShardEvaluator(ShardedView view)
+    : view_(std::move(view)) {
+  assert(!view_.shards.empty());
+}
+
+void CrossShardEvaluator::BindQuery(const graph::QueryGraph& q) {
+  if (query_ == &q) return;
+  query_ = &q;
+
+  const signature::SignatureMatrix& ref = *view_.shards[0].sigs;
+  query_sigs_ = signature::BuildSignatures(q, ref.method(), ref.depth(),
+                                           ref.num_labels(), ref.decay());
+
+  // DFS preorder from the pivot, neighbors in insertion order: every
+  // non-root level's DFS parent precedes it, so the plan is connected —
+  // the same invariant the heuristic plans guarantee. Disconnected queries
+  // are out of contract here exactly as they are for the unsharded plans.
+  const size_t n = q.num_nodes();
+  order_.clear();
+  order_.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::vector<graph::NodeId> stack;
+  stack.push_back(q.pivot());
+  visited[q.pivot()] = true;
+  while (!stack.empty()) {
+    const graph::NodeId v = stack.back();
+    stack.pop_back();
+    order_.push_back(v);
+    const auto& nbrs = q.neighbors(v);
+    for (auto it = nbrs.rbegin(); it != nbrs.rend(); ++it) {
+      if (!visited[it->first]) {
+        visited[it->first] = true;
+        stack.push_back(it->first);
+      }
+    }
+  }
+  assert(order_.size() == n && "queries must be connected");
+
+  plan_position_.resize(n);
+  for (size_t i = 0; i < order_.size(); ++i) plan_position_[order_[i]] = i;
+
+  backward_flat_.clear();
+  backward_offsets_.resize(order_.size() + 1);
+  backward_offsets_[0] = 0;
+  for (size_t level = 0; level < order_.size(); ++level) {
+    if (level > 0) {
+      const graph::NodeId v = order_[level];
+      for (const auto& [nbr, edge_label] : q.neighbors(v)) {
+        if (plan_position_[nbr] < level) {
+          backward_flat_.push_back({nbr, edge_label});
+        }
+      }
+    }
+    backward_offsets_[level + 1] = static_cast<uint32_t>(backward_flat_.size());
+  }
+
+  mapping_.assign(n, graph::kInvalidNode);
+  mapped_stack_.assign(n, graph::kInvalidNode);
+  level_candidates_.resize(n);
+  gen_shard_.assign(n, 0);
+  level_reqs_.resize(n);
+  for (size_t level = 0; level < order_.size(); ++level) {
+    level_reqs_[level].Assign(query_sigs_.row(order_[level]));
+  }
+}
+
+void CrossShardEvaluator::ExtractOwnedPivotCandidates(
+    uint32_t shard, std::vector<graph::NodeId>& out) const {
+  out.clear();
+  const graph::QueryGraph& q = *query_;
+  const graph::Graph& g = *view_.shards[shard].subgraph;
+  const size_t num_owned = view_.shards[shard].layout->num_owned;
+  const graph::NodeId pivot = q.pivot();
+  const graph::Label label = q.label(pivot);
+  // Shard CSRs may compact the label space (a shard can miss the highest
+  // global labels entirely); the bounds-guarded accessors make both label
+  // checks below read as "absent from this shard".
+  if (label >= g.num_labels()) return;
+  const size_t min_degree = q.degree(pivot);
+
+  // Same (edge label, neighbor label) multiset pre-check as the unsharded
+  // ExtractPivotCandidates. It is sound against the shard CSR because an
+  // owned vertex carries its complete adjacency (ghosts included), so a
+  // demanded neighbor label with zero shard frequency rules out every
+  // *owned* candidate — other shards handle their own.
+  struct EdgeRequirement {
+    graph::Label edge_label;
+    graph::Label node_label;
+    uint32_t count;
+  };
+  std::vector<EdgeRequirement> required;
+  required.reserve(q.degree(pivot));
+  for (const auto& [nbr, edge_label] : q.neighbors(pivot)) {
+    const graph::Label nbr_label = q.label(nbr);
+    if (nbr_label >= g.num_labels() || g.label_frequency(nbr_label) == 0) {
+      return;
+    }
+    bool merged = false;
+    for (EdgeRequirement& r : required) {
+      if (r.edge_label == edge_label && r.node_label == nbr_label) {
+        ++r.count;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) required.push_back({edge_label, nbr_label, 1});
+  }
+
+  // The label bucket is sorted by local id and owned locals precede ghosts,
+  // so the owned prefix comes out in ascending global order — which keeps
+  // per-shard valid_nodes sorted without a final sort.
+  const auto bucket = g.nodes_with_label(label);
+  std::vector<uint32_t> remaining(required.size());
+  for (const graph::NodeId u : bucket) {
+    if (u >= num_owned) break;  // ghosts: another shard owns them
+    if (g.degree(u) < min_degree) continue;
+    size_t unmet = required.size();
+    for (size_t r = 0; r < required.size(); ++r) {
+      remaining[r] = required[r].count;
+    }
+    const auto nbrs = g.neighbors(u);
+    const auto edge_labels = g.edge_labels(u);
+    for (size_t i = 0; i < nbrs.size() && unmet > 0; ++i) {
+      const graph::Label nbr_label = g.label(nbrs[i]);
+      for (size_t r = 0; r < required.size(); ++r) {
+        if (remaining[r] > 0 && edge_labels[i] == required[r].edge_label &&
+            nbr_label == required[r].node_label) {
+          if (--remaining[r] == 0) --unmet;
+          break;
+        }
+      }
+    }
+    if (unmet == 0) out.push_back(u);
+  }
+}
+
+bool CrossShardEvaluator::IsUsed(graph::NodeId global, size_t level) const {
+  for (size_t i = 0; i < level; ++i) {
+    if (mapped_stack_[i] == global) return true;
+  }
+  return false;
+}
+
+bool CrossShardEvaluator::ShouldAbort(const Options& options,
+                                      Outcome* outcome) {
+  if (--steps_until_check_ != 0) return false;
+  steps_until_check_ = kCheckInterval;
+  if (options.stop.StopRequested()) {
+    *outcome = Outcome::kStopped;
+    return true;
+  }
+  if (options.deadline.Expired()) {
+    *outcome = Outcome::kTimeout;
+    return true;
+  }
+  return false;
+}
+
+bool CrossShardEvaluator::VerifyOnOwner(graph::NodeId candidate, size_t level,
+                                        size_t anchor_index) const {
+  const uint32_t o = (*view_.owner)[candidate];
+  const ShardRef& owner = view_.shards[o];
+  const graph::NodeId oc = (*view_.local_in_owner)[candidate];
+  if (owner.subgraph->degree(oc) < query_->degree(order_[level])) return false;
+
+  const BackwardNeighbor* anchors =
+      backward_flat_.data() + backward_offsets_[level];
+  const size_t num_anchors =
+      backward_offsets_[level + 1] - backward_offsets_[level];
+  for (size_t a = 0; a < num_anchors; ++a) {
+    if (a == anchor_index) continue;
+    const graph::NodeId w = mapping_[anchors[a].query_node];
+    // `candidate` is owned by o, so every edge incident to it is in o's
+    // CSR and the far endpoint is replicated there; w absent from o means
+    // the edge does not exist.
+    const graph::NodeId wl = owner.layout->LocalId(w);
+    if (wl == graph::kInvalidNode) return false;
+    const auto edge_label = owner.subgraph->EdgeLabelBetween(oc, wl);
+    if (!edge_label.has_value() || *edge_label != anchors[a].edge_label) {
+      return false;
+    }
+  }
+  return true;
+}
+
+CrossShardEvaluator::Outcome CrossShardEvaluator::Search(
+    size_t level, uint32_t executing_shard, Mode mode, const Options& options,
+    ShardResult* result) {
+  Outcome abort_outcome;
+  if (ShouldAbort(options, &abort_outcome)) return abort_outcome;
+  if (level == order_.size()) return Outcome::kValid;
+
+  const graph::NodeId v = order_[level];
+  const BackwardNeighbor* anchors =
+      backward_flat_.data() + backward_offsets_[level];
+  const size_t num_anchors =
+      backward_offsets_[level + 1] - backward_offsets_[level];
+  assert(num_anchors > 0 && "plans must be connected");
+
+  // Anchor on the mapped neighbor whose image has the smallest true
+  // degree; its owner shard's adjacency is the cheapest complete superset
+  // of the candidate set.
+  size_t anchor_index = 0;
+  size_t anchor_degree = SIZE_MAX;
+  for (size_t i = 0; i < num_anchors; ++i) {
+    const size_t deg = OwnerDegree(mapping_[anchors[i].query_node]);
+    if (deg < anchor_degree) {
+      anchor_degree = deg;
+      anchor_index = i;
+    }
+  }
+  const BackwardNeighbor anchor = anchors[anchor_index];
+  const graph::NodeId anchor_image = mapping_[anchor.query_node];
+
+  // Candidate generation runs on the shard that OWNS the anchor image
+  // (only there is its adjacency complete). Landing on a different shard
+  // than the one that executed the previous level is a delegated
+  // continuation — the in-process analogue of forwarding the partial
+  // match to that shard's queue.
+  const uint32_t gen = (*view_.owner)[anchor_image];
+  if (gen != executing_shard) ++result->forwards;
+  const ShardRef& t = view_.shards[gen];
+  const graph::NodeId anchor_local = (*view_.local_in_owner)[anchor_image];
+
+  const graph::Label want_label = query_->label(v);
+
+  auto& candidates = level_candidates_[level];
+  candidates.clear();
+  gen_shard_[level] = gen;
+
+  const auto nbrs = t.subgraph->neighbors(anchor_local);
+  const auto edge_labels = t.subgraph->edge_labels(anchor_local);
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    const graph::NodeId c = nbrs[i];
+    if (edge_labels[i] != anchor.edge_label) continue;
+    if (t.subgraph->label(c) != want_label) continue;
+    const graph::NodeId c_global = t.layout->local_to_global[c];
+    if (IsUsed(c_global, level)) continue;
+    // Degree and remaining-backward-edge verification consult the
+    // candidate's owner (a ghost's local adjacency is partial). When the
+    // owner is a different shard, that consult is a delegated
+    // verification hop.
+    if ((*view_.owner)[c_global] != gen) ++result->forwards;
+    if (!VerifyOnOwner(c_global, level, anchor_index)) continue;
+    candidates.push_back(c);
+  }
+
+  const signature::SparseRequirement& req = level_reqs_[level];
+  if (mode == Mode::kPessimistic) {
+    signature::FilterCandidates(*t.sigs, req, candidates);
+  } else {
+    const bool capped = mode == Mode::kSuperOptimistic;
+    const size_t limit = capped ? options.super_optimistic_limit : SIZE_MAX;
+    const size_t effective = std::min(candidates.size(), limit);
+    if (effective > 1) {
+      signature::ScoreAndRank(*t.sigs, req, candidates, rank_,
+                              capped ? limit : 0,
+                              capped ? signature::RankMode::kCapFirst
+                                     : signature::RankMode::kFull);
+    } else if (candidates.size() > effective) {
+      candidates.resize(effective);
+    }
+  }
+
+  for (size_t idx = 0; idx < candidates.size(); ++idx) {
+    const graph::NodeId c_global = t.layout->local_to_global[candidates[idx]];
+    mapping_[v] = c_global;
+    mapped_stack_[level] = c_global;
+    const Outcome outcome = Search(level + 1, gen, mode, options, result);
+    mapping_[v] = graph::kInvalidNode;
+    mapped_stack_[level] = graph::kInvalidNode;
+    if (outcome != Outcome::kInvalid) return outcome;
+  }
+  return Outcome::kInvalid;
+}
+
+CrossShardEvaluator::Outcome CrossShardEvaluator::EvaluateCandidate(
+    uint32_t shard, graph::NodeId local_candidate, Mode mode,
+    const Options& options, ShardResult* result) {
+  const graph::NodeId global =
+      view_.shards[shard].layout->local_to_global[local_candidate];
+  const graph::NodeId pivot = query_->pivot();
+  mapping_[pivot] = global;
+  mapped_stack_[0] = global;
+  const Outcome outcome = Search(1, shard, mode, options, result);
+  mapping_[pivot] = graph::kInvalidNode;
+  mapped_stack_[0] = graph::kInvalidNode;
+  return outcome;
+}
+
+CrossShardEvaluator::ShardResult CrossShardEvaluator::EvaluateShard(
+    uint32_t shard, const graph::QueryGraph& q, const Options& options) {
+  ShardResult result;
+  assert(shard < view_.shards.size());
+  if (q.num_nodes() == 0 || !q.has_pivot()) return result;
+
+  // Feasibility is a GLOBAL question: a label absent from this shard may
+  // still occur on another, so only the whole-graph counts may rule a
+  // query infeasible (the per-shard answer must stay empty-but-complete
+  // either way, matching the unsharded PrepareQuery decision).
+  for (graph::NodeId v = 0; v < q.num_nodes(); ++v) {
+    const graph::Label label = q.label(v);
+    if (label >= view_.num_labels || (*view_.label_counts)[label] == 0) {
+      return result;
+    }
+  }
+
+  BindQuery(q);
+
+  std::vector<graph::NodeId> pivot_locals;
+  ExtractOwnedPivotCandidates(shard, pivot_locals);
+  result.num_candidates = pivot_locals.size();
+  if (pivot_locals.empty()) return result;
+
+  const bool prefilter = options.method == service::Method::kPessimistic ||
+                         options.method == service::Method::kSmart;
+  if (prefilter) {
+    signature::FilterCandidates(*view_.shards[shard].sigs, level_reqs_[0],
+                                pivot_locals);
+  }
+
+  const ShardLayout& layout = *view_.shards[shard].layout;
+  for (const graph::NodeId lc : pivot_locals) {
+    if (options.deadline.Expired() || options.stop.StopRequested()) {
+      result.complete = false;
+      break;
+    }
+    Outcome outcome;
+    if (options.method == service::Method::kPessimistic) {
+      outcome =
+          EvaluateCandidate(shard, lc, Mode::kPessimistic, options, &result);
+    } else {
+      // Optimistic strategy (also the smart engine's execution shape once
+      // its pessimist prefilter ran): a super-optimistic truncated pass
+      // first; kInvalid there is inconclusive, so rerun in full.
+      outcome = EvaluateCandidate(shard, lc, Mode::kSuperOptimistic, options,
+                                  &result);
+      if (outcome == Outcome::kInvalid) {
+        outcome =
+            EvaluateCandidate(shard, lc, Mode::kOptimistic, options, &result);
+      }
+    }
+    if (outcome == Outcome::kValid) {
+      result.valid_nodes.push_back(layout.local_to_global[lc]);
+    } else if (outcome == Outcome::kTimeout || outcome == Outcome::kStopped) {
+      result.complete = false;
+      break;
+    }
+  }
+  return result;
+}
+
+CrossShardEvaluator::ShardResult CrossShardEvaluator::Evaluate(
+    const graph::QueryGraph& q, const Options& options) {
+  ShardResult merged;
+  for (uint32_t s = 0; s < view_.shards.size(); ++s) {
+    ShardResult r = EvaluateShard(s, q, options);
+    merged.valid_nodes.insert(merged.valid_nodes.end(), r.valid_nodes.begin(),
+                              r.valid_nodes.end());
+    merged.num_candidates += r.num_candidates;
+    merged.forwards += r.forwards;
+    merged.complete = merged.complete && r.complete;
+  }
+  std::sort(merged.valid_nodes.begin(), merged.valid_nodes.end());
+  return merged;
+}
+
+}  // namespace psi::shard

@@ -1,0 +1,166 @@
+#ifndef SMARTPSI_SHARD_CROSS_SHARD_H_
+#define SMARTPSI_SHARD_CROSS_SHARD_H_
+
+// Cross-shard PSI resolution (DESIGN.md §13).
+//
+// Pivot-candidate matching runs shard-locally: each shard evaluates
+// exactly the pivot candidates it owns, using its sliced signature rows
+// for Proposition-3.2 pruning and satisfiability ranking through the same
+// bulk kernels as the unsharded engines. The query is decomposed into a
+// DFS tree rooted at the pivot; the search extends one query node per
+// level along that tree. When a partial match reaches a boundary vertex —
+// a candidate owned by a different shard than the one whose adjacency
+// generated it — the continuation is *delegated* to the owning shard:
+// degree and backward-edge verification run against the owner's complete
+// adjacency (a ghost's local adjacency is partial by design), and the
+// search keeps extending from there, Pregel-style but in-process. Every
+// such hop is counted as a cross_shard_forward.
+//
+// Exactness: candidate generation always enumerates the adjacency of an
+// already-matched vertex on the shard that *owns* it (complete by
+// construction), verification always consults the candidate's owner, and
+// signature rows are bit-identical to the global matrix — so the
+// per-candidate valid/invalid decision equals the single-engine
+// evaluator's, for every method. The differential suite asserts this
+// embedding-for-embedding on the shared fixtures.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/query_graph.h"
+#include "service/request.h"
+#include "shard/partitioner.h"
+#include "signature/kernels.h"
+#include "signature/signature_matrix.h"
+#include "signature/sparse_requirement.h"
+#include "util/stop_token.h"
+#include "util/timer.h"
+
+namespace psi::shard {
+
+/// Non-owning view of one shard's materialized state.
+struct ShardRef {
+  const graph::Graph* subgraph = nullptr;
+  const signature::SignatureMatrix* sigs = nullptr;
+  const ShardLayout* layout = nullptr;
+};
+
+/// Non-owning view over a whole partitioned generation — what the
+/// evaluator binds to. Everything referenced must outlive the view.
+struct ShardedView {
+  std::vector<ShardRef> shards;
+  const std::vector<uint32_t>* owner = nullptr;
+  const std::vector<graph::NodeId>* local_in_owner = nullptr;
+  const std::vector<uint64_t>* label_counts = nullptr;
+  size_t num_labels = 0;
+
+  static ShardedView Of(const PartitionedGraph& pg);
+};
+
+/// Evaluates pivoted queries against a ShardedView. Not thread-safe: the
+/// sharded service instantiates one evaluator per shard subtask. The view
+/// must outlive the evaluator.
+class CrossShardEvaluator {
+ public:
+  struct Options {
+    service::Method method = service::Method::kSmart;
+    size_t super_optimistic_limit = 10;
+    util::Deadline deadline;
+    util::StopToken stop;
+  };
+
+  struct ShardResult {
+    /// Valid pivot bindings owned by the evaluated shard, global ids,
+    /// sorted ascending. Complete iff `complete`.
+    std::vector<graph::NodeId> valid_nodes;
+    bool complete = true;
+    /// Pivot candidates surviving shard-local extraction (pre-prefilter).
+    size_t num_candidates = 0;
+    /// Partial-match continuations delegated across a shard boundary.
+    uint64_t forwards = 0;
+  };
+
+  explicit CrossShardEvaluator(ShardedView view);
+
+  /// Evaluates the pivot candidates owned by `shard` — the unit of work
+  /// the sharded service fans out (one subtask per shard).
+  ShardResult EvaluateShard(uint32_t shard, const graph::QueryGraph& q,
+                            const Options& options);
+
+  /// Whole-query convenience: every shard in turn, results merged and
+  /// sorted. Equivalent to the unsharded answer (tests use this).
+  ShardResult Evaluate(const graph::QueryGraph& q, const Options& options);
+
+ private:
+  enum class Mode { kOptimistic, kSuperOptimistic, kPessimistic };
+  enum class Outcome { kValid, kInvalid, kTimeout, kStopped };
+
+  /// Builds the DFS-tree order (preorder from the pivot, neighbors in
+  /// insertion order) and the per-level backward-edge lists. The query
+  /// must be connected (same precondition as the unsharded plans).
+  void BindQuery(const graph::QueryGraph& q);
+
+  /// Shard-local pivot-candidate extraction: owned vertices of `shard`
+  /// with the pivot's label, degree and (edge label, neighbor label)
+  /// multiset requirements. Returns shard-LOCAL ids, ascending (owned
+  /// locals are assigned in ascending global order).
+  void ExtractOwnedPivotCandidates(uint32_t shard,
+                                   std::vector<graph::NodeId>& out) const;
+
+  Outcome EvaluateCandidate(uint32_t shard, graph::NodeId local_candidate,
+                            Mode mode, const Options& options,
+                            ShardResult* result);
+
+  Outcome Search(size_t level, uint32_t executing_shard, Mode mode,
+                 const Options& options, ShardResult* result);
+
+  /// Degree + backward-edge verification of `candidate` (global id) on its
+  /// owner shard. `anchor_index` is the backward edge already satisfied by
+  /// enumeration.
+  bool VerifyOnOwner(graph::NodeId candidate, size_t level,
+                     size_t anchor_index) const;
+
+  bool IsUsed(graph::NodeId global, size_t level) const;
+  bool ShouldAbort(const Options& options, Outcome* outcome);
+
+  /// True global degree of a vertex: its owner shard's local degree.
+  size_t OwnerDegree(graph::NodeId global) const {
+    const uint32_t o = (*view_.owner)[global];
+    return view_.shards[o].subgraph->degree((*view_.local_in_owner)[global]);
+  }
+
+  static constexpr uint32_t kCheckInterval = 256;
+
+  ShardedView view_;
+
+  const graph::QueryGraph* query_ = nullptr;
+  signature::SignatureMatrix query_sigs_;
+  std::vector<graph::NodeId> order_;
+  std::vector<size_t> plan_position_;
+  struct BackwardNeighbor {
+    graph::NodeId query_node;
+    graph::Label edge_label;
+  };
+  std::vector<BackwardNeighbor> backward_flat_;
+  std::vector<uint32_t> backward_offsets_;
+  std::vector<signature::SparseRequirement> level_reqs_;
+
+  /// mapping_[query node] = matched global data node (kInvalidNode when
+  /// unmapped); mapped_stack_[level] mirrors it in plan order.
+  std::vector<graph::NodeId> mapping_;
+  std::vector<graph::NodeId> mapped_stack_;
+  /// Per-level candidate buffers holding ids LOCAL to gen_shard_[level]
+  /// (the shard whose adjacency generated them) so the signature kernels
+  /// sweep one matrix per level.
+  std::vector<std::vector<graph::NodeId>> level_candidates_;
+  std::vector<uint32_t> gen_shard_;
+  signature::RankScratch rank_;
+
+  uint32_t steps_until_check_ = kCheckInterval;
+};
+
+}  // namespace psi::shard
+
+#endif  // SMARTPSI_SHARD_CROSS_SHARD_H_

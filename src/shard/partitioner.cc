@@ -1,0 +1,213 @@
+#include "shard/partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numeric>
+
+#include "graph/graph_builder.h"
+
+namespace psi::shard {
+
+double ShardAssignment::BalanceFactor() const {
+  if (owner.empty() || num_shards == 0) return 0.0;
+  const size_t max_owned =
+      *std::max_element(owned_counts.begin(), owned_counts.end());
+  const double ideal =
+      static_cast<double>(owner.size()) / static_cast<double>(num_shards);
+  return static_cast<double>(max_owned) / ideal;
+}
+
+GraphPartitioner::GraphPartitioner(PartitionOptions options)
+    : options_(options) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  if (options_.balance_factor < 1.0) options_.balance_factor = 1.0;
+}
+
+ShardAssignment GraphPartitioner::Partition(const graph::Graph& g) const {
+  const size_t n = g.num_nodes();
+  const uint32_t k = options_.num_shards;
+  ShardAssignment assignment;
+  assignment.num_shards = k;
+  assignment.owner.assign(n, 0);
+  assignment.owned_counts.assign(k, 0);
+  if (n == 0 || k == 1) {
+    assignment.owned_counts.assign(k, 0);
+    if (k == 1) assignment.owned_counts[0] = n;
+    return assignment;
+  }
+
+  // Hard capacity cap. cap >= ceil(N/K) keeps K*cap >= N (placement can
+  // never wedge), and cap <= max(ceil(N/K), floor(1.2*N/K)) bounds the
+  // balance factor at 1.2 whenever N/K is large enough that the floor
+  // dominates the ceiling (N/K >= 5 at the default factor).
+  const double ideal = static_cast<double>(n) / static_cast<double>(k);
+  const size_t cap = std::max<size_t>(
+      static_cast<size_t>(std::ceil(ideal)),
+      static_cast<size_t>(std::floor(options_.balance_factor * ideal)));
+
+  // Placement order: degree descending, id ascending. High-degree hubs are
+  // placed while every shard still has headroom, so their neighborhoods
+  // can co-locate; the id tie-break makes the order (and hence the whole
+  // partition) deterministic.
+  std::vector<graph::NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&g](graph::NodeId a, graph::NodeId b) {
+              const size_t da = g.degree(a);
+              const size_t db = g.degree(b);
+              return da != db ? da > db : a < b;
+            });
+
+  const size_t num_labels = g.num_labels();
+  // label_on_shard[s * num_labels + l] = vertices labeled l owned by s.
+  std::vector<uint32_t> label_on_shard(
+      static_cast<size_t>(k) * std::max<size_t>(1, num_labels), 0);
+  std::vector<bool> placed(n, false);
+  std::vector<uint32_t> neighbor_hits(k, 0);
+
+  const double expected_label_per_shard_inv =
+      static_cast<double>(k) / std::max<double>(1.0, static_cast<double>(n));
+
+  for (const graph::NodeId v : order) {
+    std::fill(neighbor_hits.begin(), neighbor_hits.end(), 0);
+    for (const graph::NodeId w : g.neighbors(v)) {
+      if (placed[w]) ++neighbor_hits[assignment.owner[w]];
+    }
+    const graph::Label label = g.label(v);
+    uint32_t best = 0;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (uint32_t s = 0; s < k; ++s) {
+      const size_t owned = assignment.owned_counts[s];
+      if (owned >= cap) continue;
+      // Edge affinity (cut minimization) discounted by fill, as in LDG;
+      // the label term spreads each label class across shards so pivot
+      // buckets stay balanced; the size term breaks affinity-free ties
+      // toward the emptiest shard.
+      const double fill = static_cast<double>(owned) / static_cast<double>(cap);
+      double score = static_cast<double>(neighbor_hits[s]) * (1.0 - fill);
+      score -= options_.size_balance_weight * fill;
+      if (num_labels > 0) {
+        const double label_fill =
+            static_cast<double>(label_on_shard[static_cast<size_t>(s) *
+                                                   num_labels +
+                                               label]) *
+            expected_label_per_shard_inv;
+        score -= options_.label_balance_weight * label_fill;
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = s;
+      }
+    }
+    assignment.owner[v] = best;
+    ++assignment.owned_counts[best];
+    if (num_labels > 0) {
+      ++label_on_shard[static_cast<size_t>(best) * num_labels + label];
+    }
+    placed[v] = true;
+  }
+  return assignment;
+}
+
+PartitionedGraph BuildPartitionedGraph(
+    const graph::Graph& g, const signature::SignatureMatrix& global_sigs,
+    const ShardAssignment& assignment) {
+  assert(global_sigs.num_rows() == g.num_nodes());
+  assert(assignment.owner.size() == g.num_nodes());
+  const size_t n = g.num_nodes();
+  const uint32_t k = std::max<uint32_t>(1, assignment.num_shards);
+
+  PartitionedGraph out;
+  out.assignment = assignment;
+  out.assignment.num_shards = k;
+  out.num_nodes = n;
+  out.num_edges = g.num_edges();
+  out.num_labels = g.num_labels();
+  out.label_counts.assign(out.num_labels, 0);
+  for (graph::Label l = 0; l < out.num_labels; ++l) {
+    out.label_counts[l] = g.label_frequency(l);
+  }
+  out.local_in_owner.assign(n, graph::kInvalidNode);
+  out.parts.resize(k);
+
+  // Owned vertices per shard, ascending global id (vertex ids are dense,
+  // so one linear sweep produces sorted owned lists).
+  for (graph::NodeId v = 0; v < n; ++v) {
+    ShardPart& part = out.parts[out.assignment.owner[v]];
+    const graph::NodeId local =
+        static_cast<graph::NodeId>(part.layout.local_to_global.size());
+    part.layout.local_to_global.push_back(v);
+    part.layout.global_to_local.emplace(v, local);
+    out.local_in_owner[v] = local;
+  }
+
+  for (uint32_t s = 0; s < k; ++s) {
+    ShardPart& part = out.parts[s];
+    ShardLayout& layout = part.layout;
+    layout.shard = s;
+    layout.num_owned = layout.local_to_global.size();
+
+    // Ghosts: remote-owned neighbors of owned vertices, ascending global
+    // id. Owned lists are ascending and neighbors(u) is sorted, but the
+    // union across owned vertices is not — collect, sort, dedupe.
+    std::vector<graph::NodeId> ghosts;
+    for (size_t i = 0; i < layout.num_owned; ++i) {
+      const graph::NodeId u = layout.local_to_global[i];
+      bool boundary = false;
+      for (const graph::NodeId w : g.neighbors(u)) {
+        if (out.assignment.owner[w] != s) {
+          boundary = true;
+          ghosts.push_back(w);
+        }
+      }
+      if (boundary) ++layout.num_boundary_owned;
+    }
+    std::sort(ghosts.begin(), ghosts.end());
+    ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+    for (const graph::NodeId w : ghosts) {
+      const graph::NodeId local =
+          static_cast<graph::NodeId>(layout.local_to_global.size());
+      layout.local_to_global.push_back(w);
+      layout.global_to_local.emplace(w, local);
+    }
+
+    // Subgraph CSR: every edge incident to an owned vertex, exactly once.
+    // An owned-owned edge is seen from both endpoints (u < w guard); an
+    // owned-ghost edge only from the owned side.
+    graph::GraphBuilder builder;
+    const size_t num_local = layout.local_to_global.size();
+    builder.Reserve(num_local, 0);
+    for (size_t i = 0; i < num_local; ++i) {
+      builder.AddNode(g.label(layout.local_to_global[i]));
+    }
+    for (size_t i = 0; i < layout.num_owned; ++i) {
+      const graph::NodeId u = layout.local_to_global[i];
+      const auto nbrs = g.neighbors(u);
+      const auto edge_labels = g.edge_labels(u);
+      for (size_t e = 0; e < nbrs.size(); ++e) {
+        const graph::NodeId w = nbrs[e];
+        if (out.assignment.owner[w] == s && w < u) continue;  // added from w
+        builder.AddEdge(static_cast<graph::NodeId>(i),
+                        layout.global_to_local.at(w), edge_labels[e]);
+      }
+    }
+    part.subgraph = std::move(builder).Build();
+
+    // Signature rows sliced from the global matrix (see the header for why
+    // rebuilding from the subgraph would be unsound).
+    part.sigs = signature::SignatureMatrix(
+        num_local, global_sigs.num_labels(), global_sigs.method(),
+        global_sigs.depth(), global_sigs.decay());
+    for (size_t i = 0; i < num_local; ++i) {
+      const auto src = global_sigs.row(layout.local_to_global[i]);
+      std::memcpy(part.sigs.row(i).data(), src.data(),
+                  src.size() * sizeof(float));
+    }
+  }
+  return out;
+}
+
+}  // namespace psi::shard

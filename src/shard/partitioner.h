@@ -1,0 +1,131 @@
+#ifndef SMARTPSI_SHARD_PARTITIONER_H_
+#define SMARTPSI_SHARD_PARTITIONER_H_
+
+// Deterministic label-aware edge-cut partitioning (DESIGN.md §13).
+//
+// A Graph is split into K shard subgraphs. Every vertex has exactly one
+// *owner* shard; a shard's subgraph additionally replicates the *ghost*
+// vertices (vertices owned elsewhere that are adjacent to an owned vertex)
+// so that every owned vertex carries its complete adjacency locally. Edges
+// incident to at least one owned vertex are materialized in the shard CSR;
+// ghost-ghost edges are not (a ghost's adjacency is partial by design —
+// any check that needs a vertex's full neighborhood must run on its owner,
+// which is what the cross-shard evaluator does).
+//
+// Per-shard signature rows are *sliced* from a signature matrix built on
+// the whole graph, never rebuilt from the shard subgraph: a boundary
+// vertex's shard-local neighborhood under-approximates its true
+// neighborhood, and signatures built from it would violate Proposition 3.2
+// soundness (valid embeddings could be pruned). Slicing keeps every row
+// bit-identical to the unsharded matrix, so shard-local kernel sweeps make
+// exactly the decisions the single-engine service makes.
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "signature/signature_matrix.h"
+
+namespace psi::shard {
+
+struct PartitionOptions {
+  uint32_t num_shards = 1;
+  /// Hard cap on imbalance: no shard owns more than
+  /// max(ceil(N/K), floor(balance_factor * N / K)) vertices.
+  double balance_factor = 1.2;
+  /// Weight of the label-spread term in the greedy placement score:
+  /// penalizes piling one label's vertices onto one shard, so per-shard
+  /// pivot-candidate work stays balanced for label-skewed graphs.
+  double label_balance_weight = 0.25;
+  /// Weight of the size-balance term (soft pressure below the hard cap).
+  double size_balance_weight = 1.0;
+};
+
+/// Global vertex -> owner shard map plus per-shard owned counts.
+struct ShardAssignment {
+  uint32_t num_shards = 0;
+  /// owner[v] = shard that owns global vertex v.
+  std::vector<uint32_t> owner;
+  std::vector<size_t> owned_counts;
+
+  /// max owned / (N / K); 0 for an empty graph.
+  double BalanceFactor() const;
+};
+
+/// Local-id layout of one shard: locals [0, num_owned) are the owned
+/// vertices (ascending global id), locals [num_owned, size) are the ghosts
+/// (ascending global id) — the shard's boundary replication table.
+struct ShardLayout {
+  uint32_t shard = 0;
+  size_t num_owned = 0;
+  /// local id -> global id, owned first then ghosts.
+  std::vector<graph::NodeId> local_to_global;
+  /// global id -> local id for every vertex present in this shard.
+  std::unordered_map<graph::NodeId, graph::NodeId> global_to_local;
+  /// Owned vertices with at least one neighbor owned by another shard.
+  size_t num_boundary_owned = 0;
+
+  size_t num_ghosts() const { return local_to_global.size() - num_owned; }
+
+  /// Local id of a global vertex, or kInvalidNode when not replicated here.
+  graph::NodeId LocalId(graph::NodeId global) const {
+    const auto it = global_to_local.find(global);
+    return it == global_to_local.end() ? graph::kInvalidNode : it->second;
+  }
+};
+
+/// Deterministic label-aware greedy edge-cut partitioner (an LDG-style
+/// streaming heuristic with a hard capacity cap). No RNG anywhere: the
+/// placement order and every tie-break are pure functions of the graph, so
+/// two runs over the same graph produce identical assignments — the
+/// property the versioned catalog relies on for reproducible generations.
+class GraphPartitioner {
+ public:
+  explicit GraphPartitioner(PartitionOptions options = PartitionOptions());
+
+  ShardAssignment Partition(const graph::Graph& g) const;
+
+  const PartitionOptions& options() const { return options_; }
+
+ private:
+  PartitionOptions options_;
+};
+
+/// One shard's materialized state: layout, subgraph CSR and the sliced
+/// signature rows (row i = global row of local_to_global[i]).
+struct ShardPart {
+  ShardLayout layout;
+  graph::Graph subgraph;
+  signature::SignatureMatrix sigs;
+};
+
+/// A fully partitioned graph plus the global lookup tables the cross-shard
+/// evaluator needs.
+struct PartitionedGraph {
+  ShardAssignment assignment;
+  std::vector<ShardPart> parts;
+  /// global id -> local id within its *owner* shard (dense, no hashing on
+  /// the delegation hot path).
+  std::vector<graph::NodeId> local_in_owner;
+  /// Global per-label vertex counts — the feasibility oracle. A query-node
+  /// label absent from one shard may still be matched in another, so
+  /// feasibility must consult these, never a shard-local frequency.
+  std::vector<uint64_t> label_counts;
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  size_t num_labels = 0;
+};
+
+/// Materializes every shard: subgraph CSRs built from the edges incident
+/// to owned vertices, ghost replication tables, and signature rows sliced
+/// from `global_sigs` (which must have one row per node of `g`).
+PartitionedGraph BuildPartitionedGraph(
+    const graph::Graph& g, const signature::SignatureMatrix& global_sigs,
+    const ShardAssignment& assignment);
+
+}  // namespace psi::shard
+
+#endif  // SMARTPSI_SHARD_PARTITIONER_H_

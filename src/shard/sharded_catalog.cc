@@ -1,0 +1,206 @@
+#include "shard/sharded_catalog.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "shard/cross_shard.h"
+#include "signature/builders.h"
+#include "util/fault_injection.h"
+#include "util/timer.h"
+
+namespace psi::shard {
+
+ShardedView ShardedGeneration::View() const {
+  ShardedView v;
+  v.shards.reserve(shards_.size());
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    v.shards.push_back({&shards_[k]->graph(), &shards_[k]->signatures(),
+                        &meta_.layouts[k]});
+  }
+  v.owner = &meta_.assignment.owner;
+  v.local_in_owner = &meta_.local_in_owner;
+  v.label_counts = &meta_.label_counts;
+  v.num_labels = meta_.num_labels;
+  return v;
+}
+
+util::Result<std::shared_ptr<const ShardedGeneration>>
+ShardedCatalog::BuildAndPublish(std::string name, graph::Graph g,
+                                BuildOptions options) {
+  if (name.empty()) {
+    return util::Status::InvalidArgument("generation name must be non-empty");
+  }
+  const uint32_t k = std::max<uint32_t>(1, options.partition.num_shards);
+  options.partition.num_shards = k;
+
+  // Phase 1 (outside the lock): global signatures, partition, shard
+  // materialization. The global matrix is built first because shard rows
+  // must be sliced from it — see partitioner.h for the soundness argument.
+  service::SnapshotTimings timings;
+  util::WallTimer build_timer;
+  signature::SignatureMatrix global_sigs = signature::BuildSignatures(
+      g, options.snapshot.signature_method, options.snapshot.signature_depth,
+      g.num_labels(), options.snapshot.pool, options.snapshot.signature_decay);
+  timings.signature_build_seconds = build_timer.Seconds();
+
+  const GraphPartitioner partitioner(options.partition);
+  PartitionedGraph partitioned =
+      BuildPartitionedGraph(g, global_sigs, partitioner.Partition(g));
+
+  // Phase 2: reserve the version block. The generation id and the K shard
+  // versions come from one consecutive reservation so a version number
+  // still identifies a unique publish; an abort below leaves a gap in the
+  // sequence, never a reuse.
+  uint64_t base;
+  {
+    util::MutexLock lock(mutex_);
+    base = next_version_;
+    next_version_ += 1 + static_cast<uint64_t>(k);
+  }
+
+  // Phase 3: wrap each shard in a GraphSnapshot. The fault site fires per
+  // shard, so an injected `nth` failure aborts MID-generation — after some
+  // snapshots exist — which is exactly the torn state the atomic install
+  // below must make unobservable: on abort nothing is installed and the
+  // previous generation keeps serving.
+  ShardedMeta meta;
+  meta.assignment = std::move(partitioned.assignment);
+  meta.local_in_owner = std::move(partitioned.local_in_owner);
+  meta.label_counts = std::move(partitioned.label_counts);
+  meta.num_nodes = partitioned.num_nodes;
+  meta.num_edges = partitioned.num_edges;
+  meta.num_labels = partitioned.num_labels;
+  meta.layouts.reserve(k);
+  std::vector<std::shared_ptr<const service::GraphSnapshot>> snapshots;
+  snapshots.reserve(k);
+  for (uint32_t s = 0; s < k; ++s) {
+    if (PSI_INJECT_FAULT(util::faults::kCatalogShardPublish)) {
+      util::MutexLock lock(mutex_);
+      ++counters_.publish_failures;
+      return util::Status::FailedPrecondition(
+          "injected catalog.shard_publish failure for '" + name + "' shard " +
+          std::to_string(s));
+    }
+    ShardPart& part = partitioned.parts[s];
+    if (options.snapshot.prewarm_row_hashes) {
+      util::WallTimer prewarm_timer;
+      for (size_t i = 0; i < part.sigs.num_rows(); ++i) part.sigs.RowHash(i);
+      timings.prewarm_seconds += prewarm_timer.Seconds();
+    }
+    meta.layouts.push_back(std::move(part.layout));
+    snapshots.push_back(std::make_shared<const service::GraphSnapshot>(
+        name + "/shard" + std::to_string(s), base + 1 + s,
+        std::move(part.subgraph), std::move(part.sigs), timings));
+  }
+
+  auto generation = std::make_shared<const ShardedGeneration>(
+      name, base, std::move(meta), std::move(snapshots));
+
+  // Phase 4: install in one critical section — the only point where the
+  // new generation becomes visible, and it becomes visible whole.
+  {
+    util::MutexLock lock(mutex_);
+    const auto it = std::lower_bound(
+        current_.begin(), current_.end(), name,
+        [](const auto& entry, const std::string& n) { return entry.first < n; });
+    if (it != current_.end() && it->first == name) {
+      retired_.push_back(it->second);
+      it->second = generation;
+      ++counters_.swaps;
+    } else {
+      current_.insert(it, {std::move(name), generation});
+    }
+    ++counters_.published;
+  }
+  return generation;
+}
+
+std::future<util::Result<std::shared_ptr<const ShardedGeneration>>>
+ShardedCatalog::BuildAndPublishAsync(std::string name, graph::Graph g,
+                                     BuildOptions options) {
+  options.snapshot.pool = nullptr;
+  return std::async(
+      std::launch::async,
+      [this, name = std::move(name), g = std::move(g), options]() mutable {
+        return BuildAndPublish(std::move(name), std::move(g), options);
+      });
+}
+
+std::shared_ptr<const ShardedGeneration> ShardedCatalog::Resolve(
+    std::string_view name) const {
+  util::MutexLock lock(mutex_);
+  const auto it = std::lower_bound(
+      current_.begin(), current_.end(), name,
+      [](const auto& entry, std::string_view n) { return entry.first < n; });
+  if (it == current_.end() || it->first != name) return nullptr;
+  return it->second;
+}
+
+ShardedGenerationPin ShardedCatalog::Pin(std::string_view name) const {
+  return ShardedGenerationPin(Resolve(name));
+}
+
+bool ShardedCatalog::Contains(std::string_view name) const {
+  return Resolve(name) != nullptr;
+}
+
+bool ShardedCatalog::Retire(std::string_view name) {
+  util::MutexLock lock(mutex_);
+  const auto it = std::lower_bound(
+      current_.begin(), current_.end(), name,
+      [](const auto& entry, std::string_view n) { return entry.first < n; });
+  if (it == current_.end() || it->first != name) return false;
+  retired_.push_back(it->second);
+  current_.erase(it);
+  ++counters_.retired;
+  return true;
+}
+
+std::vector<service::CatalogEntry> ShardedCatalog::List() const {
+  std::vector<service::CatalogEntry> entries;
+  util::MutexLock lock(mutex_);
+  auto describe = [&entries](const ShardedGeneration& gen, bool current) {
+    for (size_t s = 0; s < gen.num_shards(); ++s) {
+      const service::GraphSnapshot& snap = gen.shard(s);
+      service::CatalogEntry e;
+      e.name = snap.name();
+      e.version = snap.version();
+      e.current = current;
+      e.pins = snap.pins();
+      e.num_nodes = snap.graph().num_nodes();
+      e.num_edges = snap.graph().num_edges();
+      e.num_labels = snap.graph().num_labels();
+      e.timings = snap.timings();
+      entries.push_back(std::move(e));
+    }
+  };
+  for (const auto& [name, generation] : current_) {
+    describe(*generation, /*current=*/true);
+  }
+  auto out = retired_.begin();
+  for (auto& weak : retired_) {
+    if (const auto generation = weak.lock()) {
+      describe(*generation, /*current=*/false);
+      *out++ = std::move(weak);
+    }
+  }
+  retired_.erase(out, retired_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const service::CatalogEntry& a, const service::CatalogEntry& b) {
+              return a.name != b.name ? a.name < b.name
+                                      : a.version < b.version;
+            });
+  return entries;
+}
+
+ShardedCatalog::Counters ShardedCatalog::counters() const {
+  util::MutexLock lock(mutex_);
+  return counters_;
+}
+
+size_t ShardedCatalog::size() const {
+  util::MutexLock lock(mutex_);
+  return current_.size();
+}
+
+}  // namespace psi::shard

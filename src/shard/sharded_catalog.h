@@ -1,0 +1,231 @@
+#ifndef SMARTPSI_SHARD_SHARDED_CATALOG_H_
+#define SMARTPSI_SHARD_SHARDED_CATALOG_H_
+
+// Versioned sharded-generation catalog (DESIGN.md §13).
+//
+// A *generation* is the unit of atomicity: the K per-shard GraphSnapshots
+// produced by one partitioning of one graph, published together or not at
+// all. Each generation carries one generation id plus K shard snapshot
+// versions reserved from the same catalog-global sequence, so every shard
+// snapshot keeps the version-derived cache salt the prediction cache
+// relies on, while the generation id stamps responses. Requests pin the
+// whole generation at admission (ShardedGenerationPin) — a request can
+// never observe shard 0 of one generation and shard 1 of another, no
+// matter how publishes interleave with it.
+//
+// The `catalog.shard_publish` fault site fires per shard during the
+// materialization loop; an abort anywhere — including after some shards
+// were already built — installs nothing: the previous generation keeps
+// serving and no torn generation is ever visible to Resolve/Pin.
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "service/catalog.h"
+#include "shard/partitioner.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace psi::shard {
+
+/// The partition-level lookup tables of a generation — everything the
+/// cross-shard evaluator needs beyond the shard snapshots themselves.
+/// Immutable after construction.
+struct ShardedMeta {
+  ShardAssignment assignment;
+  std::vector<ShardLayout> layouts;
+  std::vector<graph::NodeId> local_in_owner;
+  std::vector<uint64_t> label_counts;
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  size_t num_labels = 0;
+};
+
+// Declared in cross_shard.h; a generation can hand out a ShardedView
+// without forcing every catalog user to include the evaluator.
+struct ShardedView;
+
+/// One atomically published K-shard generation: the shard snapshots (each
+/// an ordinary GraphSnapshot named "<name>/shard<k>" with its own version
+/// and cache salt) plus the shared partition metadata. Immutable and
+/// shared_ptr-pinned exactly like GraphSnapshot.
+class ShardedGeneration {
+ public:
+  ShardedGeneration(std::string name, uint64_t generation, ShardedMeta meta,
+                    std::vector<std::shared_ptr<const service::GraphSnapshot>>
+                        shard_snapshots)
+      : name_(std::move(name)),
+        generation_(generation),
+        meta_(std::move(meta)),
+        shards_(std::move(shard_snapshots)) {}
+
+  ShardedGeneration(const ShardedGeneration&) = delete;
+  ShardedGeneration& operator=(const ShardedGeneration&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Generation id: reserved from the same sequence as the shard snapshot
+  /// versions (generation < every shard version < next publish), so it
+  /// identifies one publish uniquely across names — the stamp sharded
+  /// responses report.
+  uint64_t generation() const { return generation_; }
+
+  size_t num_shards() const { return shards_.size(); }
+  const service::GraphSnapshot& shard(size_t k) const { return *shards_[k]; }
+  const std::shared_ptr<const service::GraphSnapshot>& shard_ptr(
+      size_t k) const {
+    return shards_[k];
+  }
+  const ShardedMeta& meta() const { return meta_; }
+
+  /// Evaluator view over this generation (borrows, does not copy).
+  ShardedView View() const;
+
+  /// Pin gauge maintenance: a generation pin counts once on every shard
+  /// snapshot, so the per-snapshot gauges in List() reflect sharded
+  /// traffic too.
+  void Pin() const {
+    for (const auto& s : shards_) s->Pin();
+  }
+  void Unpin() const {
+    for (const auto& s : shards_) s->Unpin();
+  }
+  uint64_t pins() const { return shards_.empty() ? 0 : shards_[0]->pins(); }
+
+ private:
+  const std::string name_;
+  const uint64_t generation_;
+  const ShardedMeta meta_;
+  const std::vector<std::shared_ptr<const service::GraphSnapshot>> shards_;
+};
+
+/// RAII generation pin — the sharded analogue of SnapshotPin. Holding one
+/// keeps every shard snapshot of the generation alive and counted.
+class ShardedGenerationPin {
+ public:
+  ShardedGenerationPin() = default;
+  explicit ShardedGenerationPin(
+      std::shared_ptr<const ShardedGeneration> generation)
+      : generation_(std::move(generation)) {
+    if (generation_ != nullptr) generation_->Pin();
+  }
+  ~ShardedGenerationPin() {
+    if (generation_ != nullptr) generation_->Unpin();
+  }
+
+  ShardedGenerationPin(ShardedGenerationPin&& other) noexcept
+      : generation_(std::move(other.generation_)) {
+    other.generation_.reset();
+  }
+  ShardedGenerationPin& operator=(ShardedGenerationPin&& other) noexcept {
+    if (this != &other) {
+      if (generation_ != nullptr) generation_->Unpin();
+      generation_ = std::move(other.generation_);
+      other.generation_.reset();
+    }
+    return *this;
+  }
+  ShardedGenerationPin(const ShardedGenerationPin&) = delete;
+  ShardedGenerationPin& operator=(const ShardedGenerationPin&) = delete;
+
+  explicit operator bool() const { return generation_ != nullptr; }
+  const ShardedGeneration& operator*() const { return *generation_; }
+  const ShardedGeneration* operator->() const { return generation_.get(); }
+
+  /// Shares the generation (for handing to fan-out subtasks) without
+  /// touching the gauge — the pin itself stays the counted reference.
+  std::shared_ptr<const ShardedGeneration> shared() const {
+    return generation_;
+  }
+
+ private:
+  std::shared_ptr<const ShardedGeneration> generation_;
+};
+
+/// Name → current-generation map with atomic K-shard publish, built on the
+/// same locking discipline as GraphCatalog (one leaf mutex, held only for
+/// pointer swaps and list copies — never across a build or fault hook).
+/// Thread-safe: all methods may be called concurrently.
+class ShardedCatalog {
+ public:
+  struct BuildOptions {
+    service::SnapshotBuildOptions snapshot;
+    PartitionOptions partition;
+  };
+
+  struct Counters {
+    uint64_t published = 0;  // generations installed
+    uint64_t swaps = 0;      // generations that replaced a current name
+    uint64_t retired = 0;
+    /// Publishes aborted by the `catalog.shard_publish` fault site (the
+    /// whole generation rolled back, nothing installed).
+    uint64_t publish_failures = 0;
+  };
+
+  ShardedCatalog() = default;
+  ShardedCatalog(const ShardedCatalog&) = delete;
+  ShardedCatalog& operator=(const ShardedCatalog&) = delete;
+
+  /// Builds the global signature matrix for `g`, partitions it into
+  /// options.partition.num_shards shards (deterministically), materializes
+  /// the K shard snapshots, and installs them as one generation under
+  /// `name` in a single critical section. Everything before the install
+  /// runs outside the lock. When the `catalog.shard_publish` fault site
+  /// fires for any shard, the publish fails without touching the published
+  /// state — the previous generation (if any) keeps serving.
+  ///
+  /// Version numbers (generation id + K shard versions) are reserved up
+  /// front, so an aborted publish leaves a gap in the sequence; versions
+  /// remain unique and monotonic either way.
+  util::Result<std::shared_ptr<const ShardedGeneration>> BuildAndPublish(
+      std::string name, graph::Graph g, BuildOptions options = BuildOptions());
+
+  /// BuildAndPublish on a detached thread (serial build — never hand a
+  /// serving pool to a background build; see GraphCatalog note).
+  std::future<util::Result<std::shared_ptr<const ShardedGeneration>>>
+  BuildAndPublishAsync(std::string name, graph::Graph g,
+                       BuildOptions options = BuildOptions());
+
+  std::shared_ptr<const ShardedGeneration> Resolve(std::string_view name) const;
+
+  /// Resolve + pin the whole generation in one step — what sharded
+  /// admission calls. Empty pin = unknown name (kNotFound).
+  ShardedGenerationPin Pin(std::string_view name) const;
+
+  bool Contains(std::string_view name) const;
+
+  bool Retire(std::string_view name);
+
+  /// Per-shard-snapshot rows ("<name>/shard<k>"), current generations
+  /// first-class and retired generations while pins keep them alive —
+  /// the same shape psi_serve's `!list` already prints for flat catalogs.
+  std::vector<service::CatalogEntry> List() const;
+
+  Counters counters() const;
+
+  /// Number of current (published, un-retired) names.
+  size_t size() const;
+
+ private:
+  mutable util::Mutex mutex_;
+  std::vector<std::pair<std::string, std::shared_ptr<const ShardedGeneration>>>
+      current_ PSI_GUARDED_BY(mutex_);
+  mutable std::vector<std::weak_ptr<const ShardedGeneration>> retired_
+      PSI_GUARDED_BY(mutex_);
+  Counters counters_ PSI_GUARDED_BY(mutex_);
+  /// Next version to reserve. One publish consumes 1 (generation id) + K
+  /// (shard snapshots) consecutive values.
+  uint64_t next_version_ PSI_GUARDED_BY(mutex_) = 1;
+};
+
+}  // namespace psi::shard
+
+#endif  // SMARTPSI_SHARD_SHARDED_CATALOG_H_

@@ -1,0 +1,242 @@
+#include "shard/sharded_service.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "util/fault_injection.h"
+
+namespace psi::shard {
+
+using service::QueryRequest;
+using service::QueryResponse;
+using service::RequestStatus;
+
+ShardedPsiService::ShardedPsiService(const graph::Graph& g,
+                                     ShardedServiceOptions options)
+    : options_(options) {
+  options_.num_workers = std::max<size_t>(1, options_.num_workers);
+  options_.build.partition.num_shards =
+      std::max<uint32_t>(1, options_.build.partition.num_shards);
+  pool_ = std::make_unique<util::ThreadPool>(options_.num_workers);
+  owned_catalog_ = std::make_unique<ShardedCatalog>();
+  catalog_ = owned_catalog_.get();
+  metrics_.EnableShardCounters(options_.build.partition.num_shards);
+  // The pool is idle until the first Submit, so the startup build may
+  // parallelize on it. Same graceful-failure stance as PsiService: if an
+  // armed fault aborts this publish, the service starts with an empty
+  // catalog and every request settles kNotFound.
+  ShardedCatalog::BuildOptions build = options_.build;
+  build.snapshot.pool = pool_.get();
+  auto published =
+      catalog_->BuildAndPublish(options_.default_graph, g.Clone(), build);
+  if (published.ok()) {
+    signature_build_seconds_ =
+        published.value()->shard(0).timings().signature_build_seconds;
+  }
+}
+
+ShardedPsiService::ShardedPsiService(ShardedCatalog* catalog,
+                                     ShardedServiceOptions options)
+    : options_(options), catalog_(catalog) {
+  assert(catalog != nullptr);
+  options_.num_workers = std::max<size_t>(1, options_.num_workers);
+  options_.build.partition.num_shards =
+      std::max<uint32_t>(1, options_.build.partition.num_shards);
+  pool_ = std::make_unique<util::ThreadPool>(options_.num_workers);
+  metrics_.EnableShardCounters(options_.build.partition.num_shards);
+  if (const auto generation = catalog_->Resolve(options_.default_graph)) {
+    signature_build_seconds_ =
+        generation->shard(0).timings().signature_build_seconds;
+  }
+}
+
+ShardedPsiService::~ShardedPsiService() { Shutdown(); }
+
+void ShardedPsiService::Shutdown() {
+  accepting_.store(false, std::memory_order_relaxed);
+  shutdown_.RequestStop();
+  pool_->Wait();
+}
+
+void ShardedPsiService::RecordShardAdmitted(size_t shard) {
+  if (shard < metrics_.num_shards()) metrics_.RecordShardAdmitted(shard);
+}
+
+void ShardedPsiService::RecordShardSettled(size_t shard, uint64_t forwards) {
+  if (shard < metrics_.num_shards()) {
+    metrics_.RecordShardForwards(shard, forwards);
+    metrics_.RecordShardSettled(shard);
+  }
+}
+
+std::optional<std::future<QueryResponse>> ShardedPsiService::Submit(
+    QueryRequest request) {
+  if (!accepting_.load(std::memory_order_relaxed)) {
+    metrics_.RecordRejected();
+    return std::nullopt;
+  }
+  if (request.id == 0) {
+    request.id = next_auto_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The admission timer starts with the state, so recorded latency
+  // includes queue wait.
+  auto state = std::make_shared<FanoutState>();
+  // Generation resolution at admission: the request pins the current
+  // K-shard generation as one unit and keeps it for its whole lifetime —
+  // the consistency half of the atomic-publish story. An empty pin
+  // (unknown name) is admitted and settles kNotFound.
+  state->pin = catalog_->Pin(
+      request.graph.empty() ? options_.default_graph : request.graph);
+  state->request = std::move(request);
+  std::future<QueryResponse> future = state->promise.get_future();
+
+  // Count the admission BEFORE the router becomes runnable and revoke on a
+  // shed — the same discipline as PsiService::Submit, for the same reason:
+  // Stats() must never observe Settled() > admitted.
+  metrics_.RecordAdmitted();
+  const bool injected_shed =
+      PSI_INJECT_FAULT(util::faults::kServiceAdmissionShed);
+  const bool admitted =
+      !injected_shed &&
+      pool_->TrySubmit([this, state]() { RunRouter(state); },
+                       options_.max_queue_depth);
+  if (!admitted) {
+    metrics_.UndoAdmitted();
+    metrics_.RecordRejected();
+    return std::nullopt;
+  }
+  return future;
+}
+
+QueryResponse ShardedPsiService::Execute(QueryRequest request) {
+  const uint64_t id = request.id;
+  auto future = Submit(std::move(request));
+  if (!future.has_value()) {
+    QueryResponse response;
+    response.id = id;
+    response.status = RequestStatus::kRejected;
+    return response;
+  }
+  return future->get();
+}
+
+void ShardedPsiService::SettleEarly(FanoutState& state, RequestStatus status) {
+  QueryResponse response;
+  response.id = state.request.id;
+  response.snapshot_version = state.pin ? state.pin->generation() : 0;
+  response.status = status;
+  response.exec_seconds = state.exec_timer.Seconds();
+  response.latency_seconds = state.admission_timer.Seconds();
+  metrics_.RecordOutcome(response);
+  state.pin = ShardedGenerationPin();  // gauge drops before the future fires
+  state.promise.set_value(std::move(response));
+}
+
+void ShardedPsiService::RunRouter(std::shared_ptr<FanoutState> state) {
+  // Chaos hook: a worker descheduled between dequeue and execution.
+  PSI_FAULT_STALL(util::faults::kServiceWorkerStall);
+  state->exec_timer = util::WallTimer();
+
+  if (state->request.query.num_nodes() == 0 ||
+      !state->request.query.has_pivot()) {
+    SettleEarly(*state, RequestStatus::kInvalid);
+    return;
+  }
+  if (!state->pin) {
+    SettleEarly(*state, RequestStatus::kNotFound);
+    return;
+  }
+  if (shutdown_.StopRequested()) {
+    SettleEarly(*state, RequestStatus::kCancelled);
+    return;
+  }
+
+  const double limit = state->request.deadline_seconds > 0.0
+                           ? state->request.deadline_seconds
+                           : options_.default_deadline_seconds;
+  state->deadline =
+      limit > 0.0 ? util::Deadline::After(limit) : util::Deadline();
+
+  const size_t k = state->pin->num_shards();
+  state->results.resize(k);
+  // The countdown is the only barrier: subtasks write disjoint results[]
+  // slots, and the acq_rel decrement makes every slot visible to the last
+  // finisher. Subtasks use unbounded Submit — the admission gate already
+  // ran at the router — and nobody blocks, at any pool width.
+  state->remaining.store(k, std::memory_order_relaxed);
+  for (uint32_t s = 0; s < k; ++s) {
+    RecordShardAdmitted(s);
+    pool_->Submit([this, state, s]() { RunShardSubtask(state, s); });
+  }
+}
+
+void ShardedPsiService::RunShardSubtask(std::shared_ptr<FanoutState> state,
+                                        uint32_t shard) {
+  {
+    CrossShardEvaluator::Options eval;
+    eval.method = state->request.method;
+    eval.super_optimistic_limit = options_.super_optimistic_limit;
+    eval.deadline = state->deadline;
+    eval.stop = util::StopToken(&shutdown_);
+    CrossShardEvaluator evaluator(state->pin->View());
+    state->results[shard] =
+        evaluator.EvaluateShard(shard, state->request.query, eval);
+  }
+  RecordShardSettled(shard, state->results[shard].forwards);
+  if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    FinishFanout(*state);
+  }
+}
+
+void ShardedPsiService::FinishFanout(FanoutState& state) {
+  QueryResponse response;
+  response.id = state.request.id;
+  response.snapshot_version = state.pin->generation();
+
+  bool complete = true;
+  size_t total_valid = 0;
+  for (const auto& r : state.results) total_valid += r.valid_nodes.size();
+  response.valid_nodes.reserve(total_valid);
+  for (const auto& r : state.results) {
+    response.valid_nodes.insert(response.valid_nodes.end(),
+                                r.valid_nodes.begin(), r.valid_nodes.end());
+    response.num_candidates += r.num_candidates;
+    complete = complete && r.complete;
+  }
+  // Owned-candidate sets are disjoint across shards, so this is a merge of
+  // disjoint sorted runs — sort once, no dedup needed.
+  std::sort(response.valid_nodes.begin(), response.valid_nodes.end());
+
+  if (complete) {
+    response.status = RequestStatus::kOk;
+  } else if (shutdown_.StopRequested()) {
+    response.status = RequestStatus::kCancelled;
+  } else {
+    response.status = RequestStatus::kTimeout;
+  }
+  response.exec_seconds = state.exec_timer.Seconds();
+  response.latency_seconds = state.admission_timer.Seconds();
+  metrics_.RecordOutcome(response);
+  state.pin = ShardedGenerationPin();  // gauge drops before the future fires
+  state.promise.set_value(std::move(response));
+}
+
+service::ServiceStats ShardedPsiService::Stats() const {
+  service::ServiceStats stats;
+  stats.metrics = metrics_.Snapshot();
+  const ShardedCatalog::Counters c = catalog_->counters();
+  stats.metrics.snapshot_publishes = c.published;
+  stats.metrics.snapshot_swaps = c.swaps;
+  stats.metrics.snapshot_retires = c.retired;
+  stats.metrics.snapshot_publish_failures = c.publish_failures;
+  stats.snapshots = catalog_->List();
+  stats.queue_depth = pool_->queue_depth();
+  stats.num_workers = options_.num_workers;
+  stats.signature_build_seconds = signature_build_seconds_;
+  stats.uptime_seconds = uptime_.Seconds();
+  stats.faults_injected = util::FaultInjector::Global().TotalFires();
+  return stats;
+}
+
+}  // namespace psi::shard

@@ -1,0 +1,161 @@
+#ifndef SMARTPSI_SHARD_SHARDED_SERVICE_H_
+#define SMARTPSI_SHARD_SHARDED_SERVICE_H_
+
+// Sharded PSI query service (DESIGN.md §13): a router over K shard-local
+// evaluations sharing one worker pool.
+//
+// Admission mirrors PsiService exactly — same bounded TrySubmit gate, same
+// count-then-revoke metrics discipline, same `service.admission_shed`
+// fault site — so every serving invariant the chaos layer checks
+// (latency.count <= Settled() <= admitted, pins drain to zero, responses
+// never report an unpublished generation) carries over verbatim. One
+// admitted request enqueues one ROUTER task; the router fans out one
+// SUBTASK per shard onto the same pool and returns without blocking. Each
+// subtask evaluates its shard's pivot candidates via CrossShardEvaluator;
+// the last one to finish merges the per-shard answers (a union of disjoint
+// owned-candidate sets), records the outcome once, drops the generation
+// pin, and fulfills the caller's future. No task ever waits on another
+// task, so the topology is deadlock-free at any worker count — including
+// one worker, where router and subtasks simply serialize.
+//
+// Generation consistency: the request pins a ShardedGeneration at
+// admission; router and every subtask work off that one pin, so a publish
+// landing mid-request can never mix shard snapshots of different
+// generations into one answer. The pin drops before the future is
+// fulfilled — a caller observing its response never sees its own request
+// still pinned.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "graph/graph.h"
+#include "service/metrics.h"
+#include "service/request.h"
+#include "service/service.h"
+#include "shard/cross_shard.h"
+#include "shard/sharded_catalog.h"
+#include "util/stop_token.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace psi::shard {
+
+struct ShardedServiceOptions {
+  /// Concurrent tasks (routers + shard subtasks share this pool).
+  size_t num_workers = 4;
+
+  /// Admission bound on ROUTER tasks: shard subtasks bypass it by design
+  /// (an admitted request must always be able to fan out), so the queue
+  /// holds at most max_queue_depth routers plus K subtasks per in-flight
+  /// request — still bounded.
+  size_t max_queue_depth = 256;
+
+  /// Applied when a request carries no deadline of its own; <= 0 means
+  /// unbounded execution.
+  double default_deadline_seconds = 0.0;
+
+  /// Catalog name requests with an empty `QueryRequest::graph` resolve to.
+  std::string default_graph = "default";
+
+  /// Truncation bound of the super-optimistic first pass (paper line 4).
+  size_t super_optimistic_limit = 10;
+
+  /// How the graph-owning constructor builds and partitions its
+  /// generation; build.partition.num_shards is K. The catalog-pointer
+  /// constructor uses only build.partition.num_shards, to size the
+  /// per-shard metrics dimension.
+  ShardedCatalog::BuildOptions build;
+};
+
+/// The sharded counterpart of PsiService. Thread-safe: Submit/Execute/
+/// Stats may be called concurrently. Answers are exact and identical to
+/// the unsharded service's for every method (see cross_shard.h); sharding
+/// changes where the work runs, never what it computes.
+class ShardedPsiService {
+ public:
+  /// Single-graph convenience: clones `g` into a service-owned sharded
+  /// catalog under options.default_graph, partitioned into
+  /// options.build.partition.num_shards shards.
+  explicit ShardedPsiService(const graph::Graph& g,
+                             ShardedServiceOptions options =
+                                 ShardedServiceOptions());
+
+  /// Serves a caller-owned catalog (shared with an admin surface doing
+  /// live load/swap/retire). The catalog must outlive the service.
+  explicit ShardedPsiService(ShardedCatalog* catalog,
+                             ShardedServiceOptions options =
+                                 ShardedServiceOptions());
+
+  ShardedPsiService(const ShardedPsiService&) = delete;
+  ShardedPsiService& operator=(const ShardedPsiService&) = delete;
+
+  ~ShardedPsiService();
+
+  /// Admits a request, returning a future for its response — or
+  /// std::nullopt when shed. Same contract as PsiService::Submit.
+  std::optional<std::future<service::QueryResponse>> Submit(
+      service::QueryRequest request);
+
+  /// Synchronous wrapper; a shed request returns kRejected immediately.
+  service::QueryResponse Execute(service::QueryRequest request);
+
+  service::ServiceStats Stats() const;
+
+  /// Stops admission, cancels in-flight work, waits for the queue
+  /// (routers and subtasks) to drain. Idempotent.
+  void Shutdown();
+
+  ShardedCatalog& catalog() { return *catalog_; }
+  const ShardedCatalog& catalog() const { return *catalog_; }
+
+  const ShardedServiceOptions& options() const { return options_; }
+
+ private:
+  /// Everything one fanned-out request shares. The pin lives here; the
+  /// last finisher clears it before fulfilling the promise.
+  struct FanoutState {
+    service::QueryRequest request;
+    ShardedGenerationPin pin;
+    std::promise<service::QueryResponse> promise;
+    util::WallTimer admission_timer;
+    util::WallTimer exec_timer;
+    util::Deadline deadline;
+    std::vector<CrossShardEvaluator::ShardResult> results;
+    std::atomic<size_t> remaining{0};
+  };
+
+  void RunRouter(std::shared_ptr<FanoutState> state);
+  void RunShardSubtask(std::shared_ptr<FanoutState> state, uint32_t shard);
+  void FinishFanout(FanoutState& state);
+
+  /// Settles a request that never fanned out (invalid / not found /
+  /// cancelled-before-start).
+  void SettleEarly(FanoutState& state, service::RequestStatus status);
+
+  /// Shard counters are sized from options at construction; generations
+  /// with more shards than slots record only the labeled prefix (the flat
+  /// counters are always complete).
+  void RecordShardAdmitted(size_t shard);
+  void RecordShardSettled(size_t shard, uint64_t forwards);
+
+  ShardedServiceOptions options_;
+  std::unique_ptr<ShardedCatalog> owned_catalog_;
+  ShardedCatalog* catalog_ = nullptr;  // never null after construction
+  service::MetricsRegistry metrics_;
+  util::StopSource shutdown_;
+  std::atomic<bool> accepting_{true};
+  std::atomic<uint64_t> next_auto_id_{1};
+  util::WallTimer uptime_;
+  double signature_build_seconds_ = 0.0;
+
+  // Declared last: destroyed first, so draining tasks still see live
+  // metrics and catalog.
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace psi::shard
+
+#endif  // SMARTPSI_SHARD_SHARDED_SERVICE_H_

@@ -1,0 +1,274 @@
+// Property tests for the deterministic label-aware partitioner
+// (DESIGN.md §13): ownership is a partition of the vertex set, the
+// balance cap holds on every random graph, layouts replicate boundary
+// vertices exactly as documented (owned adjacency complete, ghost
+// adjacency partial, no ghost-ghost edges), and per-shard signature rows
+// are bit-identical slices of the global matrix.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "shard/partitioner.h"
+#include "signature/builders.h"
+#include "tests/test_fixtures.h"
+
+namespace psi::shard {
+namespace {
+
+signature::SignatureMatrix GlobalSigs(const graph::Graph& g) {
+  return signature::BuildSignatures(g, signature::Method::kMatrix, /*depth=*/2,
+                                    g.num_labels());
+}
+
+PartitionedGraph Partitioned(const graph::Graph& g, uint32_t k) {
+  PartitionOptions options;
+  options.num_shards = k;
+  const GraphPartitioner partitioner(options);
+  return BuildPartitionedGraph(g, GlobalSigs(g), partitioner.Partition(g));
+}
+
+size_t HardCap(size_t n, uint32_t k, double balance_factor) {
+  const size_t ceil_share = (n + k - 1) / k;
+  const size_t soft_cap = static_cast<size_t>(
+      balance_factor * static_cast<double>(n) / static_cast<double>(k));
+  return std::max(ceil_share, soft_cap);
+}
+
+/// The (neighbor global id, edge label) multiset of one vertex, from any
+/// graph through an id-translation function.
+template <typename ToGlobal>
+std::multiset<std::pair<graph::NodeId, graph::Label>> AdjacencyOf(
+    const graph::Graph& g, graph::NodeId u, ToGlobal to_global) {
+  std::multiset<std::pair<graph::NodeId, graph::Label>> adjacency;
+  const auto neighbors = g.neighbors(u);
+  const auto labels = g.edge_labels(u);
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    adjacency.emplace(to_global(neighbors[i]), labels[i]);
+  }
+  return adjacency;
+}
+
+// 100 random graphs (25 seeds × 4 shard counts): ownership is exactly a
+// partition and no shard exceeds the hard balance cap.
+TEST(GraphPartitionerTest, OwnershipPartitionsAndBalancesRandomGraphs) {
+  for (uint64_t seed_index = 0; seed_index < 25; ++seed_index) {
+    const uint64_t seed = psi::testing::TestSeed(1000 + seed_index, seed_index);
+    PSI_LOG_TEST_SEED(seed);
+    const graph::Graph g = psi::testing::MakeRandomGraph(
+        120 + 40 * (seed_index % 5), 400 + 60 * (seed_index % 7), 4, seed);
+    for (const uint32_t k : {1u, 2u, 3u, 4u}) {
+      SCOPED_TRACE(::testing::Message() << "seed=" << seed << " k=" << k);
+      PartitionOptions options;
+      options.num_shards = k;
+      const ShardAssignment assignment =
+          GraphPartitioner(options).Partition(g);
+
+      ASSERT_EQ(assignment.num_shards, k);
+      ASSERT_EQ(assignment.owner.size(), g.num_nodes());
+      ASSERT_EQ(assignment.owned_counts.size(), k);
+      std::vector<size_t> recount(k, 0);
+      for (const uint32_t owner : assignment.owner) {
+        ASSERT_LT(owner, k);
+        ++recount[owner];
+      }
+      size_t total = 0;
+      for (uint32_t s = 0; s < k; ++s) {
+        EXPECT_EQ(assignment.owned_counts[s], recount[s]);
+        total += recount[s];
+      }
+      EXPECT_EQ(total, g.num_nodes()) << "every vertex owned exactly once";
+
+      const size_t cap = HardCap(g.num_nodes(), k, options.balance_factor);
+      for (uint32_t s = 0; s < k; ++s) {
+        EXPECT_LE(assignment.owned_counts[s], cap);
+      }
+    }
+  }
+}
+
+TEST(GraphPartitionerTest, DeterministicAcrossRuns) {
+  for (const uint64_t base : {3u, 17u, 99u}) {
+    const uint64_t seed = psi::testing::TestSeed(base);
+    PSI_LOG_TEST_SEED(seed);
+    const graph::Graph g = psi::testing::MakeRandomGraph(200, 700, 5, seed);
+    PartitionOptions options;
+    options.num_shards = 4;
+    const ShardAssignment first = GraphPartitioner(options).Partition(g);
+    const ShardAssignment second = GraphPartitioner(options).Partition(g);
+    EXPECT_EQ(first.owner, second.owner);
+    EXPECT_EQ(first.owned_counts, second.owned_counts);
+  }
+}
+
+TEST(GraphPartitionerTest, SingleShardOwnsEverything) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  const PartitionedGraph pg = Partitioned(g, 1);
+  ASSERT_EQ(pg.parts.size(), 1u);
+  EXPECT_EQ(pg.parts[0].layout.num_owned, g.num_nodes());
+  EXPECT_EQ(pg.parts[0].layout.num_ghosts(), 0u);
+  EXPECT_EQ(pg.parts[0].subgraph.num_edges(), g.num_edges());
+}
+
+// Layout invariants: owned locals first in ascending global order, ghosts
+// after in ascending global order, global_to_local the exact inverse, and
+// local_in_owner consistent with the owner map.
+TEST(GraphPartitionerTest, LayoutsReplicateBoundariesExactly) {
+  const uint64_t seed = psi::testing::TestSeed(7);
+  PSI_LOG_TEST_SEED(seed);
+  const graph::Graph g = psi::testing::MakeRandomGraph(180, 600, 4, seed);
+  const PartitionedGraph pg = Partitioned(g, 3);
+  ASSERT_EQ(pg.parts.size(), 3u);
+  ASSERT_EQ(pg.local_in_owner.size(), g.num_nodes());
+  for (const ShardPart& part : pg.parts) {
+    const ShardLayout& layout = part.layout;
+    ASSERT_EQ(layout.local_to_global.size(), part.subgraph.num_nodes());
+    for (size_t local = 0; local < layout.local_to_global.size(); ++local) {
+      const graph::NodeId global = layout.local_to_global[local];
+      const bool owned = local < layout.num_owned;
+      EXPECT_EQ(pg.assignment.owner[global] == layout.shard, owned);
+      EXPECT_EQ(layout.LocalId(global), local);
+      if (owned) {
+        EXPECT_EQ(pg.local_in_owner[global], local);
+      }
+      if (local > 0 && local != layout.num_owned) {
+        EXPECT_LT(layout.local_to_global[local - 1], global)
+            << "owned and ghost ranges each ascend in global id";
+      }
+      // Labels survive the translation.
+      EXPECT_EQ(part.subgraph.label(static_cast<graph::NodeId>(local)),
+                g.label(global));
+    }
+    // Every ghost is adjacent to at least one owned vertex (that is why it
+    // was replicated).
+    for (size_t local = layout.num_owned;
+         local < layout.local_to_global.size(); ++local) {
+      bool touches_owned = false;
+      for (const graph::NodeId n :
+           part.subgraph.neighbors(static_cast<graph::NodeId>(local))) {
+        touches_owned = touches_owned || n < layout.num_owned;
+      }
+      EXPECT_TRUE(touches_owned);
+    }
+  }
+}
+
+// Edge coverage: an owned vertex's shard adjacency is its complete global
+// adjacency (the soundness precondition for owner-side verification); a
+// ghost's adjacency is a subset containing only edges toward owned
+// vertices (no ghost-ghost edges materialized).
+TEST(GraphPartitionerTest, OwnedAdjacencyCompleteGhostAdjacencyPartial) {
+  const uint64_t seed = psi::testing::TestSeed(13);
+  PSI_LOG_TEST_SEED(seed);
+  const graph::Graph g = psi::testing::MakeRandomGraph(150, 500, 3, seed);
+  const PartitionedGraph pg = Partitioned(g, 4);
+  for (const ShardPart& part : pg.parts) {
+    const ShardLayout& layout = part.layout;
+    auto to_global = [&](graph::NodeId local) {
+      return layout.local_to_global[local];
+    };
+    for (size_t local = 0; local < layout.local_to_global.size(); ++local) {
+      const graph::NodeId global = layout.local_to_global[local];
+      const auto local_adjacency = AdjacencyOf(
+          part.subgraph, static_cast<graph::NodeId>(local), to_global);
+      const auto global_adjacency =
+          AdjacencyOf(g, global, [](graph::NodeId v) { return v; });
+      if (local < layout.num_owned) {
+        EXPECT_EQ(local_adjacency, global_adjacency)
+            << "owned vertex " << global << " lost adjacency";
+      } else {
+        EXPECT_TRUE(std::includes(global_adjacency.begin(),
+                                  global_adjacency.end(),
+                                  local_adjacency.begin(),
+                                  local_adjacency.end()))
+            << "ghost " << global << " grew adjacency";
+        for (const auto& [neighbor, label] : local_adjacency) {
+          EXPECT_EQ(pg.assignment.owner[neighbor], layout.shard)
+              << "ghost-ghost edge materialized";
+        }
+      }
+    }
+  }
+}
+
+// Every global edge lands exactly once in each endpoint-owner's shard CSR
+// (once total when both endpoints share an owner) — assignment modulo the
+// documented boundary replication.
+TEST(GraphPartitionerTest, EveryEdgeAssignedOncePerOwningShard) {
+  const uint64_t seed = psi::testing::TestSeed(29);
+  PSI_LOG_TEST_SEED(seed);
+  const graph::Graph g = psi::testing::MakeRandomGraph(160, 550, 4, seed);
+  const PartitionedGraph pg = Partitioned(g, 3);
+
+  // Expected copies of undirected edge (u, v), u <= v.
+  std::map<std::pair<graph::NodeId, graph::NodeId>, size_t> expected;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const graph::NodeId v : g.neighbors(u)) {
+      if (v < u) continue;
+      expected[{u, v}] +=
+          pg.assignment.owner[u] == pg.assignment.owner[v] ? 1 : 2;
+    }
+  }
+  std::map<std::pair<graph::NodeId, graph::NodeId>, size_t> materialized;
+  size_t total_edges = 0;
+  for (const ShardPart& part : pg.parts) {
+    total_edges += part.subgraph.num_edges();
+    for (graph::NodeId u = 0; u < part.subgraph.num_nodes(); ++u) {
+      const graph::NodeId gu = part.layout.local_to_global[u];
+      for (const graph::NodeId v : part.subgraph.neighbors(u)) {
+        const graph::NodeId gv = part.layout.local_to_global[v];
+        if (gv < gu) continue;
+        ++materialized[{gu, gv}];
+      }
+    }
+  }
+  EXPECT_EQ(materialized, expected);
+  EXPECT_EQ(pg.num_edges, g.num_edges());
+  EXPECT_GE(total_edges, g.num_edges());
+}
+
+TEST(GraphPartitionerTest, SignatureRowsAreBitIdenticalSlices) {
+  const uint64_t seed = psi::testing::TestSeed(31);
+  PSI_LOG_TEST_SEED(seed);
+  const graph::Graph g = psi::testing::MakeRandomGraph(140, 450, 4, seed);
+  const signature::SignatureMatrix global = GlobalSigs(g);
+  PartitionOptions options;
+  options.num_shards = 4;
+  const PartitionedGraph pg = BuildPartitionedGraph(
+      g, global, GraphPartitioner(options).Partition(g));
+  for (const ShardPart& part : pg.parts) {
+    ASSERT_EQ(part.sigs.num_rows(), part.layout.local_to_global.size());
+    for (size_t local = 0; local < part.sigs.num_rows(); ++local) {
+      const auto shard_row = part.sigs.row(local);
+      const auto global_row = global.row(part.layout.local_to_global[local]);
+      ASSERT_EQ(shard_row.size(), global_row.size());
+      for (size_t j = 0; j < shard_row.size(); ++j) {
+        ASSERT_EQ(shard_row[j], global_row[j])
+            << "shard " << part.layout.shard << " local " << local;
+      }
+    }
+  }
+}
+
+TEST(GraphPartitionerTest, GlobalLabelCountsPreserved) {
+  const uint64_t seed = psi::testing::TestSeed(37);
+  PSI_LOG_TEST_SEED(seed);
+  const graph::Graph g = psi::testing::MakeRandomGraph(130, 400, 5, seed);
+  const PartitionedGraph pg = Partitioned(g, 2);
+  ASSERT_EQ(pg.label_counts.size(), g.num_labels());
+  for (graph::Label l = 0; l < g.num_labels(); ++l) {
+    EXPECT_EQ(pg.label_counts[l], g.label_frequency(l));
+  }
+  EXPECT_EQ(pg.num_nodes, g.num_nodes());
+  EXPECT_EQ(pg.num_labels, g.num_labels());
+}
+
+}  // namespace
+}  // namespace psi::shard

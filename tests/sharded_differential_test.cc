@@ -1,0 +1,145 @@
+// Sharded differential harness (DESIGN.md §13): the cross-shard evaluator
+// and the sharded service must produce the exact pivot set the unsharded
+// paths produce — embedding-for-embedding against the brute-force oracle —
+// for K ∈ {1, 2, 4} shards and all three methods, on the shared fixtures.
+// Each comparison runs bare and again under the standard chaos schedule
+// plus the sharded fault sites armed; injected faults may change counters,
+// never answers. Lives under the `differential.` ctest prefix so the CI
+// chaos jobs (`ctest -R 'differential|io_fuzz|fault'`) pick it up in every
+// build configuration.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pure_drivers.h"
+#include "match/engine.h"
+#include "service/service.h"
+#include "shard/cross_shard.h"
+#include "shard/partitioner.h"
+#include "shard/sharded_service.h"
+#include "signature/builders.h"
+#include "tests/test_fixtures.h"
+#include "util/fault_injection.h"
+
+namespace psi {
+namespace {
+
+using ShardedParam = std::tuple<uint64_t /*seed*/, uint32_t /*shards*/>;
+
+class ShardedDifferentialTest
+    : public ::testing::TestWithParam<ShardedParam> {
+ protected:
+  void SetUp() override { util::FaultInjector::Global().DisarmAll(); }
+  void TearDown() override { util::FaultInjector::Global().DisarmAll(); }
+};
+
+/// Evaluates `q` through the cross-shard evaluator at shard count `k` for
+/// every method and checks each answer against `oracle`.
+void ExpectShardedMatchesOracle(const graph::Graph& g,
+                                const graph::QueryGraph& q, uint32_t k,
+                                const std::vector<graph::NodeId>& oracle,
+                                const std::string& context) {
+  SCOPED_TRACE(context);
+  const auto gs = signature::BuildSignatures(
+      g, signature::Method::kMatrix, 2, g.num_labels());
+  shard::PartitionOptions options;
+  options.num_shards = k;
+  const shard::PartitionedGraph pg = shard::BuildPartitionedGraph(
+      g, gs, shard::GraphPartitioner(options).Partition(g));
+  shard::CrossShardEvaluator evaluator(shard::ShardedView::Of(pg));
+  for (const service::Method method :
+       {service::Method::kOptimistic, service::Method::kPessimistic,
+        service::Method::kSmart}) {
+    shard::CrossShardEvaluator::Options eval;
+    eval.method = method;
+    const auto result = evaluator.Evaluate(q, eval);
+    ASSERT_TRUE(result.complete);
+    EXPECT_EQ(result.valid_nodes, oracle)
+        << "method " << static_cast<int>(method) << " k=" << k;
+  }
+
+  // The unsharded pure drivers agree with the oracle on the same inputs —
+  // anchoring the sharded comparison to the existing differential chain.
+  for (const core::PureStrategy strategy :
+       {core::PureStrategy::kOptimistic, core::PureStrategy::kPessimistic}) {
+    core::PureDriverOptions pure;
+    pure.strategy = strategy;
+    const core::PureDriverResult result = core::EvaluatePure(g, gs, q, pure);
+    ASSERT_TRUE(result.complete);
+    EXPECT_EQ(result.valid_nodes, oracle);
+  }
+}
+
+TEST_P(ShardedDifferentialTest, ShardedEqualsUnshardedWithAndWithoutFaults) {
+  const auto [base_seed, shards] = GetParam();
+  const uint64_t seed = psi::testing::TestSeed(base_seed, shards);
+  PSI_LOG_TEST_SEED(seed);
+
+  const graph::Graph g = psi::testing::MakeRandomGraph(200, 640, 3, seed);
+  for (const size_t query_size : {3u, 4u, 5u}) {
+    const graph::QueryGraph q =
+        psi::testing::ExtractQuery(g, query_size, seed * 7919 + query_size);
+    if (q.num_nodes() != query_size) continue;
+    SCOPED_TRACE(::testing::Message() << "query_size=" << query_size);
+
+    match::BasicEngine basic(g);
+    const auto truth = basic.ProjectPivot(q, match::MatchingEngine::Options());
+    ASSERT_TRUE(truth.complete);
+
+    ExpectShardedMatchesOracle(g, q, shards, truth.pivot_matches, "bare");
+    {
+      util::ScopedFaultSpec chaos(psi::testing::MakeChaosSchedule() +
+                                  ",service.admission.shed=every:9," +
+                                  "catalog.shard_publish=every:101");
+      ExpectShardedMatchesOracle(g, q, shards, truth.pivot_matches, "chaos");
+    }
+  }
+}
+
+// End-to-end flavor: the full sharded service (router, fan-out, catalog,
+// per-shard metrics) against the full unsharded service, same fixtures.
+TEST_P(ShardedDifferentialTest, ServiceAnswersMatchEndToEnd) {
+  const auto [base_seed, shards] = GetParam();
+  const uint64_t seed = psi::testing::TestSeed(base_seed, shards * 131);
+  PSI_LOG_TEST_SEED(seed);
+
+  const graph::Graph g = psi::testing::MakeRandomGraph(180, 560, 4, seed);
+  const graph::QueryGraph q = psi::testing::ExtractQuery(g, 4, seed * 13 + 1);
+  if (q.num_nodes() != 4) GTEST_SKIP() << "extraction failed";
+
+  service::ServiceOptions flat_options;
+  flat_options.num_workers = 2;
+  service::PsiService flat(g, flat_options);
+
+  shard::ShardedServiceOptions sharded_options;
+  sharded_options.num_workers = 2;
+  sharded_options.build.partition.num_shards = shards;
+  shard::ShardedPsiService sharded(g, sharded_options);
+
+  for (const service::Method method :
+       {service::Method::kSmart, service::Method::kOptimistic,
+        service::Method::kPessimistic}) {
+    service::QueryRequest request;
+    request.query = q;
+    request.method = method;
+    const service::QueryResponse expected = flat.Execute(request);
+    const service::QueryResponse actual = sharded.Execute(request);
+    ASSERT_EQ(expected.status, service::RequestStatus::kOk);
+    ASSERT_EQ(actual.status, service::RequestStatus::kOk);
+    EXPECT_EQ(actual.valid_nodes, expected.valid_nodes)
+        << "method " << static_cast<int>(method);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardCounts, ShardedDifferentialTest,
+    ::testing::Combine(::testing::Values(19, 47, 61),
+                       ::testing::Values(1u, 2u, 4u)));
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,182 @@
+// ShardedPsiService tests (DESIGN.md §13): the router answers exactly
+// what the unsharded service answers, early settlement paths work, the
+// per-shard counter dimension stays consistent with the flat contract,
+// and shutdown semantics mirror PsiService.
+
+#include <future>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/service.h"
+#include "shard/sharded_service.h"
+#include "tests/test_fixtures.h"
+#include "util/fault_injection.h"
+
+namespace psi::shard {
+namespace {
+
+ShardedServiceOptions Sharded(uint32_t shards, size_t workers = 4) {
+  ShardedServiceOptions options;
+  options.num_workers = workers;
+  options.build.partition.num_shards = shards;
+  options.build.snapshot.signature_depth = 2;
+  return options;
+}
+
+class ShardedPsiServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::FaultInjector::Global().DisarmAll(); }
+  void TearDown() override { util::FaultInjector::Global().DisarmAll(); }
+};
+
+TEST_F(ShardedPsiServiceTest, Figure1AnswerAtEveryShardCount) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  for (const uint32_t k : {1u, 2u, 3u}) {
+    SCOPED_TRACE(::testing::Message() << "k=" << k);
+    ShardedPsiService psi_service(g, Sharded(k));
+    service::QueryRequest request;
+    request.query = psi::testing::MakeFigure1Query();
+    const service::QueryResponse response = psi_service.Execute(request);
+    EXPECT_EQ(response.status, service::RequestStatus::kOk);
+    EXPECT_EQ(response.valid_nodes, (std::vector<graph::NodeId>{0, 5}));
+    EXPECT_GT(response.snapshot_version, 0u);
+  }
+}
+
+TEST_F(ShardedPsiServiceTest, MatchesUnshardedServiceOnRandomWorkload) {
+  const uint64_t seed = psi::testing::TestSeed(71);
+  PSI_LOG_TEST_SEED(seed);
+  const graph::Graph g = psi::testing::MakeRandomGraph(200, 650, 4, seed);
+
+  service::ServiceOptions flat_options;
+  flat_options.num_workers = 2;
+  service::PsiService flat(g, flat_options);
+  ShardedPsiService sharded(g, Sharded(3));
+
+  for (size_t i = 0; i < 8; ++i) {
+    const graph::QueryGraph q =
+        psi::testing::ExtractQuery(g, 4, seed * 31 + i);
+    if (q.num_nodes() != 4) continue;
+    for (const service::Method method :
+         {service::Method::kSmart, service::Method::kOptimistic,
+          service::Method::kPessimistic}) {
+      service::QueryRequest request;
+      request.query = q;
+      request.method = method;
+      const service::QueryResponse expected = flat.Execute(request);
+      const service::QueryResponse actual = sharded.Execute(request);
+      ASSERT_EQ(expected.status, service::RequestStatus::kOk);
+      ASSERT_EQ(actual.status, service::RequestStatus::kOk);
+      EXPECT_EQ(actual.valid_nodes, expected.valid_nodes)
+          << "query " << i << " method " << static_cast<int>(method);
+    }
+  }
+}
+
+TEST_F(ShardedPsiServiceTest, EarlySettlementStatuses) {
+  ShardedPsiService psi_service(psi::testing::MakeFigure1Graph(), Sharded(2));
+
+  service::QueryRequest empty;
+  EXPECT_EQ(psi_service.Execute(empty).status,
+            service::RequestStatus::kInvalid);
+
+  service::QueryRequest unknown;
+  unknown.query = psi::testing::MakeFigure1Query();
+  unknown.graph = "nope";
+  EXPECT_EQ(psi_service.Execute(unknown).status,
+            service::RequestStatus::kNotFound);
+}
+
+TEST_F(ShardedPsiServiceTest, PerShardCountersStayConsistent) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  ShardedPsiService psi_service(g, Sharded(3));
+  constexpr int kRequests = 12;
+  for (int i = 0; i < kRequests; ++i) {
+    service::QueryRequest request;
+    request.query = psi::testing::MakeFigure1Query();
+    ASSERT_EQ(psi_service.Execute(request).status,
+              service::RequestStatus::kOk);
+  }
+  // One early-settled request on top: fans out to no shard.
+  service::QueryRequest invalid;
+  ASSERT_EQ(psi_service.Execute(invalid).status,
+            service::RequestStatus::kInvalid);
+
+  const service::ServiceStats stats = psi_service.Stats();
+  const auto& m = stats.metrics;
+  EXPECT_EQ(m.admitted, static_cast<uint64_t>(kRequests) + 1);
+  EXPECT_EQ(m.Settled(), m.admitted);
+  ASSERT_EQ(m.shards.size(), 3u);
+  for (const service::ShardCounterSnapshot& shard : m.shards) {
+    EXPECT_EQ(shard.admitted, static_cast<uint64_t>(kRequests));
+    EXPECT_EQ(shard.settled, static_cast<uint64_t>(kRequests));
+  }
+  EXPECT_EQ(stats.metrics.snapshot_publishes, 1u);
+  EXPECT_EQ(stats.snapshots.size(), 3u) << "one catalog row per shard";
+  for (const auto& entry : stats.snapshots) {
+    EXPECT_EQ(entry.pins, 0u) << "pins drained after settlement";
+  }
+}
+
+TEST_F(ShardedPsiServiceTest, CrossShardForwardsObservedOnPartitionedGraph) {
+  const uint64_t seed = psi::testing::TestSeed(83);
+  PSI_LOG_TEST_SEED(seed);
+  // Dense-ish connected graph: any 4-shard cut has boundary edges, so
+  // multi-level queries must delegate at least once.
+  const graph::Graph g = psi::testing::MakeRandomGraph(150, 900, 3, seed);
+  ShardedPsiService psi_service(g, Sharded(4));
+  uint64_t ok = 0;
+  for (size_t i = 0; i < 6; ++i) {
+    const graph::QueryGraph q =
+        psi::testing::ExtractQuery(g, 4, seed * 17 + i);
+    if (q.num_nodes() != 4) continue;
+    service::QueryRequest request;
+    request.query = q;
+    if (psi_service.Execute(request).status == service::RequestStatus::kOk) {
+      ++ok;
+    }
+  }
+  if (ok == 0) GTEST_SKIP() << "no query extracted";
+  uint64_t forwards = 0;
+  for (const auto& shard : psi_service.Stats().metrics.shards) {
+    forwards += shard.cross_shard_forwards;
+  }
+  EXPECT_GT(forwards, 0u) << "partitioned evaluation never crossed a "
+                             "boundary on a dense graph";
+}
+
+TEST_F(ShardedPsiServiceTest, ShutdownStopsAdmissionAndDrains) {
+  ShardedPsiService psi_service(psi::testing::MakeFigure1Graph(), Sharded(2));
+  psi_service.Shutdown();
+  service::QueryRequest request;
+  request.query = psi::testing::MakeFigure1Query();
+  const auto future = psi_service.Submit(request);
+  EXPECT_FALSE(future.has_value());
+  const service::ServiceStats stats = psi_service.Stats();
+  EXPECT_EQ(stats.metrics.rejected, 1u);
+  EXPECT_EQ(stats.metrics.admitted, 0u);
+}
+
+TEST_F(ShardedPsiServiceTest, HotSwapUnderRequestsStaysConsistent) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  ShardedCatalog catalog;
+  ShardedCatalog::BuildOptions build;
+  build.partition.num_shards = 2;
+  build.snapshot.signature_depth = 2;
+  ASSERT_TRUE(catalog.BuildAndPublish("default", g.Clone(), build).ok());
+  ShardedPsiService psi_service(&catalog, Sharded(2));
+  for (int round = 0; round < 4; ++round) {
+    service::QueryRequest request;
+    request.query = psi::testing::MakeFigure1Query();
+    const service::QueryResponse response = psi_service.Execute(request);
+    EXPECT_EQ(response.status, service::RequestStatus::kOk);
+    EXPECT_EQ(response.valid_nodes, (std::vector<graph::NodeId>{0, 5}));
+    ASSERT_TRUE(catalog.BuildAndPublish("default", g.Clone(), build).ok());
+  }
+  EXPECT_EQ(psi_service.Stats().metrics.snapshot_swaps, 4u);
+}
+
+}  // namespace
+}  // namespace psi::shard

@@ -1,0 +1,109 @@
+// Regression tests for the strict tool argument parser. The bug this
+// locks out: the tools' historical parsers treated ANY "--x" as a
+// value-taking option, so an unknown flag (e.g. --shards before sharding
+// existed, or a typo like --sharsd) silently swallowed the next argv and
+// the run proceeded with default settings instead of failing.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/tool_args.h"
+
+namespace psi::tools {
+namespace {
+
+ParsedArgs Parse(std::vector<const char*> argv, const ArgSpec& spec) {
+  argv.insert(argv.begin(), "tool");
+  return ParseArgs(static_cast<int>(argv.size()), argv.data(), spec);
+}
+
+ArgSpec LoadgenLikeSpec() {
+  ArgSpec spec;
+  spec.switches = {"--baseline", "--swap-storm"};
+  spec.options = {"--requests", "--shards", "--faults"};
+  spec.max_positional = 1;
+  return spec;
+}
+
+TEST(ToolArgsTest, ParsesSwitchesOptionsAndPositional) {
+  const ParsedArgs args =
+      Parse({"graph.lg", "--requests", "200", "--baseline", "--shards", "4"},
+            LoadgenLikeSpec());
+  ASSERT_TRUE(args.ok()) << args.error;
+  ASSERT_EQ(args.positional.size(), 1u);
+  EXPECT_EQ(args.positional[0], "graph.lg");
+  EXPECT_TRUE(args.Has("--baseline"));
+  EXPECT_FALSE(args.Has("--swap-storm"));
+  EXPECT_EQ(args.Get("--requests", "0"), "200");
+  EXPECT_EQ(args.Get("--shards", "0"), "4");
+  EXPECT_EQ(args.Get("--faults", "fallback"), "fallback");
+}
+
+TEST(ToolArgsTest, UnknownFlagIsAnErrorNotASilentSink) {
+  // The regression: "--sharsd 4" must fail loudly, never consume "4" and
+  // continue with defaults.
+  const ParsedArgs args =
+      Parse({"graph.lg", "--sharsd", "4"}, LoadgenLikeSpec());
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.error.find("unknown flag --sharsd"), std::string::npos);
+}
+
+TEST(ToolArgsTest, UnknownFlagBeforeFeatureExistedFails) {
+  ArgSpec without_shards;
+  without_shards.switches = {"--baseline"};
+  without_shards.options = {"--requests"};
+  const ParsedArgs args =
+      Parse({"graph.lg", "--shards", "4"}, without_shards);
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.error.find("unknown flag --shards"), std::string::npos);
+}
+
+TEST(ToolArgsTest, MissingValueIsAnError) {
+  const ParsedArgs args = Parse({"graph.lg", "--requests"}, LoadgenLikeSpec());
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.error.find("missing value for --requests"),
+            std::string::npos);
+}
+
+TEST(ToolArgsTest, ExcessPositionalIsAnError) {
+  const ParsedArgs args = Parse({"a.lg", "b.lg"}, LoadgenLikeSpec());
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.error.find("unexpected argument 'b.lg'"), std::string::npos);
+}
+
+TEST(ToolArgsTest, SwitchNeverConsumesAValue) {
+  const ParsedArgs args =
+      Parse({"--baseline", "graph.lg"}, LoadgenLikeSpec());
+  ASSERT_TRUE(args.ok()) << args.error;
+  EXPECT_TRUE(args.Has("--baseline"));
+  ASSERT_EQ(args.positional.size(), 1u);
+  EXPECT_EQ(args.positional[0], "graph.lg");
+}
+
+TEST(ToolArgsTest, OptionValueMayStartWithDashes) {
+  // A declared option takes the NEXT argv verbatim, even if it looks like
+  // a flag (fault specs and negative numbers stay expressible).
+  const ParsedArgs args =
+      Parse({"--faults", "--weird=spec", "g.lg"}, LoadgenLikeSpec());
+  ASSERT_TRUE(args.ok()) << args.error;
+  EXPECT_EQ(args.Get("--faults", ""), "--weird=spec");
+}
+
+TEST(ToolArgsTest, RepeatedOptionLastOneWins) {
+  const ParsedArgs args =
+      Parse({"--requests", "5", "--requests", "9"}, LoadgenLikeSpec());
+  ASSERT_TRUE(args.ok()) << args.error;
+  EXPECT_EQ(args.Get("--requests", ""), "9");
+}
+
+TEST(ToolArgsTest, EmptyCommandLineIsOk) {
+  const ParsedArgs args = Parse({}, LoadgenLikeSpec());
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(args.positional.empty());
+  EXPECT_TRUE(args.values.empty());
+}
+
+}  // namespace
+}  // namespace psi::tools

@@ -6,6 +6,7 @@
 //
 //   psi_serve graph.lg --workers 8 < workload.txt
 //   psi_serve --generate 100000,400000,8 --workload w.txt --deadline-ms 50
+//   psi_serve graph.lg --shards 4        # sharded router, same stream
 //   psi_generate --nodes 1000 ... && psi_serve graph.lg   # end-to-end
 //
 // Admin commands ride the same control stream, prefixed with '!'; queries
@@ -16,6 +17,11 @@
 //   !retire social
 //   !list
 // Queries select a graph with the g= token: v=0,1 e=0-1 p=0 g=social
+//
+// With --shards K every named graph is partitioned into K label-aware
+// shards and published as one atomic generation; !load/!swap then build
+// whole generations, !list shows the per-shard snapshot rows, and the
+// final stats include per-shard admitted/settled/cross_shard_forwards.
 
 #include <algorithm>
 #include <chrono>
@@ -25,11 +31,11 @@
 #include <fstream>
 #include <future>
 #include <iostream>
-#include <map>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -37,6 +43,9 @@
 #include "graph/graph_io.h"
 #include "service/service.h"
 #include "service/workload.h"
+#include "shard/sharded_catalog.h"
+#include "shard/sharded_service.h"
+#include "tools/tool_args.h"
 #include "util/random.h"
 
 namespace {
@@ -53,6 +62,10 @@ void Usage() {
       "  --deadline-ms D   default per-request deadline (default: none)\n"
       "  --depth D         signature depth (default 2)\n"
       "  --seed S          RNG seed for --generate (default 42)\n"
+      "  --shards K        sharded serving: partition every graph into K\n"
+      "                    label-aware shards published as one atomic\n"
+      "                    generation; requests fan out to shard-local\n"
+      "                    evaluation with cross-shard continuations\n"
       "  --quiet           suppress per-request lines, print stats only\n"
       "\n"
       "Admin commands (inline in the request stream):\n"
@@ -92,92 +105,44 @@ util::Result<graph::Graph> LoadAdminGraph(const std::string& source) {
   return graph::LoadLgFile(source);
 }
 
-}  // namespace
+/// Admin !load/!swap build options for each service flavour. The sharded
+/// overload inherits the service's partitioning config so a hot-swapped
+/// graph lands with the same K as the seed.
+service::SnapshotBuildOptions AdminBuildOptions(const service::PsiService&,
+                                                uint32_t depth) {
+  service::SnapshotBuildOptions build;
+  build.signature_depth = depth;
+  return build;
+}
+shard::ShardedCatalog::BuildOptions AdminBuildOptions(
+    const shard::ShardedPsiService& s, uint32_t depth) {
+  shard::ShardedCatalog::BuildOptions build = s.options().build;
+  build.snapshot.signature_depth = depth;
+  build.snapshot.pool = nullptr;  // background std::async build stays serial
+  return build;
+}
 
-int main(int argc, char** argv) {
-  std::map<std::string, std::string> args;
-  std::string graph_path;
-  for (int i = 1; i < argc; ++i) {
-    const std::string key = argv[i];
-    if (key == "--quiet") {
-      args[key] = "1";
-    } else if (key.rfind("--", 0) == 0) {
-      if (i + 1 >= argc) {
-        Usage();
-        return 2;
-      }
-      args[key] = argv[++i];
-    } else if (graph_path.empty()) {
-      graph_path = key;
-    } else {
-      Usage();
-      return 2;
-    }
-  }
-  auto get = [&](const std::string& key, const std::string& fallback) {
-    const auto it = args.find(key);
-    return it == args.end() ? fallback : it->second;
-  };
+void PrintLoaded(const std::string& name, const service::GraphSnapshot& s) {
+  std::cerr << "loaded '" << name << "' version=" << s.version() << " ("
+            << s.graph().num_nodes() << " nodes, built in "
+            << s.timings().signature_build_seconds << " s)\n";
+}
+void PrintLoaded(const std::string& name, const shard::ShardedGeneration& g) {
+  std::cerr << "loaded '" << name << "' generation=" << g.generation() << " ("
+            << g.num_shards() << " shards, " << g.meta().num_nodes
+            << " nodes, built in "
+            << g.shard(0).timings().signature_build_seconds << " s)\n";
+}
 
-  // --- Graph --------------------------------------------------------------
-  graph::Graph g;
-  if (args.count("--generate")) {
-    size_t nodes = 0, edges = 0, labels = 8;
-    if (std::sscanf(args["--generate"].c_str(), "%zu,%zu,%zu", &nodes, &edges,
-                    &labels) < 2) {
-      std::cerr << "bad --generate spec (want N,M[,L])\n";
-      return 2;
-    }
-    util::Rng rng(std::strtoull(get("--seed", "42").c_str(), nullptr, 10));
-    graph::LabelConfig label_config;
-    label_config.num_labels = labels;
-    g = graph::RelabelWithHomophily(
-        graph::ErdosRenyi(nodes, edges, label_config, rng), 0.6, 2, rng);
-  } else if (!graph_path.empty()) {
-    auto loaded = graph::LoadLgFile(graph_path);
-    if (!loaded.ok()) {
-      std::cerr << loaded.status().ToString() << "\n";
-      return 1;
-    }
-    g = std::move(loaded).value();
-  } else {
-    Usage();
-    return 2;
-  }
-  std::cerr << "Graph: " << g.num_nodes() << " nodes, " << g.num_edges()
-            << " edges, " << g.num_labels() << " labels\n";
-
-  // --- Service ------------------------------------------------------------
-  service::ServiceOptions options;
-  options.num_workers =
-      std::strtoull(get("--workers", "4").c_str(), nullptr, 10);
-  options.max_queue_depth =
-      std::strtoull(get("--queue", "256").c_str(), nullptr, 10);
-  options.default_deadline_seconds =
-      std::atof(get("--deadline-ms", "0").c_str()) / 1e3;
-  options.engine.signature_depth = static_cast<uint32_t>(
-      std::strtoul(get("--depth", "2").c_str(), nullptr, 10));
-  service::PsiService psi_service(g, options);
-  std::cerr << "Service: " << options.num_workers << " workers, queue bound "
-            << options.max_queue_depth << ", signatures built in "
-            << psi_service.Stats().signature_build_seconds << " s\n";
-
-  // --- Request loop -------------------------------------------------------
-  const std::string workload_path = get("--workload", "-");
-  std::ifstream file;
-  if (workload_path != "-") {
-    file.open(workload_path);
-    if (!file) {
-      std::cerr << "cannot open workload file " << workload_path << "\n";
-      return 1;
-    }
-  }
-  std::istream& in = workload_path == "-" ? std::cin : file;
-  const bool quiet = args.count("--quiet") > 0;
-
+/// The serve loop proper, generic over the two service flavours — both
+/// expose the same Submit/Stats/catalog() surface, so the control stream,
+/// admin commands and response windowing are shared verbatim. Returns the
+/// process exit code.
+template <typename Service>
+int ServeLoop(Service& psi_service, std::istream& in, bool quiet,
+              size_t window, uint32_t depth) {
   // Responses print in submission order; the window keeps enough requests
   // in flight to saturate the workers without holding every future at once.
-  const size_t window = options.num_workers * 4 + options.max_queue_depth;
   std::deque<std::future<service::QueryResponse>> pending;
   auto drain_one = [&]() {
     service::QueryResponse r = pending.front().get();
@@ -187,10 +152,9 @@ int main(int argc, char** argv) {
 
   // Background loads in flight: polled (non-blocking) every control-stream
   // turn so completions print promptly, drained (blocking) before exit.
-  std::vector<std::pair<
-      std::string,
-      std::future<util::Result<std::shared_ptr<const service::GraphSnapshot>>>>>
-      pending_loads;
+  using LoadFuture = decltype(psi_service.catalog().BuildAndPublishAsync(
+      std::string(), graph::Graph(), AdminBuildOptions(psi_service, depth)));
+  std::vector<std::pair<std::string, LoadFuture>> pending_loads;
   auto poll_loads = [&](bool block) {
     for (auto it = pending_loads.begin(); it != pending_loads.end();) {
       if (!block && it->second.wait_for(std::chrono::seconds(0)) !=
@@ -200,11 +164,7 @@ int main(int argc, char** argv) {
       }
       auto result = it->second.get();
       if (result.ok()) {
-        std::cerr << "loaded '" << it->first
-                  << "' version=" << result.value()->version() << " ("
-                  << result.value()->graph().num_nodes() << " nodes, built in "
-                  << result.value()->timings().signature_build_seconds
-                  << " s)\n";
+        PrintLoaded(it->first, *result.value());
       } else {
         std::cerr << "load '" << it->first
                   << "' failed: " << result.status().ToString() << "\n";
@@ -222,11 +182,10 @@ int main(int argc, char** argv) {
         std::cerr << "!" << op << ": " << loaded.status().ToString() << "\n";
         return false;
       }
-      service::SnapshotBuildOptions build;
-      build.signature_depth = options.engine.signature_depth;
       pending_loads.emplace_back(
           name, psi_service.catalog().BuildAndPublishAsync(
-                    name, std::move(loaded).value(), build));
+                    name, std::move(loaded).value(),
+                    AdminBuildOptions(psi_service, depth)));
       std::cerr << "building '" << name << "' in background...\n";
       return true;
     }
@@ -292,15 +251,123 @@ int main(int argc, char** argv) {
 
   // --- Stats --------------------------------------------------------------
   const service::ServiceStats stats = psi_service.Stats();
-  std::cerr << stats.metrics.ToString() << "\n"
-            << "cache: entries=" << stats.cache_entries
-            << " hits=" << stats.cache.hits << " misses=" << stats.cache.misses
-            << " inserts=" << stats.cache.inserts
-            << " epoch_drops=" << stats.cache.epoch_drops << "\n";
+  std::cerr << stats.metrics.ToString() << "\n";
+  if constexpr (std::is_same_v<Service, service::PsiService>) {
+    std::cerr << "cache: entries=" << stats.cache_entries
+              << " hits=" << stats.cache.hits
+              << " misses=" << stats.cache.misses
+              << " inserts=" << stats.cache.inserts
+              << " epoch_drops=" << stats.cache.epoch_drops << "\n";
+  }
   for (const auto& e : stats.snapshots) {
     std::cerr << "snapshot: " << (e.current ? "current" : "retired") << " "
               << e.name << " v" << e.version << " pins=" << e.pins
               << " nodes=" << e.num_nodes << "\n";
   }
   return parse_errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::ArgSpec arg_spec;
+  arg_spec.switches = {"--quiet"};
+  arg_spec.options = {"--generate", "--workload", "--workers",  "--queue",
+                      "--deadline-ms", "--depth", "--seed",     "--shards"};
+  arg_spec.max_positional = 1;
+  const tools::ParsedArgs args = tools::ParseArgs(argc, argv, arg_spec);
+  if (!args.ok()) {
+    std::cerr << "psi_serve: " << args.error << "\n";
+    Usage();
+    return 2;
+  }
+  const std::string graph_path =
+      args.positional.empty() ? std::string() : args.positional[0];
+  auto get = [&](const std::string& key, const std::string& fallback) {
+    return args.Get(key, fallback);
+  };
+
+  // --- Graph --------------------------------------------------------------
+  graph::Graph g;
+  if (args.Has("--generate")) {
+    size_t nodes = 0, edges = 0, labels = 8;
+    if (std::sscanf(get("--generate", "").c_str(), "%zu,%zu,%zu", &nodes,
+                    &edges, &labels) < 2) {
+      std::cerr << "bad --generate spec (want N,M[,L])\n";
+      return 2;
+    }
+    util::Rng rng(std::strtoull(get("--seed", "42").c_str(), nullptr, 10));
+    graph::LabelConfig label_config;
+    label_config.num_labels = labels;
+    g = graph::RelabelWithHomophily(
+        graph::ErdosRenyi(nodes, edges, label_config, rng), 0.6, 2, rng);
+  } else if (!graph_path.empty()) {
+    auto loaded = graph::LoadLgFile(graph_path);
+    if (!loaded.ok()) {
+      std::cerr << loaded.status().ToString() << "\n";
+      return 1;
+    }
+    g = std::move(loaded).value();
+  } else {
+    Usage();
+    return 2;
+  }
+  std::cerr << "Graph: " << g.num_nodes() << " nodes, " << g.num_edges()
+            << " edges, " << g.num_labels() << " labels\n";
+
+  // --- Workload stream ----------------------------------------------------
+  const std::string workload_path = get("--workload", "-");
+  std::ifstream file;
+  if (workload_path != "-") {
+    file.open(workload_path);
+    if (!file) {
+      std::cerr << "cannot open workload file " << workload_path << "\n";
+      return 1;
+    }
+  }
+  std::istream& in = workload_path == "-" ? std::cin : file;
+  const bool quiet = args.Has("--quiet");
+
+  const size_t num_workers =
+      std::strtoull(get("--workers", "4").c_str(), nullptr, 10);
+  const size_t max_queue_depth =
+      std::strtoull(get("--queue", "256").c_str(), nullptr, 10);
+  const double deadline_seconds =
+      std::atof(get("--deadline-ms", "0").c_str()) / 1e3;
+  const uint32_t depth = static_cast<uint32_t>(
+      std::strtoul(get("--depth", "2").c_str(), nullptr, 10));
+  const size_t window = num_workers * 4 + max_queue_depth;
+
+  // --- Service ------------------------------------------------------------
+  if (args.Has("--shards")) {
+    const uint32_t shards = static_cast<uint32_t>(
+        std::strtoul(get("--shards", "0").c_str(), nullptr, 10));
+    if (shards == 0) {
+      std::cerr << "psi_serve: --shards wants a positive shard count\n";
+      return 2;
+    }
+    shard::ShardedServiceOptions options;
+    options.num_workers = num_workers;
+    options.max_queue_depth = max_queue_depth;
+    options.default_deadline_seconds = deadline_seconds;
+    options.build.partition.num_shards = shards;
+    options.build.snapshot.signature_depth = depth;
+    shard::ShardedPsiService psi_service(g, options);
+    std::cerr << "Service: " << shards << " shards, " << num_workers
+              << " workers, queue bound " << max_queue_depth
+              << ", signatures built in "
+              << psi_service.Stats().signature_build_seconds << " s\n";
+    return ServeLoop(psi_service, in, quiet, window, depth);
+  }
+
+  service::ServiceOptions options;
+  options.num_workers = num_workers;
+  options.max_queue_depth = max_queue_depth;
+  options.default_deadline_seconds = deadline_seconds;
+  options.engine.signature_depth = depth;
+  service::PsiService psi_service(g, options);
+  std::cerr << "Service: " << num_workers << " workers, queue bound "
+            << max_queue_depth << ", signatures built in "
+            << psi_service.Stats().signature_build_seconds << " s\n";
+  return ServeLoop(psi_service, in, quiet, window, depth);
 }
