@@ -1,10 +1,33 @@
 #include "core/pure_drivers.h"
 
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <vector>
+
 #include "core/query_context.h"
+#include "match/nogood_store.h"
+#include "match/parallel_search.h"
 #include "match/plan.h"
 #include "match/psi_evaluator.h"
 
 namespace psi::core {
+
+namespace {
+
+/// Per-candidate evaluation shared by the sequential and parallel loops.
+match::Outcome EvaluateOne(match::PsiEvaluator& evaluator, graph::NodeId u,
+                           const PureDriverOptions& options,
+                           match::PsiEvaluator::Options& eval_options,
+                           match::SearchStats* stats) {
+  if (options.strategy == PureStrategy::kOptimistic) {
+    return evaluator.EvaluateNodeOptimisticStrategy(u, eval_options, stats);
+  }
+  eval_options.mode = match::PsiMode::kPessimistic;
+  return evaluator.EvaluateNode(u, eval_options, stats);
+}
+
+}  // namespace
 
 PureDriverResult EvaluatePure(const graph::Graph& g,
                               const signature::SignatureMatrix& graph_sigs,
@@ -20,47 +43,115 @@ PureDriverResult EvaluatePure(const graph::Graph& g,
   }
 
   const match::Plan plan = match::MakeHeuristicPlan(q, g, q.pivot());
-  match::PsiEvaluator evaluator(g, graph_sigs);
-  evaluator.BindQuery(q, ctx.query_sigs, plan);
 
   match::PsiEvaluator::Options eval_options;
   eval_options.super_optimistic_limit = options.super_optimistic_limit;
   eval_options.deadline = options.deadline;
   eval_options.stop = options.stop;
+  eval_options.restarts = options.restarts;
 
   if (options.strategy == PureStrategy::kPessimistic) {
     // The pessimist checks every pivot candidate's signature anyway (no
     // early exit at the driver level), so run the whole list through the
     // bulk kernel once instead of one scalar check per EvaluateNode call.
-    evaluator.FilterPivotCandidates(ctx.candidates, &result.stats);
+    match::PsiEvaluator prefilter(g, graph_sigs);
+    prefilter.BindQuery(q, ctx.query_sigs, plan);
+    prefilter.FilterPivotCandidates(ctx.candidates, &result.stats);
     eval_options.pivot_prefiltered = true;
+    if (ctx.candidates.empty()) {
+      result.seconds = timer.Seconds();
+      return result;
+    }
   }
 
-  for (const graph::NodeId u : ctx.candidates) {
-    // Poll between candidates: the evaluator only checks every
-    // kCheckInterval steps, so small searches finish between polls and an
-    // expired deadline could otherwise start every remaining candidate.
-    if (options.deadline.Expired() || options.stop.StopRequested()) {
-      result.complete = false;
-      break;
+  const size_t num_workers =
+      std::max<size_t>(1, std::min(options.search_threads,
+                                   ctx.candidates.size()));
+
+  if (num_workers == 1) {
+    match::PsiEvaluator evaluator(g, graph_sigs);
+    evaluator.BindQuery(q, ctx.query_sigs, plan);
+    match::NogoodStore nogoods(options.nogood_salt);
+    if (options.restarts.enabled) eval_options.nogoods = &nogoods;
+    for (const graph::NodeId u : ctx.candidates) {
+      // Poll between candidates: the evaluator only checks every
+      // kCheckInterval steps, so small searches finish between polls and
+      // an expired deadline could otherwise start every remaining
+      // candidate.
+      if (options.deadline.Expired() || options.stop.StopRequested()) {
+        result.complete = false;
+        break;
+      }
+      const match::Outcome outcome =
+          EvaluateOne(evaluator, u, options, eval_options, &result.stats);
+      if (outcome == match::Outcome::kValid) {
+        result.valid_nodes.push_back(u);
+      } else if (outcome == match::Outcome::kTimeout ||
+                 outcome == match::Outcome::kStopped) {
+        result.complete = false;
+        break;
+      }
     }
-    match::Outcome outcome;
-    if (options.strategy == PureStrategy::kOptimistic) {
-      outcome = evaluator.EvaluateNodeOptimisticStrategy(u, eval_options,
-                                                         &result.stats);
-    } else {
-      eval_options.mode = match::PsiMode::kPessimistic;
-      outcome = evaluator.EvaluateNode(u, eval_options, &result.stats);
-    }
-    if (outcome == match::Outcome::kValid) {
-      result.valid_nodes.push_back(u);
-    } else if (outcome == match::Outcome::kTimeout ||
-               outcome == match::Outcome::kStopped) {
-      result.complete = false;
-      break;
-    }
+    // Candidates are iterated in ascending order, so valid_nodes is sorted.
+    result.seconds = timer.Seconds();
+    return result;
   }
-  // Candidates are iterated in ascending order, so valid_nodes is sorted.
+
+  // Work-stealing parallel loop: each worker owns a full evaluation stack
+  // (evaluator + scratch + stats + nogood store) and appends to a private
+  // valid list; the final sorted merge makes the answer independent of
+  // which worker ran which candidate.
+  struct Worker {
+    std::unique_ptr<match::PsiEvaluator> evaluator;
+    std::unique_ptr<match::NogoodStore> nogoods;
+    match::PsiEvaluator::Options eval_options;
+    std::vector<graph::NodeId> valid;
+    match::SearchStats stats;
+    bool complete = true;
+  };
+  std::vector<Worker> workers(num_workers);
+  for (Worker& w : workers) {
+    w.evaluator = std::make_unique<match::PsiEvaluator>(g, graph_sigs);
+    w.evaluator->BindQuery(q, ctx.query_sigs, plan);
+    w.nogoods = std::make_unique<match::NogoodStore>(options.nogood_salt);
+    w.eval_options = eval_options;
+    if (options.restarts.enabled) w.eval_options.nogoods = w.nogoods.get();
+  }
+  std::atomic<bool> halted{false};
+
+  const uint64_t steals = match::RunWorkStealing(
+      ctx.candidates.size(), num_workers, nullptr,
+      [&](size_t item, size_t worker_index) {
+        Worker& w = workers[worker_index];
+        if (halted.load(std::memory_order_relaxed)) {
+          w.complete = false;
+          return;
+        }
+        if (options.deadline.Expired() || options.stop.StopRequested()) {
+          w.complete = false;
+          halted.store(true, std::memory_order_relaxed);
+          return;
+        }
+        const graph::NodeId u = ctx.candidates[item];
+        const match::Outcome outcome =
+            EvaluateOne(*w.evaluator, u, options, w.eval_options, &w.stats);
+        if (outcome == match::Outcome::kValid) {
+          w.valid.push_back(u);
+        } else if (outcome == match::Outcome::kTimeout ||
+                   outcome == match::Outcome::kStopped) {
+          w.complete = false;
+          halted.store(true, std::memory_order_relaxed);
+        }
+      });
+
+  for (Worker& w : workers) {
+    result.valid_nodes.insert(result.valid_nodes.end(), w.valid.begin(),
+                              w.valid.end());
+    result.stats += w.stats;
+    result.complete = result.complete && w.complete;
+  }
+  result.stats.work_steals += steals;
+  std::sort(result.valid_nodes.begin(), result.valid_nodes.end());
   result.seconds = timer.Seconds();
   return result;
 }

@@ -5,6 +5,7 @@
 
 #include "graph/graph.h"
 #include "graph/query_graph.h"
+#include "match/restart_policy.h"
 #include "match/search_stats.h"
 #include "signature/signature_matrix.h"
 #include "util/stop_token.h"
@@ -35,6 +36,16 @@ struct PureDriverOptions {
   size_t super_optimistic_limit = 10;
   util::Deadline deadline;
   util::StopToken stop;
+  /// Intra-query parallelism: split the pivot-candidate list across this
+  /// many work-stealing workers (1 = sequential). Each worker owns its
+  /// evaluator, scratch, stats, and nogood store; a complete parallel run
+  /// returns valid_nodes bit-identical to the sequential run.
+  size_t search_threads = 1;
+  /// Luby restarts + nogood recording on the pessimistic search path.
+  match::RestartOptions restarts;
+  /// Snapshot-generation salt for the per-query nogood stores, so recorded
+  /// prefixes can never be confused across graph versions.
+  uint64_t nogood_salt = 0;
 };
 
 /// Evaluates the full PSI query with one fixed method. `graph_sigs` must

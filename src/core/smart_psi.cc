@@ -8,6 +8,8 @@
 #include <cmath>
 
 #include "core/query_context.h"
+#include "match/nogood_store.h"
+#include "match/parallel_search.h"
 #include "match/plan.h"
 #include "match/psi_evaluator.h"
 #include "core/classifier.h"
@@ -29,12 +31,20 @@ using match::PsiMode;
 Outcome RunMethod(PsiEvaluator& evaluator, graph::NodeId node, bool optimistic,
                   size_t super_limit, util::Deadline deadline,
                   util::StopToken stop, match::SearchStats* stats,
-                  bool pivot_prefiltered = false) {
+                  bool pivot_prefiltered = false,
+                  const match::RestartOptions* restarts = nullptr,
+                  match::NogoodStore* nogoods = nullptr) {
   PsiEvaluator::Options options;
   options.super_optimistic_limit = super_limit;
   options.deadline = deadline;
   options.stop = stop;
   options.pivot_prefiltered = pivot_prefiltered;
+  if (restarts != nullptr) {
+    // The evaluator only applies these on pessimistic runs, so passing
+    // them unconditionally costs the optimist nothing.
+    options.restarts = *restarts;
+    options.nogoods = nogoods;
+  }
   if (optimistic) {
     return evaluator.EvaluateNodeOptimisticStrategy(node, options, stats);
   }
@@ -215,6 +225,7 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
     // Everything below runs pessimistically, so one bulk kernel sweep
     // replaces the per-candidate pivot signature checks.
     evaluator.FilterPivotCandidates(candidates, &result.search);
+    match::NogoodStore nogoods(cache_salt_);
     for (const graph::NodeId u : candidates) {
       // Same rationale as the phase-2 loop below: poll between candidates
       // so small searches cannot slip past an expired deadline.
@@ -225,7 +236,8 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
       const Outcome outcome =
           RunMethod(evaluator, u, /*optimistic=*/false,
                     config_.super_optimistic_limit, deadline, stop,
-                    &result.search, /*pivot_prefiltered=*/true);
+                    &result.search, /*pivot_prefiltered=*/true,
+                    &config_.restarts, &nogoods);
       if (outcome == Outcome::kValid) {
         result.valid_nodes.push_back(u);
       } else if (outcome != Outcome::kInvalid) {
@@ -373,11 +385,21 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
     if (!is_training[i]) remaining.push_back(i);
   }
 
+  // One evaluation stack per work-stealing worker: scratch, evaluator, and
+  // a snapshot-salted nogood store each worker consults across its share of
+  // the candidates.
+  struct EvalWorker {
+    WorkerState state;
+    std::unique_ptr<match::SearchScratchPool::Lease> scratch;
+    std::unique_ptr<PsiEvaluator> evaluator;
+    std::unique_ptr<match::NogoodStore> nogoods;
+  };
+
   std::atomic<bool> global_incomplete{false};
-  auto evaluate_range = [&](size_t begin, size_t end, WorkerState& ws) {
-    match::SearchScratchPool::Lease scratch(&scratch_pool_);
-    PsiEvaluator evaluator(*graph_, sigs(), scratch.get());
-    for (size_t r = begin; r < end; ++r) {
+  auto evaluate_one = [&](size_t r, EvalWorker& worker) {
+    WorkerState& ws = worker.state;
+    PsiEvaluator& evaluator = *worker.evaluator;
+    {
       if (global_incomplete.load(std::memory_order_relaxed)) return;
       // Check before starting a candidate, not only inside the search (which
       // polls every kCheckInterval steps): small searches finish between
@@ -438,7 +460,8 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
                             config_.super_optimistic_limit,
                             MinDeadline(util::Deadline::After(max_time),
                                         deadline),
-                            stop, &ws.stats);
+                            stop, &ws.stats, /*pivot_prefiltered=*/false,
+                            &config_.restarts, worker.nogoods.get());
         // Chaos hook: pretend MaxTime expired even though state 1 finished,
         // forcing the recovery ladder. Both PSI methods are exact, so the
         // re-evaluation in state 2/3 reaches the same answer.
@@ -454,7 +477,8 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
                               config_.super_optimistic_limit,
                               MinDeadline(util::Deadline::After(max_time),
                                           deadline),
-                              stop, &ws.stats);
+                              stop, &ws.stats, /*pivot_prefiltered=*/false,
+                              &config_.restarts, worker.nogoods.get());
         }
         if (outcome == Outcome::kTimeout && !deadline.Expired()) {
           // State 3: predicted method + heuristic plan, no MaxTime —
@@ -464,12 +488,14 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
           evaluator.BindQuery(q, ctx.query_sigs, plan_pool[0]);
           outcome = RunMethod(evaluator, u, predicted_valid,
                               config_.super_optimistic_limit, deadline,
-                              stop, &ws.stats);
+                              stop, &ws.stats, /*pivot_prefiltered=*/false,
+                              &config_.restarts, worker.nogoods.get());
         }
       } else {
         outcome = RunMethod(evaluator, u, predicted_valid,
                             config_.super_optimistic_limit, deadline,
-                            stop, &ws.stats);
+                            stop, &ws.stats, /*pivot_prefiltered=*/false,
+                            &config_.restarts, worker.nogoods.get());
       }
 
       if (outcome != Outcome::kValid && outcome != Outcome::kInvalid) {
@@ -496,27 +522,31 @@ PsiQueryResult SmartPsiEngine::Evaluate(const graph::QueryGraph& q,
     }
   };
 
-  std::vector<WorkerState> workers;
-  if (pool_ != nullptr && remaining.size() > 1) {
-    const size_t chunks =
-        std::min(remaining.size(), pool_->num_threads() * 4);
-    workers.resize(chunks);
-    const size_t chunk_size = (remaining.size() + chunks - 1) / chunks;
-    std::atomic<size_t> next_worker{0};
-    for (size_t begin = 0; begin < remaining.size(); begin += chunk_size) {
-      const size_t end = std::min(remaining.size(), begin + chunk_size);
-      pool_->Submit([&, begin, end] {
-        const size_t w = next_worker.fetch_add(1);
-        evaluate_range(begin, end, workers[w]);
-      });
-    }
-    pool_->Wait();
-  } else {
-    workers.resize(1);
-    evaluate_range(0, remaining.size(), workers[0]);
+  // Work-stealing dispatch (see parallel_search.h): contiguous initial
+  // ranges, idle workers steal the back half of the busiest victim's range.
+  // This replaces static 4×-oversubscribed chunking — one heavy-tailed
+  // refutation no longer strands the candidates queued behind it.
+  const size_t num_workers =
+      pool_ != nullptr && remaining.size() > 1
+          ? std::min(remaining.size(), pool_->num_threads())
+          : 1;
+  std::vector<EvalWorker> workers(num_workers);
+  for (EvalWorker& w : workers) {
+    w.scratch =
+        std::make_unique<match::SearchScratchPool::Lease>(&scratch_pool_);
+    w.evaluator =
+        std::make_unique<PsiEvaluator>(*graph_, sigs(), w.scratch->get());
+    w.nogoods = std::make_unique<match::NogoodStore>(cache_salt_);
   }
+  const uint64_t steals = match::RunWorkStealing(
+      remaining.size(), num_workers, pool_.get(),
+      [&](size_t item, size_t worker_index) {
+        evaluate_one(item, workers[worker_index]);
+      });
+  result.search.work_steals += steals;
 
-  for (const WorkerState& ws : workers) {
+  for (const EvalWorker& worker : workers) {
+    const WorkerState& ws = worker.state;
     result.valid_nodes.insert(result.valid_nodes.end(), ws.valid.begin(),
                               ws.valid.end());
     result.search += ws.stats;

@@ -1,0 +1,83 @@
+#include "match/nogood_store.h"
+
+namespace psi::match {
+
+namespace {
+
+inline uint64_t MixStep(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9ULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+void NogoodStore::Reset(uint64_t salt) {
+  salt_ = salt;
+  binding_tag_ = 0;
+  arena_.clear();
+  entries_.clear();
+  index_.clear();
+}
+
+void NogoodStore::EnsureBinding(uint64_t binding_tag) {
+  if (binding_tag == binding_tag_) return;
+  arena_.clear();
+  entries_.clear();
+  index_.clear();
+  binding_tag_ = binding_tag;
+}
+
+uint64_t NogoodStore::Hash(std::span<const graph::NodeId> head,
+                           graph::NodeId last) const {
+  uint64_t h = salt_ ^ (0xa076'1d64'78bd'642fULL + head.size());
+  for (const graph::NodeId c : head) h = MixStep(h, c);
+  return MixStep(h, last);
+}
+
+bool NogoodStore::Matches(const Entry& entry,
+                          std::span<const graph::NodeId> head,
+                          graph::NodeId last) const {
+  if (entry.length != head.size() + 1) return false;
+  const graph::NodeId* stored = arena_.data() + entry.offset;
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (stored[i] != head[i]) return false;
+  }
+  return stored[head.size()] == last;
+}
+
+bool NogoodStore::Record(std::span<const graph::NodeId> head,
+                         graph::NodeId last) {
+  const size_t length = head.size() + 1;
+  if (length > limits_.max_prefix_length) return false;
+  if (entries_.size() >= limits_.max_entries) return false;
+
+  const uint64_t h = Hash(head, last);
+  auto& bucket = index_[h];
+  for (const uint32_t id : bucket) {
+    if (Matches(entries_[id], head, last)) return false;  // duplicate
+  }
+
+  Entry entry;
+  entry.offset = static_cast<uint32_t>(arena_.size());
+  entry.length = static_cast<uint32_t>(length);
+  arena_.insert(arena_.end(), head.begin(), head.end());
+  arena_.push_back(last);
+  bucket.push_back(static_cast<uint32_t>(entries_.size()));
+  entries_.push_back(entry);
+  return true;
+}
+
+bool NogoodStore::Contains(std::span<const graph::NodeId> head,
+                           graph::NodeId last) const {
+  if (entries_.empty()) return false;
+  if (head.size() + 1 > limits_.max_prefix_length) return false;
+  const auto it = index_.find(Hash(head, last));
+  if (it == index_.end()) return false;
+  for (const uint32_t id : it->second) {
+    if (Matches(entries_[id], head, last)) return true;
+  }
+  return false;
+}
+
+}  // namespace psi::match

@@ -1,0 +1,92 @@
+#ifndef SMARTPSI_MATCH_NOGOOD_STORE_H_
+#define SMARTPSI_MATCH_NOGOOD_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace psi::match {
+
+/// Records failed partial assignments ("nogoods") discovered at restart
+/// boundaries so later runs never re-explore a subtree already proven
+/// empty — the conflict-recording half of the Glasgow solver's restart
+/// scheme.
+///
+/// A nogood here is a *plan-order prefix* (c0, ..., ck): the data nodes
+/// mapped to plan levels 0..k whose subtree was exhaustively searched and
+/// found to contain no embedding. Prefixes are positional, so an entry is
+/// only meaningful under the exact (query, plan, snapshot) binding that
+/// produced it — EnsureBinding() clears the store whenever that binding
+/// tag changes, and the constructor salt keys the hash per snapshot
+/// generation so entries can never collide across versions even if a tag
+/// were reused.
+///
+/// Lookups are exact (full prefix compare on hash match), never
+/// probabilistic: a false positive would prune a live subtree and break
+/// the bit-identical-to-sequential guarantee, so hashes only route to
+/// buckets. Not thread-safe; use one store per worker.
+class NogoodStore {
+ public:
+  struct Limits {
+    /// Hard cap on stored entries; Record() refuses past this.
+    size_t max_entries = 1 << 16;
+    /// Longest prefix (in plan levels) worth storing: short prefixes prune
+    /// exponentially more than long ones, and bounding the length bounds
+    /// both memory and the per-expansion lookup cost.
+    size_t max_prefix_length = 6;
+  };
+
+  explicit NogoodStore(uint64_t salt = 0) : salt_(salt) {}
+  NogoodStore(uint64_t salt, Limits limits) : salt_(salt), limits_(limits) {}
+
+  /// Drops every entry and re-salts the hash (snapshot generation change).
+  void Reset(uint64_t salt);
+
+  /// Declares the (query, plan, snapshot) binding the caller is about to
+  /// search under. If it differs from the store's current binding, all
+  /// entries are dropped: prefixes recorded under one plan order are
+  /// meaningless — and unsound to consult — under another.
+  void EnsureBinding(uint64_t binding_tag);
+
+  /// Records the nogood (head[0], ..., head[n-1], last). Returns true if a
+  /// new entry was stored (false: duplicate, over-long, or store full).
+  bool Record(std::span<const graph::NodeId> head, graph::NodeId last);
+
+  /// True if (head[0], ..., head[n-1], last) is a recorded nogood.
+  bool Contains(std::span<const graph::NodeId> head,
+                graph::NodeId last) const;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  bool full() const { return entries_.size() >= limits_.max_entries; }
+  uint64_t salt() const { return salt_; }
+  const Limits& limits() const { return limits_; }
+
+ private:
+  struct Entry {
+    uint32_t offset;  // into arena_
+    uint32_t length;  // head length + 1 (the full prefix)
+  };
+
+  uint64_t Hash(std::span<const graph::NodeId> head,
+                graph::NodeId last) const;
+  bool Matches(const Entry& entry, std::span<const graph::NodeId> head,
+               graph::NodeId last) const;
+
+  uint64_t salt_;
+  uint64_t binding_tag_ = 0;
+  Limits limits_;
+  /// All prefixes, concatenated; entries index into this arena.
+  std::vector<graph::NodeId> arena_;
+  std::vector<Entry> entries_;
+  /// hash -> indices into entries_ (collisions resolved by exact compare).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> index_;
+};
+
+}  // namespace psi::match
+
+#endif  // SMARTPSI_MATCH_NOGOOD_STORE_H_

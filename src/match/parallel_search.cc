@@ -1,0 +1,118 @@
+#include "match/parallel_search.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/mutex.h"
+
+namespace psi::match {
+
+namespace {
+
+/// One worker's claim on a contiguous range [next, end) of items. Guarded
+/// by `mutex` (unannotated: thread-safety analysis cannot track per-element
+/// locks in a dynamic array; TSan covers this path in CI instead).
+struct Slot {
+  util::Mutex mutex;
+  size_t next = 0;
+  size_t end = 0;
+};
+
+constexpr size_t kNoItem = SIZE_MAX;
+
+}  // namespace
+
+uint64_t RunWorkStealing(
+    size_t count, size_t num_workers, util::ThreadPool* pool,
+    const std::function<void(size_t item, size_t worker)>& body) {
+  if (count == 0) return 0;
+  num_workers = std::max<size_t>(1, std::min(num_workers, count));
+  if (num_workers == 1) {
+    for (size_t i = 0; i < count; ++i) body(i, 0);
+    return 0;
+  }
+
+  // Contiguous initial partition: worker w owns roughly count/num_workers
+  // items, the first `count % num_workers` workers one extra.
+  std::vector<std::unique_ptr<Slot>> slots(num_workers);
+  const size_t base = count / num_workers;
+  const size_t extra = count % num_workers;
+  size_t cursor = 0;
+  for (size_t w = 0; w < num_workers; ++w) {
+    slots[w] = std::make_unique<Slot>();
+    slots[w]->next = cursor;
+    cursor += base + (w < extra ? 1 : 0);
+    slots[w]->end = cursor;
+  }
+
+  std::atomic<uint64_t> steals{0};
+
+  auto worker_fn = [&](size_t w) {
+    Slot& own = *slots[w];
+    while (true) {
+      size_t item = kNoItem;
+      {
+        util::MutexLock lock(own.mutex);
+        if (own.next < own.end) item = own.next++;
+      }
+      if (item != kNoItem) {
+        body(item, w);
+        continue;
+      }
+      // Own range dry: pick the victim with the most remaining work.
+      size_t victim = kNoItem;
+      size_t victim_remaining = 0;
+      for (size_t v = 0; v < num_workers; ++v) {
+        if (v == w) continue;
+        util::MutexLock lock(slots[v]->mutex);
+        const size_t remaining = slots[v]->end - slots[v]->next;
+        if (remaining > victim_remaining) {
+          victim_remaining = remaining;
+          victim = v;
+        }
+      }
+      // Everyone is dry (items possibly still *executing* elsewhere, but
+      // none waiting): this worker is done. Any item mid-steal belongs to
+      // its thief, so nothing is lost by exiting here.
+      if (victim == kNoItem) return;
+      size_t stolen_begin = 0;
+      size_t stolen_end = 0;
+      {
+        util::MutexLock lock(slots[victim]->mutex);
+        const size_t remaining = slots[victim]->end - slots[victim]->next;
+        if (remaining == 0) continue;  // lost the race; rescan
+        const size_t take = (remaining + 1) / 2;
+        stolen_end = slots[victim]->end;
+        stolen_begin = stolen_end - take;
+        slots[victim]->end = stolen_begin;
+      }
+      {
+        util::MutexLock lock(own.mutex);
+        own.next = stolen_begin;
+        own.end = stolen_end;
+      }
+      steals.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  if (pool != nullptr) {
+    for (size_t w = 0; w < num_workers; ++w) {
+      pool->Submit([&worker_fn, w] { worker_fn(w); });
+    }
+    pool->Wait();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_workers - 1);
+    for (size_t w = 1; w < num_workers; ++w) {
+      threads.emplace_back([&worker_fn, w] { worker_fn(w); });
+    }
+    worker_fn(0);
+    for (std::thread& t : threads) t.join();
+  }
+  return steals.load(std::memory_order_relaxed);
+}
+
+}  // namespace psi::match

@@ -1,0 +1,33 @@
+#ifndef SMARTPSI_MATCH_PARALLEL_SEARCH_H_
+#define SMARTPSI_MATCH_PARALLEL_SEARCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "util/thread_pool.h"
+
+namespace psi::match {
+
+/// Work-stealing executor for intra-query search: runs `body(item, worker)`
+/// exactly once for every item in [0, count), with items initially split
+/// into contiguous per-worker ranges. An owner pops items from the *front*
+/// of its range; a worker that runs dry steals the *back half* of the range
+/// of the victim with the most work left. One mutex per slot — search items
+/// (whole per-candidate DFS trees) are orders of magnitude coarser than a
+/// lock handoff, so contention is negligible, and since workers only ever
+/// move existing items (never create them) and never block on one another,
+/// the run always terminates with every item executed exactly once.
+///
+/// Callers get determinism for free when each item's work is independent
+/// and the caller merges per-worker results in a canonical (sorted) order:
+/// which worker runs an item never changes what the item computes.
+///
+/// `body` must not throw. Returns the number of successful steals.
+uint64_t RunWorkStealing(size_t count, size_t num_workers,
+                         util::ThreadPool* pool,
+                         const std::function<void(size_t item, size_t worker)>& body);
+
+}  // namespace psi::match
+
+#endif  // SMARTPSI_MATCH_PARALLEL_SEARCH_H_

@@ -1,0 +1,31 @@
+#include "match/restart_policy.h"
+
+#include <cassert>
+
+#include "util/random.h"
+
+namespace psi::match {
+
+uint64_t LubyValue(uint64_t i) {
+  assert(i >= 1);
+  // luby(i) = 2^(k-1)            if i == 2^k - 1
+  //         = luby(i - 2^(k-1) + 1) for the smallest 2^k - 1 >= i otherwise;
+  // iterative form of the standard recurrence.
+  while (true) {
+    uint64_t p = 1;
+    while (p - 1 < i) p <<= 1;  // smallest power of two with p - 1 >= i
+    if (p - 1 == i) return p >> 1;
+    i -= (p >> 1) - 1;
+  }
+}
+
+uint64_t PerturbationSeed(const RestartOptions& options, uint64_t candidate,
+                          size_t run) {
+  if (run == 0) return 0;
+  util::SplitMix64 mix(options.seed ^ (candidate * 0x9e3779b97f4a7c15ULL) ^
+                       (static_cast<uint64_t>(run) * 0xbf58476d1ce4e5b9ULL));
+  const uint64_t z = mix();
+  return z != 0 ? z : 1;  // 0 is reserved for "no perturbation"
+}
+
+}  // namespace psi::match

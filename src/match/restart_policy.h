@@ -1,0 +1,57 @@
+#ifndef SMARTPSI_MATCH_RESTART_POLICY_H_
+#define SMARTPSI_MATCH_RESTART_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace psi::match {
+
+/// The Luby–Sinclair–Zuckerman restart sequence 1 1 2 1 1 2 4 1 1 2 1 1 2
+/// 4 8 ... — the universal strategy whose expected run time is within a
+/// logarithmic factor of the optimal (unknowable) fixed cutoff for any
+/// heavy-tailed run-time distribution. `i` is 1-based.
+uint64_t LubyValue(uint64_t i);
+
+/// Restart policy for first-embedding searches — the pessimist refutation
+/// path and the enumerator's existence phase — after the Glasgow subgraph
+/// solver (McCreesh–Prosser). Run k gets a node budget of
+/// LubyValue(k + 1) * unit_nodes search-tree nodes; when the budget is
+/// exhausted the search tears down, the value ordering is reseeded, and the
+/// search restarts from the root. After `max_restarts` budgeted runs the
+/// final run is budget-*unlimited*, so a restarting search always
+/// terminates with the exact answer: restarts cost time, never soundness.
+struct RestartOptions {
+  bool enabled = false;
+
+  /// Node-budget multiplier: run k may expand LubyValue(k + 1) * unit_nodes
+  /// search-tree nodes before restarting.
+  uint64_t unit_nodes = 4096;
+
+  /// Budgeted runs before the final unlimited run.
+  size_t max_restarts = 10;
+
+  /// Base seed for the per-run value-ordering perturbation. Mixed with the
+  /// candidate and the run index (see PerturbationSeed), so reruns are
+  /// deterministic for a fixed configuration regardless of thread count or
+  /// schedule.
+  uint64_t seed = 0x9e3779b97f4a7c15ULL;
+
+  /// Node budget for 0-based run `run`; 0 means unlimited (the final run,
+  /// or restarts disabled).
+  uint64_t BudgetForRun(size_t run) const {
+    if (!enabled || run >= max_restarts) return 0;
+    return LubyValue(run + 1) * unit_nodes;
+  }
+};
+
+/// Deterministic per-run perturbation seed: a pure function of
+/// (options.seed, candidate, run), so parallel and sequential searches of
+/// the same candidate explore identical orders. Run 0 returns 0 — meaning
+/// "no perturbation" — so the first budgeted run walks exactly the tree the
+/// non-restarting search would, and restarts only ever *add* diversity.
+uint64_t PerturbationSeed(const RestartOptions& options, uint64_t candidate,
+                          size_t run);
+
+}  // namespace psi::match
+
+#endif  // SMARTPSI_MATCH_RESTART_POLICY_H_

@@ -1,8 +1,12 @@
 #include "match/subgraph_enumerator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <unordered_set>
+
+#include "match/parallel_search.h"
+#include "util/random.h"
 
 namespace psi::match {
 
@@ -34,6 +38,24 @@ std::vector<std::vector<BackwardNeighbor>> ComputeBackward(
 SubgraphEnumerator::EnumerationResult SubgraphEnumerator::Enumerate(
     const graph::QueryGraph& q, const Plan& plan, const Visitor& visitor,
     const Options& options, SearchStats* stats) {
+  if (q.num_nodes() == 0) return EnumerationResult();
+  assert(plan.order.size() == q.num_nodes());
+
+  const graph::NodeId root = plan.order[0];
+  const graph::Label root_label = q.label(root);
+  std::vector<graph::NodeId> roots;
+  if (root_label < graph_.num_labels()) {
+    for (const graph::NodeId u : graph_.nodes_with_label(root_label)) {
+      if (graph_.degree(u) >= q.degree(root)) roots.push_back(u);
+    }
+  }
+  return EnumerateRoots(q, plan, roots, visitor, options, stats);
+}
+
+SubgraphEnumerator::EnumerationResult SubgraphEnumerator::EnumerateRoots(
+    const graph::QueryGraph& q, const Plan& plan,
+    std::span<const graph::NodeId> roots, const Visitor& visitor,
+    const Options& options, SearchStats* stats) {
   EnumerationResult result;
   if (q.num_nodes() == 0) return result;
   assert(plan.order.size() == q.num_nodes());
@@ -44,18 +66,37 @@ SubgraphEnumerator::EnumerationResult SubgraphEnumerator::Enumerate(
                                           graph::kInvalidNode);
   std::vector<Frame> frames(q.num_nodes());
 
-  const graph::NodeId root = plan.order[0];
-  const graph::Label root_label = q.label(root);
-  auto& root_frame = frames[0];
-  root_frame.candidates.clear();
-  if (root_label < graph_.num_labels()) {
-    for (const graph::NodeId u : graph_.nodes_with_label(root_label)) {
-      if (graph_.degree(u) >= q.degree(root)) {
-        root_frame.candidates.push_back(u);
-      }
+  // Luby restart state. Restarts only tear the search down while zero
+  // embeddings have been visited; after the first embedding (or once the
+  // budgeted runs are spent) the budget is lifted in place, so a
+  // restarting enumeration is always exact on completion.
+  size_t run = 0;
+  uint64_t budget = options.restarts.enabled
+                        ? options.restarts.BudgetForRun(0)
+                        : options.node_budget;
+  bool budget_limited = budget != 0;
+  uint64_t nodes_used = 0;
+  uint64_t perturb =
+      options.restarts.enabled
+          ? PerturbationSeed(options.restarts, roots.size(), 0)
+          : 0;
+
+  auto perturb_frame = [&](size_t level) {
+    auto& candidates = frames[level].candidates;
+    if (perturb != 0 && candidates.size() > 1) {
+      util::Rng rng(perturb ^ (0x9e3779b97f4a7c15ULL *
+                               (static_cast<uint64_t>(level) + 1)));
+      util::Shuffle(candidates, rng);
     }
-  }
-  root_frame.next_index = 0;
+  };
+
+  auto reset_root = [&] {
+    auto& root_frame = frames[0];
+    root_frame.candidates.assign(roots.begin(), roots.end());
+    root_frame.next_index = 0;
+    perturb_frame(0);
+  };
+  reset_root();
 
   auto is_used = [&](graph::NodeId u, size_t level) {
     for (size_t i = 0; i < level; ++i) {
@@ -106,6 +147,7 @@ SubgraphEnumerator::EnumerationResult SubgraphEnumerator::Enumerate(
       }
       if (consistent) frame.candidates.push_back(c);
     }
+    perturb_frame(level);
   };
 
   // Iterative backtracking so deep data graphs cannot overflow the stack
@@ -113,6 +155,7 @@ SubgraphEnumerator::EnumerationResult SubgraphEnumerator::Enumerate(
   size_t level = 0;
   uint32_t steps_until_check = 1024;
   bool truncated = false;
+  bool budget_truncated = false;
   while (true) {
     if (--steps_until_check == 0) {
       steps_until_check = 1024;
@@ -132,6 +175,40 @@ SubgraphEnumerator::EnumerationResult SubgraphEnumerator::Enumerate(
       ++frames[level].next_index;
       continue;
     }
+    if (budget_limited && nodes_used >= budget) {
+      if (options.restarts.enabled && result.embedding_count == 0 &&
+          run < options.restarts.max_restarts) {
+        // Tear down and restart with the next Luby budget and a fresh
+        // value-ordering perturbation.
+        ++run;
+        if (stats != nullptr) ++stats->restarts;
+        budget = options.restarts.BudgetForRun(run);
+        budget_limited = budget != 0;
+        nodes_used = 0;
+        // Budgeted probes get a fresh perturbation; the final unlimited
+        // run reverts to the baseline order (see PsiEvaluator — bounded
+        // worst case beats diversity once nothing can cut the run short).
+        perturb = budget_limited
+                      ? PerturbationSeed(options.restarts, roots.size(), run)
+                      : 0;
+        std::fill(mapping.begin(), mapping.end(), graph::kInvalidNode);
+        std::fill(mapped_stack.begin(), mapped_stack.end(),
+                  graph::kInvalidNode);
+        level = 0;
+        reset_root();
+        continue;
+      }
+      if (options.restarts.enabled) {
+        // Embeddings were already visited (a restart would replay them) or
+        // the budgeted runs are spent: lift the budget in place and finish.
+        budget_limited = false;
+      } else {
+        truncated = true;
+        budget_truncated = true;
+        break;
+      }
+    }
+    ++nodes_used;
     const graph::NodeId c = frame.candidates[frame.next_index];
     const graph::NodeId v = plan.order[level];
     if (stats != nullptr) ++stats->recursive_calls;
@@ -163,7 +240,8 @@ SubgraphEnumerator::EnumerationResult SubgraphEnumerator::Enumerate(
   result.outcome =
       result.embedding_count > 0 ? Outcome::kValid : Outcome::kInvalid;
   if (truncated && result.embedding_count == 0) {
-    result.outcome = Outcome::kTimeout;
+    result.outcome =
+        budget_truncated ? Outcome::kBudgetExhausted : Outcome::kTimeout;
   }
   return result;
 }
@@ -190,6 +268,87 @@ SubgraphEnumerator::ProjectionResult SubgraphEnumerator::ProjectPivot(
       options, stats);
   projection.embedding_count = result.embedding_count;
   projection.complete = result.complete;
+  projection.pivot_matches.assign(distinct.begin(), distinct.end());
+  std::sort(projection.pivot_matches.begin(), projection.pivot_matches.end());
+  return projection;
+}
+
+SubgraphEnumerator::ProjectionResult SubgraphEnumerator::ProjectPivotParallel(
+    const graph::QueryGraph& q, const Plan& plan, const Options& options,
+    size_t num_threads, util::ThreadPool* pool, SearchStats* stats) {
+  assert(q.has_pivot());
+  if (num_threads <= 1 || q.num_nodes() == 0) {
+    return ProjectPivot(q, plan, options, stats);
+  }
+
+  const graph::NodeId root = plan.order[0];
+  const graph::Label root_label = q.label(root);
+  std::vector<graph::NodeId> roots;
+  if (root_label < graph_.num_labels()) {
+    for (const graph::NodeId u : graph_.nodes_with_label(root_label)) {
+      if (graph_.degree(u) >= q.degree(root)) roots.push_back(u);
+    }
+  }
+  if (roots.size() <= 1) return ProjectPivot(q, plan, options, stats);
+
+  // Each root's subtree is disjoint from every other root's (embeddings
+  // are keyed by the root image), so partitioning the root frontier
+  // partitions the embedding space: any complete parallel run visits
+  // exactly the sequential embedding set, and the sorted union of the
+  // per-worker pivot sets is bit-identical to the sequential projection.
+  const graph::NodeId pivot = q.pivot();
+  struct Worker {
+    std::unordered_set<graph::NodeId> pivots;
+    SearchStats stats;
+    bool complete = true;
+  };
+  const size_t num_workers = std::min(num_threads, roots.size());
+  std::vector<Worker> workers(num_workers);
+  std::atomic<uint64_t> total_embeddings{0};
+  std::atomic<bool> halted{false};
+
+  auto body = [&](size_t item, size_t w) {
+    Worker& worker = workers[w];
+    if (halted.load(std::memory_order_relaxed)) {
+      worker.complete = false;
+      return;
+    }
+    Options per_root = options;
+    per_root.max_embeddings = UINT64_MAX;  // enforced via the shared counter
+    const graph::NodeId root_image = roots[item];
+    const auto r = EnumerateRoots(
+        q, plan, {&root_image, 1},
+        [&](std::span<const graph::NodeId> m) {
+          if (halted.load(std::memory_order_relaxed)) return false;
+          worker.pivots.insert(m[pivot]);
+          const uint64_t seen =
+              total_embeddings.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (seen >= options.max_embeddings) {
+            halted.store(true, std::memory_order_relaxed);
+            return false;
+          }
+          return true;
+        },
+        per_root, &worker.stats);
+    if (!r.complete) {
+      worker.complete = false;
+      halted.store(true, std::memory_order_relaxed);
+    }
+  };
+  const uint64_t steals = RunWorkStealing(roots.size(), num_workers, pool, body);
+
+  ProjectionResult projection;
+  std::unordered_set<graph::NodeId> distinct;
+  SearchStats aggregate;
+  projection.complete = true;
+  for (Worker& worker : workers) {
+    distinct.insert(worker.pivots.begin(), worker.pivots.end());
+    aggregate += worker.stats;
+    projection.complete = projection.complete && worker.complete;
+  }
+  aggregate.work_steals += steals;
+  if (stats != nullptr) *stats += aggregate;
+  projection.embedding_count = total_embeddings.load(std::memory_order_relaxed);
   projection.pivot_matches.assign(distinct.begin(), distinct.end());
   std::sort(projection.pivot_matches.begin(), projection.pivot_matches.end());
   return projection;

@@ -9,9 +9,14 @@
 #include "graph/graph.h"
 #include "graph/query_graph.h"
 #include "match/plan.h"
+#include "match/restart_policy.h"
 #include "match/search_stats.h"
 #include "util/stop_token.h"
 #include "util/timer.h"
+
+namespace psi::util {
+class ThreadPool;
+}
 
 namespace psi::match {
 
@@ -29,12 +34,23 @@ class SubgraphEnumerator {
     uint64_t max_embeddings = UINT64_MAX;
     util::Deadline deadline;
     util::StopToken stop;
+    /// Hard cap on expanded search-tree nodes; 0 = unlimited. Exceeding it
+    /// truncates the run (complete = false) unless restarts are enabled,
+    /// which manage budgets themselves and ignore this field.
+    uint64_t node_budget = 0;
+    /// Luby restarts for the existence phase: while *zero* embeddings have
+    /// been reported, a run that exhausts its budget tears down and
+    /// restarts with a perturbed candidate order (the visitor never sees a
+    /// duplicate, because it has seen nothing). Once an embedding has been
+    /// visited — or the budgeted runs are spent — the budget is lifted in
+    /// place and the enumeration runs to completion, so results are exact.
+    RestartOptions restarts;
   };
 
   struct EnumerationResult {
     uint64_t embedding_count = 0;
-    /// False if the run was cut short (max_embeddings, deadline, or stop);
-    /// embedding_count is then a lower bound.
+    /// False if the run was cut short (max_embeddings, node_budget,
+    /// deadline, or stop); embedding_count is then a lower bound.
     bool complete = true;
     Outcome outcome = Outcome::kInvalid;  // kValid iff >= 1 embedding found
   };
@@ -51,6 +67,19 @@ class SubgraphEnumerator {
   EnumerationResult Enumerate(const graph::QueryGraph& q, const Plan& plan,
                               const Visitor& visitor, const Options& options,
                               SearchStats* stats = nullptr);
+
+  /// Enumerate restricted to the given root-candidate images for
+  /// plan.order[0], taken as-is (the caller has already label/degree
+  /// filtered them). This is the splitting primitive for parallel search:
+  /// enumerating a partition of the roots in any order visits exactly the
+  /// embeddings Enumerate would. Thread-safe: all mutable state is local,
+  /// so concurrent calls on one enumerator are fine.
+  EnumerationResult EnumerateRoots(const graph::QueryGraph& q,
+                                   const Plan& plan,
+                                   std::span<const graph::NodeId> roots,
+                                   const Visitor& visitor,
+                                   const Options& options,
+                                   SearchStats* stats = nullptr);
 
   /// Convenience: count embeddings (possibly truncated by `options`).
   EnumerationResult CountEmbeddings(const graph::QueryGraph& q,
@@ -69,6 +98,21 @@ class SubgraphEnumerator {
   ProjectionResult ProjectPivot(const graph::QueryGraph& q, const Plan& plan,
                                 const Options& options,
                                 SearchStats* stats = nullptr);
+
+  /// ProjectPivot with the root-candidate frontier split across
+  /// `num_threads` work-stealing workers (see parallel_search.h). Each
+  /// worker owns its scratch and stats; per-worker pivot sets are merged
+  /// and sorted, so a complete parallel projection is bit-identical to the
+  /// sequential one for every thread count. `max_embeddings` is enforced
+  /// through a shared counter; which embeddings survive a truncated run is
+  /// schedule-dependent (exactly as the sequential subset is
+  /// order-dependent). `pool` may be null (transient threads are used).
+  ProjectionResult ProjectPivotParallel(const graph::QueryGraph& q,
+                                        const Plan& plan,
+                                        const Options& options,
+                                        size_t num_threads,
+                                        util::ThreadPool* pool = nullptr,
+                                        SearchStats* stats = nullptr);
 
  private:
   struct Frame {

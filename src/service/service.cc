@@ -80,7 +80,11 @@ void PsiService::StartWorkers() {
   // One engine per worker: engines are not safe for concurrent Evaluate()
   // calls, so the pool's width caps how many are ever checked out at once.
   core::SmartPsiConfig config = options_.engine;
-  config.num_threads = 1;
+  // Cross-query parallelism comes from num_workers; within-query
+  // parallelism is the service-level search_threads knob, not whatever the
+  // caller left in the engine config.
+  config.num_threads = std::max<size_t>(1, options_.search_threads);
+  config.restarts.enabled = options_.search_restarts;
   config.query_keyed_cache = true;
   options_.engine = config;
   engines_.reserve(options_.num_workers);
@@ -267,6 +271,10 @@ QueryResponse PsiService::Run(QueryRequest request, SnapshotPin pin,
       response.num_candidates = result.num_candidates;
       response.cache_hits = result.cache_hits;
       response.cache_mismatches = result.cache_mismatches;
+      response.search_restarts = result.search.restarts;
+      response.nogoods_recorded = result.search.nogoods_recorded;
+      response.nogood_hits = result.search.nogood_hits;
+      response.work_steals = result.search.work_steals;
       method_recoveries = result.method_recoveries;
       plan_fallbacks = result.plan_fallbacks;
       complete = result.complete;
@@ -277,9 +285,19 @@ QueryResponse PsiService::Run(QueryRequest request, SnapshotPin pin,
                           : core::PureStrategy::kPessimistic;
       pure.deadline = deadline;
       pure.stop = stop;
+      pure.search_threads = options_.search_threads;
+      pure.restarts = options_.engine.restarts;
+      // Salt the per-request nogood store by the pinned snapshot generation
+      // so recorded prefixes can never be confused across graph versions
+      // (same invariant the prediction cache keeps via set_cache_keying).
+      pure.nogood_salt = pin->cache_salt();
       core::PureDriverResult result = core::EvaluatePure(
           pin->graph(), pin->signatures(), request.query, pure);
       response.valid_nodes = std::move(result.valid_nodes);
+      response.search_restarts = result.stats.restarts;
+      response.nogoods_recorded = result.stats.nogoods_recorded;
+      response.nogood_hits = result.stats.nogood_hits;
+      response.work_steals = result.stats.work_steals;
       complete = result.complete;
     }
     if (complete) {

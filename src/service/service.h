@@ -89,10 +89,21 @@ struct ServiceOptions {
   /// The graph-reference constructors publish their graph under this name.
   std::string default_graph = "default";
 
-  /// Per-worker engine tuning. num_threads is forced to 1 and
-  /// query_keyed_cache to true regardless of what is set here (the service
-  /// owns parallelism and shares one cache across query shapes).
+  /// Per-worker engine tuning. num_threads is forced to `search_threads`
+  /// and query_keyed_cache to true regardless of what is set here (the
+  /// service owns parallelism and shares one cache across query shapes).
   core::SmartPsiConfig engine;
+
+  /// Intra-query search parallelism (DESIGN.md §14): each evaluation
+  /// splits its candidate frontier across this many work-stealing workers.
+  /// 1 keeps the classic sequential search. Multiplies with num_workers,
+  /// so total concurrency is num_workers × search_threads.
+  size_t search_threads = 1;
+
+  /// Enables Luby restarts + nogood recording on the pessimistic search
+  /// paths (DESIGN.md §14). Answers are unchanged — the final run of every
+  /// restart sequence is budget-unlimited — only tail latency differs.
+  bool search_restarts = false;
 };
 
 /// Point-in-time service health: request metrics plus the shared-state

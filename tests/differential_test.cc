@@ -59,6 +59,19 @@ void ExpectAllPathsMatchOracle(const graph::Graph& g,
   ASSERT_TRUE(smart_result.complete);
   EXPECT_EQ(smart_result.valid_nodes, oracle) << "smart";
 
+  // The Realist again with Luby restarts on the pessimistic search paths
+  // (DESIGN.md §14): the final unbudgeted run makes answers exact, so the
+  // pivot set must not move.
+  core::SmartPsiConfig restart_config = config;
+  restart_config.restarts.enabled = true;
+  restart_config.restarts.unit_nodes = 8;  // tiny: force restart boundaries
+  restart_config.restarts.max_restarts = 4;
+  core::SmartPsiEngine smart_restarting(g, restart_config);
+  const core::PsiQueryResult smart_restart_result =
+      smart_restarting.Evaluate(q);
+  ASSERT_TRUE(smart_restart_result.complete);
+  EXPECT_EQ(smart_restart_result.valid_nodes, oracle) << "smart-restarts";
+
   // Both pure single-method drivers.
   const auto gs = signature::BuildSignatures(
       g, signature::Method::kMatrix, 2, g.num_labels());
@@ -71,6 +84,31 @@ void ExpectAllPathsMatchOracle(const graph::Graph& g,
     EXPECT_EQ(result.valid_nodes, oracle)
         << (strategy == core::PureStrategy::kOptimistic ? "optimistic"
                                                         : "pessimistic");
+  }
+
+  // The pessimistic driver through the search-core upgrades: restarts,
+  // work-stealing parallel search, and both at once. Complete runs are
+  // bit-identical to the oracle regardless of thread count or schedule.
+  struct SearchCoreConfig {
+    const char* name;
+    size_t threads;
+    bool restarts;
+  };
+  for (const SearchCoreConfig& variant :
+       {SearchCoreConfig{"pessimistic-restarts", 1, true},
+        SearchCoreConfig{"pessimistic-parallel2", 2, false},
+        SearchCoreConfig{"pessimistic-parallel4", 4, false},
+        SearchCoreConfig{"pessimistic-parallel-restarts", 3, true}}) {
+    core::PureDriverOptions pure;
+    pure.strategy = core::PureStrategy::kPessimistic;
+    pure.search_threads = variant.threads;
+    pure.restarts.enabled = variant.restarts;
+    pure.restarts.unit_nodes = 8;
+    pure.restarts.max_restarts = 4;
+    pure.nogood_salt = seed;
+    const core::PureDriverResult result = core::EvaluatePure(g, gs, q, pure);
+    ASSERT_TRUE(result.complete) << variant.name;
+    EXPECT_EQ(result.valid_nodes, oracle) << variant.name;
   }
 
   // Every enumeration engine, via pivot projection.
@@ -118,6 +156,47 @@ INSTANTIATE_TEST_SUITE_P(
     RandomGraphs, DifferentialTest,
     ::testing::Combine(::testing::Values(11, 23, 37, 41, 53),
                        ::testing::Values(3, 4, 5)));
+
+// Determinism of the parallel search (DESIGN.md §14): the work-stealing
+// schedule varies run to run, but per-candidate work is schedule-independent
+// and the merge is canonical, so every thread count must return the exact
+// byte sequence the sequential driver returns — including with restarts
+// layered on top.
+TEST_P(DifferentialTest, ParallelSearchIsBitIdenticalToSequential) {
+  const auto [base_seed, query_size] = GetParam();
+  const uint64_t seed = psi::testing::TestSeed(base_seed, query_size);
+  PSI_LOG_TEST_SEED(seed);
+
+  const graph::Graph g = psi::testing::MakeRandomGraph(220, 700, 3, seed);
+  const graph::QueryGraph q =
+      psi::testing::ExtractQuery(g, query_size, seed * 7919 + 3);
+  if (q.num_nodes() != query_size) GTEST_SKIP() << "extraction failed";
+  const auto gs = signature::BuildSignatures(
+      g, signature::Method::kMatrix, 2, g.num_labels());
+
+  for (const bool restarts : {false, true}) {
+    core::PureDriverOptions sequential;
+    sequential.strategy = core::PureStrategy::kPessimistic;
+    sequential.restarts.enabled = restarts;
+    sequential.restarts.unit_nodes = 8;
+    sequential.nogood_salt = seed;
+    const auto reference = core::EvaluatePure(g, gs, q, sequential);
+    ASSERT_TRUE(reference.complete);
+
+    for (const size_t threads : {2u, 3u, 4u, 8u}) {
+      core::PureDriverOptions parallel = sequential;
+      parallel.search_threads = threads;
+      // Two runs per config: schedule jitter across repeats must not show.
+      for (int repeat = 0; repeat < 2; ++repeat) {
+        const auto result = core::EvaluatePure(g, gs, q, parallel);
+        ASSERT_TRUE(result.complete);
+        EXPECT_EQ(result.valid_nodes, reference.valid_nodes)
+            << "threads=" << threads << " restarts=" << restarts
+            << " repeat=" << repeat;
+      }
+    }
+  }
+}
 
 // The paper's running example, pinned: no skip path, every engine, chaos on
 // top. If the randomized sweep ever regresses silently (extraction skips),

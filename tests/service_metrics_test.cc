@@ -171,7 +171,27 @@ TEST(MetricsSnapshotTest, ToStringMentionsEverySection) {
   const std::string text = metrics.Snapshot().ToString();
   EXPECT_NE(text.find("admitted=1"), std::string::npos);
   EXPECT_NE(text.find("completed=1"), std::string::npos);
+  EXPECT_NE(text.find("search: restarts="), std::string::npos);
+  EXPECT_NE(text.find("work_steals="), std::string::npos);
   EXPECT_NE(text.find("p99="), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, SearchCoreCountersAggregate) {
+  MetricsRegistry metrics;
+  QueryResponse response = MakeResponse(RequestStatus::kOk, 1e-3);
+  response.search_restarts = 3;
+  response.nogoods_recorded = 5;
+  response.nogood_hits = 7;
+  response.work_steals = 11;
+  metrics.RecordAdmitted();
+  metrics.RecordOutcome(response);
+  metrics.RecordAdmitted();
+  metrics.RecordOutcome(response);
+  const MetricsSnapshot s = metrics.Snapshot();
+  EXPECT_EQ(s.search_restarts, 6u);
+  EXPECT_EQ(s.nogoods_recorded, 10u);
+  EXPECT_EQ(s.nogood_hits, 14u);
+  EXPECT_EQ(s.work_steals, 22u);
 }
 
 // --- Per-shard labeled counters (DESIGN.md §13) ----------------------------

@@ -106,7 +106,12 @@ void Usage() {
       "                        generations with catalog.shard_publish armed,\n"
       "                        so publishes abort MID-generation); --chaos and\n"
       "                        --stress are single-engine-only and are\n"
-      "                        rejected\n";
+      "                        rejected\n"
+      "  --search-threads N    work-stealing workers per query evaluation\n"
+      "                        (default 1 = sequential; not with --shards)\n"
+      "  --restarts on|off     Luby restarts + nogood recording on the\n"
+      "                        pessimistic search paths (default off; not\n"
+      "                        with --shards)\n";
 }
 
 struct RunReport {
@@ -842,7 +847,8 @@ int main(int argc, char** argv) {
                       "--unique",          "--deadline-ms-min",
                       "--deadline-ms-max", "--method",   "--depth",
                       "--seed",            "--waves",    "--faults",
-                      "--swaps",           "--shards"};
+                      "--swaps",           "--shards",   "--search-threads",
+                      "--restarts"};
   arg_spec.max_positional = 1;
   const tools::ParsedArgs args = tools::ParseArgs(argc, argv, arg_spec);
   if (!args.ok()) {
@@ -940,6 +946,26 @@ int main(int argc, char** argv) {
       std::strtoull(get("--queue", "256").c_str(), nullptr, 10);
   options.engine.signature_depth = static_cast<uint32_t>(
       std::strtoul(get("--depth", "2").c_str(), nullptr, 10));
+  if (args.Has("--search-threads")) {
+    const std::string raw = get("--search-threads", "1");
+    char* end = nullptr;
+    options.search_threads = std::strtoull(raw.c_str(), &end, 10);
+    if (end == raw.c_str() || *end != '\0' || options.search_threads == 0) {
+      std::cerr << "psi_loadgen: --search-threads wants a positive integer, "
+                   "got '" << raw << "'\n";
+      return 2;
+    }
+  }
+  if (args.Has("--restarts")) {
+    const std::string raw = get("--restarts", "off");
+    if (raw == "on") {
+      options.search_restarts = true;
+    } else if (raw != "off") {
+      std::cerr << "psi_loadgen: --restarts wants on|off, got '" << raw
+                << "'\n";
+      return 2;
+    }
+  }
   const double qps = std::atof(get("--qps", "0").c_str());
 
   // --- Sharded dispatch ---------------------------------------------------
@@ -953,6 +979,11 @@ int main(int argc, char** argv) {
     if (args.Has("--chaos") || stress) {
       std::cerr << "psi_loadgen: --chaos/--stress exercise single-engine "
                    "degradation paths and do not combine with --shards\n";
+      return 2;
+    }
+    if (args.Has("--search-threads") || args.Has("--restarts")) {
+      std::cerr << "psi_loadgen: --search-threads/--restarts tune the "
+                   "single-node engine and cannot combine with --shards\n";
       return 2;
     }
     shard::ShardedServiceOptions soptions;

@@ -66,6 +66,10 @@ void Usage() {
       "                    label-aware shards published as one atomic\n"
       "                    generation; requests fan out to shard-local\n"
       "                    evaluation with cross-shard continuations\n"
+      "  --search-threads N  work-stealing workers per query evaluation\n"
+      "                    (default 1 = sequential; not with --shards)\n"
+      "  --restarts on|off Luby restarts + nogood recording on pessimistic\n"
+      "                    search paths (default off; not with --shards)\n"
       "  --quiet           suppress per-request lines, print stats only\n"
       "\n"
       "Admin commands (inline in the request stream):\n"
@@ -272,8 +276,10 @@ int ServeLoop(Service& psi_service, std::istream& in, bool quiet,
 int main(int argc, char** argv) {
   tools::ArgSpec arg_spec;
   arg_spec.switches = {"--quiet"};
-  arg_spec.options = {"--generate", "--workload", "--workers",  "--queue",
-                      "--deadline-ms", "--depth", "--seed",     "--shards"};
+  arg_spec.options = {"--generate",       "--workload", "--workers",
+                      "--queue",          "--deadline-ms", "--depth",
+                      "--seed",           "--shards",   "--search-threads",
+                      "--restarts"};
   arg_spec.max_positional = 1;
   const tools::ParsedArgs args = tools::ParseArgs(argc, argv, arg_spec);
   if (!args.ok()) {
@@ -338,6 +344,36 @@ int main(int argc, char** argv) {
       std::strtoul(get("--depth", "2").c_str(), nullptr, 10));
   const size_t window = num_workers * 4 + max_queue_depth;
 
+  // --- Search-core knobs (DESIGN.md §14) ---------------------------------
+  size_t search_threads = 1;
+  if (args.Has("--search-threads")) {
+    const std::string raw = get("--search-threads", "1");
+    char* end = nullptr;
+    search_threads = std::strtoull(raw.c_str(), &end, 10);
+    if (end == raw.c_str() || *end != '\0' || search_threads == 0) {
+      std::cerr << "psi_serve: --search-threads wants a positive integer, "
+                   "got '" << raw << "'\n";
+      return 2;
+    }
+  }
+  bool search_restarts = false;
+  if (args.Has("--restarts")) {
+    const std::string raw = get("--restarts", "off");
+    if (raw == "on") {
+      search_restarts = true;
+    } else if (raw != "off") {
+      std::cerr << "psi_serve: --restarts wants on|off, got '" << raw
+                << "'\n";
+      return 2;
+    }
+  }
+  if (args.Has("--shards") &&
+      (args.Has("--search-threads") || args.Has("--restarts"))) {
+    std::cerr << "psi_serve: --search-threads/--restarts tune the "
+                 "single-node engine and cannot combine with --shards\n";
+    return 2;
+  }
+
   // --- Service ------------------------------------------------------------
   if (args.Has("--shards")) {
     const uint32_t shards = static_cast<uint32_t>(
@@ -365,6 +401,8 @@ int main(int argc, char** argv) {
   options.max_queue_depth = max_queue_depth;
   options.default_deadline_seconds = deadline_seconds;
   options.engine.signature_depth = depth;
+  options.search_threads = search_threads;
+  options.search_restarts = search_restarts;
   service::PsiService psi_service(g, options);
   std::cerr << "Service: " << num_workers << " workers, queue bound "
             << max_queue_depth << ", signatures built in "
