@@ -1,5 +1,6 @@
 #include "graph/generators.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <unordered_set>
@@ -82,13 +83,20 @@ Graph BarabasiAlbert(size_t num_nodes, size_t edges_per_node,
   }
 
   std::unordered_set<NodeId> chosen;
+  std::vector<NodeId> chosen_sorted;
   for (NodeId u = static_cast<NodeId>(seed_size); u < num_nodes; ++u) {
     chosen.clear();
     while (chosen.size() < edges_per_node) {
       const NodeId v = targets[rng.NextBounded(targets.size())];
       if (v != u) chosen.insert(v);
     }
-    for (const NodeId v : chosen) {
+    // Emit in sorted order: iterating the unordered_set directly would let
+    // the stdlib's hash order pick the edge-label RNG draw order and the
+    // degree-proportional `targets` layout, making "same seed, same graph"
+    // hold only within one standard-library implementation.
+    chosen_sorted.assign(chosen.begin(), chosen.end());
+    std::sort(chosen_sorted.begin(), chosen_sorted.end());
+    for (const NodeId v : chosen_sorted) {
       builder.AddEdge(u, v, SampleEdgeLabel(labels, rng));
       targets.push_back(u);
       targets.push_back(v);

@@ -17,7 +17,9 @@ namespace {
 /// locks in a dynamic array; TSan covers this path in CI instead).
 struct Slot {
   util::Mutex mutex;
+  // psi-check: allow(lock-guard) -- per-element lock in a dynamic array; clang TSA cannot name it, TSan covers this path in CI
   size_t next = 0;
+  // psi-check: allow(lock-guard) -- guarded by `mutex` above; same TSA limitation as `next`
   size_t end = 0;
 };
 

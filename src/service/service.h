@@ -219,14 +219,21 @@ class PsiService {
   bool DegradedModeActive() const PSI_EXCLUDES(degrade_mutex_);
   bool CacheBypassActive() const PSI_EXCLUDES(degrade_mutex_);
 
+  // psi-check: allow(lock-guard) -- immutable after construction
   ServiceOptions options_;
   /// Set for the convenience constructors; the catalog-pointer constructor
   /// leaves it null and serves the caller's catalog.
+  // psi-check: allow(lock-guard) -- set once in the constructor, never reseated
   std::unique_ptr<GraphCatalog> owned_catalog_;
+  // psi-check: allow(lock-guard) -- set once in the constructor; the catalog is internally synchronized
   GraphCatalog* catalog_ = nullptr;  // never null after construction
+  // psi-check: allow(lock-guard) -- written once during construction, read-only afterwards
   double signature_build_seconds_ = 0.0;
+  // psi-check: allow(lock-guard) -- PredictionCache is internally synchronized (per-shard mutexes)
   core::PredictionCache shared_cache_;
+  // psi-check: allow(lock-guard) -- MetricsRegistry is internally synchronized (atomics + lock-free reservoir)
   MetricsRegistry metrics_;
+  // psi-check: allow(lock-guard) -- StopSource publishes via its own release/acquire contract (util/stop_token.h)
   util::StopSource shutdown_;
   /// Admission gate flipped by Shutdown(). Relaxed accesses suffice: it is
   /// a monotonic bool carrying no payload, and the authoritative cancel
@@ -234,6 +241,7 @@ class PsiService {
   /// util/stop_token.h).
   std::atomic<bool> accepting_{true};
   std::atomic<uint64_t> next_auto_id_{1};
+  // psi-check: allow(lock-guard) -- started at construction, read-only afterwards
   util::WallTimer uptime_;
 
   /// Sliding windows and mode flags for the degradation policies. Leaf
@@ -255,6 +263,7 @@ class PsiService {
 
   // `engines_` itself is written only at construction (StartWorkers) and is
   // immutable afterwards; the checkout free list is the shared mutable part.
+  // psi-check: allow(lock-guard) -- vector filled at construction; element engines are leased exclusively via free_engines_
   std::vector<std::unique_ptr<core::SmartPsiEngine>> engines_;
   util::Mutex engines_mutex_;
   std::vector<core::SmartPsiEngine*> free_engines_
@@ -262,6 +271,7 @@ class PsiService {
 
   // Declared last: destroyed first, so draining workers still see live
   // engines, cache and metrics.
+  // psi-check: allow(lock-guard) -- set once in the constructor; ThreadPool is internally synchronized
   std::unique_ptr<util::ThreadPool> pool_;
 };
 

@@ -35,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/fault_sites.h"
 #include "util/mutex.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -46,25 +47,10 @@
 
 namespace psi::util {
 
-namespace faults {
-// Canonical site names, one per hook compiled into the stack. Keeping them
-// here (rather than as ad-hoc literals at call sites) gives chaos specs,
-// tests and DESIGN.md §11 a single vocabulary to agree on.
-inline constexpr char kServiceAdmissionShed[] = "service.admission.shed";
-inline constexpr char kServiceWorkerStall[] = "service.worker.stall";
-inline constexpr char kCacheLookupMiss[] = "cache.lookup.miss";
-inline constexpr char kCacheLookupPoison[] = "cache.lookup.poison";
-inline constexpr char kSmartPredictFlip[] = "smart.predict.flip";
-inline constexpr char kSmartPlanMispredict[] = "smart.plan.mispredict";
-inline constexpr char kSmartPreemptExpire[] = "smart.preempt.expire";
-inline constexpr char kThreadPoolTaskStart[] = "threadpool.task.start";
-inline constexpr char kCatalogPublish[] = "catalog.publish";
-inline constexpr char kCatalogShardPublish[] = "catalog.shard_publish";
-inline constexpr char kGraphIoShortRead[] = "io.graph.short_read";
-inline constexpr char kQueryIoShortRead[] = "io.query.short_read";
-inline constexpr char kSignatureIoShortRead[] = "io.signature.short_read";
-inline constexpr char kWorkloadShortRead[] = "io.workload.short_read";
-}  // namespace faults
+// Canonical site names live in util/fault_sites.h (the machine-checked
+// registry, re-exported here as util::faults::k*). Keeping them in one
+// header (rather than as ad-hoc literals at call sites) gives chaos specs,
+// tests, DESIGN.md §11 and tools/psi_check a single vocabulary to agree on.
 
 /// When a site fires. Textual grammar (see FaultInjector::ArmFromSpec):
 ///

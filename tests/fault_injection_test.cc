@@ -19,6 +19,7 @@
 #include "core/smart_psi.h"
 #include "service/request.h"
 #include "service/service.h"
+#include "shard/sharded_service.h"
 #include "tests/test_fixtures.h"
 #include "util/timer.h"
 
@@ -387,6 +388,28 @@ TEST_F(FaultInjectionTest, PoisonedCacheTriggersBypassAndRecovers) {
   EXPECT_GE(stats.metrics.cache_mismatches, 1u);
   EXPECT_GE(stats.metrics.cache_bypass_entries, 1u);
   EXPECT_GE(stats.metrics.cache_bypass_exits, 1u);
+}
+
+// The service.worker.stall site deschedules the sharded router between
+// dequeue and execution — latency moves, the answer must not (DESIGN.md
+// §11's core corollary).
+TEST_F(FaultInjectionTest, WorkerStallDelaysEvaluationNotTheAnswer) {
+  const graph::Graph g = psi::testing::MakeFigure1Graph();
+  shard::ShardedServiceOptions options;
+  options.num_workers = 2;
+  options.build.partition.num_shards = 2;
+  options.build.snapshot.signature_depth = 2;
+  shard::ShardedPsiService service(g, options);
+
+  ScopedFaultSpec chaos("service.worker.stall=always@2");
+  service::QueryRequest request;
+  request.query = psi::testing::MakeFigure1Query();
+  const service::QueryResponse response = service.Execute(std::move(request));
+  EXPECT_EQ(response.status, service::RequestStatus::kOk);
+  EXPECT_EQ(response.valid_nodes, (std::vector<graph::NodeId>{0, 5}));
+  const auto stats =
+      FaultInjector::Global().Stats(util::faults::kServiceWorkerStall);
+  EXPECT_GE(stats.fires, 1u);
 }
 
 #else  // !PSI_FAULT_INJECTION_ENABLED

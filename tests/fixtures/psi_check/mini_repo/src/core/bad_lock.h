@@ -1,0 +1,10 @@
+namespace psi::core {
+class LockHog {
+ public:
+  void Touch();
+
+ private:
+  util::Mutex mutex_;
+  int counter_;
+};
+}  // namespace psi::core

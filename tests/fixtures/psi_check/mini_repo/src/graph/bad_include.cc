@@ -1,0 +1,4 @@
+#include "util/status.h"
+#include "core/engine.h"
+
+namespace psi::graph {}

@@ -1,0 +1,8 @@
+#include <cstdlib>
+
+namespace psi::graph {
+int WaivedEntropy() {
+  // psi-check: allow(determinism) -- fixture: exercising the waiver path
+  return rand();
+}
+}  // namespace psi::graph

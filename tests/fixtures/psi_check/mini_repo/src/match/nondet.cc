@@ -1,0 +1,11 @@
+#include <cstdlib>
+#include <unordered_set>
+
+namespace psi::match {
+int HashOrderSum() {
+  std::unordered_set<int> items;
+  int sum = rand();
+  for (const int v : items) sum += v;
+  return sum;
+}
+}  // namespace psi::match

@@ -1,0 +1,12 @@
+#include <string>
+
+namespace psi::service {
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  out += std::to_string(good_counter);
+  out += std::to_string(missing_in_tests);
+  return out;
+}
+
+}  // namespace psi::service

@@ -1,0 +1,17 @@
+namespace psi::service {
+
+struct MetricsSnapshot {
+  uint64_t good_counter = 0;
+  uint64_t missing_in_tostring = 0;
+  uint64_t missing_in_tests = 0;
+
+  std::string ToString() const;
+};
+
+class MetricsRegistry {
+ private:
+  std::atomic<uint64_t> good_counter_{0};
+  std::atomic<uint64_t> orphan_counter_{0};
+};
+
+}  // namespace psi::service

@@ -1,0 +1,4 @@
+namespace psi::service {
+void RawHook() { PSI_INJECT_FAULT("test.site.alpha"); }
+const char* kShadow = "test.site.beta";
+}  // namespace psi::service

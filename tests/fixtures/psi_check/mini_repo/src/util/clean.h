@@ -1,0 +1,11 @@
+// A fully annotated lock-owning class: zero findings expected here.
+namespace psi::util {
+class Clean {
+ public:
+  int value() const;
+
+ private:
+  mutable Mutex mutex_;
+  int value_ PSI_GUARDED_BY(mutex_) = 0;
+};
+}  // namespace psi::util

@@ -1,0 +1,7 @@
+// Fixture registry: alpha is documented, tested and hooked; beta is none
+// of the three, so its declaration line collects all three fault-site
+// findings when psi_check scans this tree.
+namespace psi::util::faults {
+inline constexpr char kTestSiteAlpha[] = "test.site.alpha";
+inline constexpr char kTestSiteBeta[] = "test.site.beta";
+}  // namespace psi::util::faults

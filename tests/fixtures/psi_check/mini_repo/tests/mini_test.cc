@@ -1,0 +1,8 @@
+// Cross-reference targets for the psi_check fixture tree: mentions
+// test.site.alpha (the exercised fault site) plus good_counter and
+// missing_in_tostring (asserted metrics counters). Never compiled.
+TEST(Mini, CountersAndSites) {
+  use("test.site.alpha");
+  assert_counter(snapshot.good_counter);
+  assert_counter(snapshot.missing_in_tostring);
+}

@@ -176,6 +176,61 @@ TEST(MetricsSnapshotTest, ToStringMentionsEverySection) {
   EXPECT_NE(text.find("p99="), std::string::npos);
 }
 
+// Every counter in MetricsSnapshot must be printed by ToString with a
+// distinguishable value — a counter that exists but never surfaces in the
+// dump is dead instrumentation (psi_check's metrics-pair rule enforces the
+// pairing statically; this test pins the printed labels).
+TEST(MetricsSnapshotTest, ToStringEmitsEveryCounter) {
+  MetricsSnapshot s;
+  s.admitted = 1;
+  s.rejected = 2;
+  s.retries = 3;
+  s.completed = 4;
+  s.timed_out = 5;
+  s.cancelled = 6;
+  s.invalid = 7;
+  s.not_found = 8;
+  s.cache_hits = 9;
+  s.method_recoveries = 10;
+  s.plan_fallbacks = 11;
+  s.candidates_evaluated = 12;
+  s.cache_mismatches = 13;
+  s.search_restarts = 14;
+  s.nogoods_recorded = 15;
+  s.nogood_hits = 16;
+  s.work_steals = 17;
+  s.degraded_entries = 18;
+  s.degraded_exits = 19;
+  s.degraded_requests = 20;
+  s.cache_bypass_entries = 21;
+  s.cache_bypass_exits = 22;
+  s.snapshot_publishes = 23;
+  s.snapshot_swaps = 24;
+  s.snapshot_retires = 25;
+  s.snapshot_publish_failures = 26;
+
+  const std::string text = s.ToString();
+  const std::vector<std::string> expected = {
+      "admitted=1",          "rejected=2",
+      "retries=3",           "completed=4",
+      "timed_out=5",         "cancelled=6",
+      "invalid=7",           "not_found=8",
+      "cache_hits=9",        "method_recoveries=10",
+      "plan_fallbacks=11",   "candidates=12",
+      "cache_mismatches=13", "restarts=14",
+      "nogoods_recorded=15", "nogood_hits=16",
+      "work_steals=17",      "entries=18",
+      "exits=19",            "degraded_requests=20",
+      "cache_bypass_entries=21", "cache_bypass_exits=22",
+      "publishes=23",        "swaps=24",
+      "retires=25",          "publish_failures=26",
+  };
+  for (const std::string& label : expected) {
+    EXPECT_NE(text.find(label), std::string::npos)
+        << "missing \"" << label << "\" in:\n" << text;
+  }
+}
+
 TEST(MetricsSnapshotTest, SearchCoreCountersAggregate) {
   MetricsRegistry metrics;
   QueryResponse response = MakeResponse(RequestStatus::kOk, 1e-3);

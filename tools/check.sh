@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Single entry point for every static gate (DESIGN.md §15.5):
+#
+#   tools/check.sh [--require] [build-dir]
+#
+# Runs, in order: clang-format (check-only), clang-tidy
+# (tools/run_lint.sh), cppcheck (tools/run_cppcheck.sh), and
+# tools/psi_check over the repo. Stages whose binary is missing skip with
+# a notice unless --require is set (CI sets it). psi_check is built from
+# this tree and therefore always runs — it is the one gate that cannot be
+# skipped. Exits non-zero if any stage that ran found a problem.
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+require_flag=()
+if [[ "${1:-}" == "--require" ]]; then
+  require_flag=(--require)
+  shift
+fi
+build_dir="${1:-build}"
+
+cd "${repo_root}"
+status=0
+
+echo "== check.sh: clang-format (check only) ==" >&2
+if command -v clang-format >/dev/null 2>&1; then
+  # Fixture trees under tests/fixtures/ are scan fodder for psi_check's
+  # self-tests, not first-party code.
+  if ! git ls-files '*.h' '*.cc' ':!tests/fixtures/**' \
+      | xargs clang-format --dry-run --Werror; then
+    status=1
+  fi
+elif [[ "${#require_flag[@]}" -ne 0 ]]; then
+  echo "check.sh: FATAL: --require set but clang-format was not found." >&2
+  status=1
+else
+  echo "check.sh: clang-format not found; skipping format check." >&2
+fi
+
+echo "== check.sh: clang-tidy (tools/run_lint.sh) ==" >&2
+if ! tools/run_lint.sh ${require_flag[@]+"${require_flag[@]}"} \
+    "${build_dir}-lint"; then
+  status=1
+fi
+
+echo "== check.sh: cppcheck (tools/run_cppcheck.sh) ==" >&2
+if ! tools/run_cppcheck.sh ${require_flag[@]+"${require_flag[@]}"}; then
+  status=1
+fi
+
+echo "== check.sh: psi_check ==" >&2
+psi_check_bin="${build_dir}/tools/psi_check/psi_check"
+if [[ ! -x "${psi_check_bin}" ]]; then
+  echo "check.sh: building psi_check into ${build_dir}..." >&2
+  cmake -B "${build_dir}" -S . >/dev/null
+  cmake --build "${build_dir}" --target psi_check -j >/dev/null
+fi
+if ! "${psi_check_bin}" --root .; then
+  status=1
+fi
+
+if [[ "${status}" -ne 0 ]]; then
+  echo "check.sh: FAILED (one or more gates reported problems above)." >&2
+else
+  echo "check.sh: all gates clean." >&2
+fi
+exit "${status}"

@@ -1,0 +1,14 @@
+// psi_check — standalone project-contract static analysis for the PSI
+// tree (DESIGN.md §15). No libclang, no compile database: it lexes the
+// sources directly so it runs identically on every CI runner and dev
+// machine. See tools/psi_check/checker.h for the rule catalogue.
+
+#include <string>
+#include <vector>
+
+#include "tools/psi_check/checker.h"
+
+int main(int argc, char** argv) {
+  return psi::check::RunPsiCheck(
+      std::vector<std::string>(argv + 1, argv + argc));
+}

@@ -1,18 +1,24 @@
 #!/usr/bin/env bash
 # clang-tidy driver for the PSI tree (config: repo-root .clang-tidy).
 #
-#   tools/run_lint.sh [build-dir] [-- extra clang-tidy args]
+#   tools/run_lint.sh [--require] [build-dir] [-- extra clang-tidy args]
 #
 # Configures `build-dir` (default: build-lint) with compile_commands.json
 # exported, then runs clang-tidy over every first-party translation unit
 # (src/, tools/, tests/, bench/, examples/). Exits non-zero on any finding
 # (.clang-tidy sets WarningsAsErrors: '*'), which is what the CI lint job
 # keys off. On machines without clang-tidy the script reports the skip and
-# exits 0 so the gate only binds where the toolchain exists (CI installs
-# it; see .github/workflows/ci.yml).
+# exits 0 so the gate only binds where the toolchain exists; CI passes
+# --require, which turns a missing clang-tidy into a hard failure so the
+# lint gate can never silently evaporate from CI (DESIGN.md §15.5).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+require=0
+if [[ "${1:-}" == "--require" ]]; then
+  require=1
+  shift
+fi
 build_dir="${1:-build-lint}"
 shift || true
 [[ "${1:-}" == "--" ]] && shift
@@ -27,6 +33,11 @@ for candidate in clang-tidy clang-tidy-{20,19,18,17,16,15,14}; do
   fi
 done
 if [[ -z "${clang_tidy}" ]]; then
+  if [[ "${require}" -eq 1 ]]; then
+    echo "run_lint.sh: FATAL: --require set but clang-tidy was not found in PATH." >&2
+    echo "run_lint.sh: the lint gate must not be skipped here (CI uses --require)." >&2
+    exit 1
+  fi
   echo "run_lint.sh: clang-tidy not found; skipping lint (install clang-tidy to enable)." >&2
   exit 0
 fi
