@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <string>
 
 namespace psi::graph {
 
@@ -102,6 +103,110 @@ Graph GraphBuilder::Build() && {
   }
 
   edges_.clear();
+  return g;
+}
+
+util::Result<Graph> GraphBuilder::FromCsr(
+    std::span<const uint64_t> offsets, std::span<const NodeId> neighbors,
+    std::span<const Label> edge_labels, std::span<const Label> node_labels,
+    std::span<const NodeId> nodes_by_label,
+    std::span<const uint64_t> label_offsets) {
+  const size_t n = node_labels.size();
+  const auto invalid = [](const char* what) {
+    return util::Status::InvalidArgument(std::string("CSR adoption: ") + what);
+  };
+
+  if (offsets.size() != n + 1) return invalid("offsets size != num_nodes + 1");
+  if (offsets[0] != 0) return invalid("offsets[0] != 0");
+  for (size_t u = 0; u < n; ++u) {
+    if (offsets[u] > offsets[u + 1]) return invalid("offsets not monotone");
+  }
+  if (offsets[n] != neighbors.size()) {
+    return invalid("offsets.back() != neighbors size");
+  }
+  if (edge_labels.size() != neighbors.size()) {
+    return invalid("edge_labels size != neighbors size");
+  }
+
+  // Per-node adjacency: strictly ascending, in range, no self-loops.
+  for (size_t u = 0; u < n; ++u) {
+    for (uint64_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+      const NodeId v = neighbors[i];
+      if (v >= n) return invalid("neighbor id out of range");
+      if (v == u) return invalid("self-loop in adjacency");
+      if (i > offsets[u] && neighbors[i - 1] >= v) {
+        return invalid("adjacency not strictly ascending");
+      }
+    }
+  }
+
+  // Undirected symmetry: every arc (u, v, l) has a reverse arc (v, u, l).
+  // One O(E) pass instead of a per-arc binary search: sweeping arcs with u
+  // ascending, the arcs *into* any fixed v arrive with u strictly ascending
+  // (each u contributes at most one arc to v), which is exactly the order
+  // of v's own already-validated ascending adjacency list. A per-node
+  // cursor that must match arc-for-arc therefore pins the arc multiset to
+  // its own transpose: every cursor is bounded by degree(v), and the total
+  // number of increments equals the total number of arcs, so any unmatched
+  // or leftover reverse arc forces a mismatch before the sweep ends.
+  std::vector<uint64_t> cursor(n, 0);
+  for (size_t u = 0; u < n; ++u) {
+    for (uint64_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+      const NodeId v = neighbors[i];
+      const uint64_t rev = offsets[v] + cursor[v];
+      if (rev >= offsets[v + 1] || neighbors[rev] != static_cast<NodeId>(u)) {
+        return invalid("adjacency not symmetric");
+      }
+      if (edge_labels[rev] != edge_labels[i]) {
+        return invalid("edge labels not symmetric");
+      }
+      ++cursor[v];
+    }
+  }
+
+  // Label alphabet and label index. Trailing empty labels are allowed (an
+  // alphabet can be declared wider than the labels in use).
+  if (label_offsets.empty()) return invalid("empty label_offsets");
+  const size_t num_labels = label_offsets.size() - 1;
+  if (label_offsets[0] != 0) return invalid("label_offsets[0] != 0");
+  for (size_t l = 0; l < num_labels; ++l) {
+    if (label_offsets[l] > label_offsets[l + 1]) {
+      return invalid("label_offsets not monotone");
+    }
+  }
+  if (label_offsets[num_labels] != n) {
+    return invalid("label_offsets.back() != num_nodes");
+  }
+  if (nodes_by_label.size() != n) {
+    return invalid("nodes_by_label size != num_nodes");
+  }
+  for (const Label l : node_labels) {
+    if (static_cast<size_t>(l) >= num_labels) {
+      return invalid("node label outside alphabet");
+    }
+  }
+  // Each bucket: strictly ascending node ids carrying exactly that label.
+  // Together with the size checks this pins the index to Build()'s output:
+  // n entries, each node only admissible in its own label's bucket, so
+  // every node appears exactly once.
+  for (size_t l = 0; l < num_labels; ++l) {
+    for (uint64_t i = label_offsets[l]; i < label_offsets[l + 1]; ++i) {
+      const NodeId u = nodes_by_label[i];
+      if (u >= n) return invalid("label index id out of range");
+      if (node_labels[u] != l) return invalid("label index bucket mismatch");
+      if (i > label_offsets[l] && nodes_by_label[i - 1] >= u) {
+        return invalid("label index bucket not ascending");
+      }
+    }
+  }
+
+  Graph g;
+  g.offsets_.assign(offsets.begin(), offsets.end());
+  g.neighbors_.assign(neighbors.begin(), neighbors.end());
+  g.edge_labels_.assign(edge_labels.begin(), edge_labels.end());
+  g.node_labels_.assign(node_labels.begin(), node_labels.end());
+  g.nodes_by_label_.assign(nodes_by_label.begin(), nodes_by_label.end());
+  g.label_offsets_.assign(label_offsets.begin(), label_offsets.end());
   return g;
 }
 

@@ -1,10 +1,12 @@
 #ifndef SMARTPSI_GRAPH_GRAPH_BUILDER_H_
 #define SMARTPSI_GRAPH_GRAPH_BUILDER_H_
 
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "util/status.h"
 
 namespace psi::graph {
 
@@ -43,6 +45,23 @@ class GraphBuilder {
   /// Finalizes into an immutable Graph (sorting adjacency, deduplicating,
   /// building the label index). Consumes the builder.
   Graph Build() &&;
+
+  /// Adopts already-finalized CSR arrays (a mapped .psnap GRAPH section;
+  /// DESIGN.md §16.2) after validating every invariant Build() establishes:
+  /// offsets monotone from 0 to neighbors.size(); per-node strictly
+  /// ascending neighbor ids in range, no self-loops; adjacency and edge
+  /// labels symmetric; node labels inside the label alphabet; label index
+  /// buckets ascending, label-consistent, and covering every node exactly
+  /// once (trailing empty labels are permitted). The arrays are *copied*
+  /// into the Graph — CSR adoption is about trusting no untrusted bytes,
+  /// not zero-copy; the float signature payload is where zero-copy pays.
+  /// Returns InvalidArgument naming the first violated invariant.
+  static util::Result<Graph> FromCsr(std::span<const uint64_t> offsets,
+                                     std::span<const NodeId> neighbors,
+                                     std::span<const Label> edge_labels,
+                                     std::span<const Label> node_labels,
+                                     std::span<const NodeId> nodes_by_label,
+                                     std::span<const uint64_t> label_offsets);
 
  private:
   struct Edge {

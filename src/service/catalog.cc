@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "service/snapshot_io.h"
 #include "util/fault_injection.h"
 #include "util/random.h"
 #include "util/timer.h"
@@ -22,11 +23,13 @@ uint64_t VersionSalt(uint64_t version) {
 
 GraphSnapshot::GraphSnapshot(std::string name, uint64_t version,
                              graph::Graph g, signature::SignatureMatrix sigs,
-                             SnapshotTimings timings)
+                             SnapshotTimings timings,
+                             std::shared_ptr<const void> backing)
     : name_(std::move(name)),
       version_(version),
       cache_salt_(VersionSalt(version)),
       timings_(timings),
+      backing_(std::move(backing)),
       graph_(std::move(g)),
       sigs_(std::move(sigs)) {
   assert(sigs_.num_rows() == graph_.num_nodes());
@@ -53,6 +56,11 @@ GraphCatalog::BuildAndPublish(std::string name, graph::Graph g,
     }
     timings.prewarm_seconds = prewarm_timer.Seconds();
   }
+  if (options.build_compact_signatures) {
+    util::WallTimer compact_timer;
+    sigs.BuildCompact();
+    timings.compact_build_seconds = compact_timer.Seconds();
+  }
   return Publish(std::move(name), std::move(g), std::move(sigs), timings);
 }
 
@@ -61,6 +69,19 @@ GraphCatalog::PublishPrebuilt(std::string name, graph::Graph g,
                               signature::SignatureMatrix sigs,
                               SnapshotTimings timings) {
   return Publish(std::move(name), std::move(g), std::move(sigs), timings);
+}
+
+util::Result<std::shared_ptr<const GraphSnapshot>>
+GraphCatalog::PublishFromFile(std::string name, const std::string& path) {
+  util::WallTimer load_timer;
+  auto loaded = LoadSnapshotFile(path);
+  if (!loaded.ok()) return loaded.status();
+  SnapshotTimings timings;
+  timings.load_seconds = load_timer.Seconds();
+  LoadedSnapshot& snapshot = loaded.value();
+  return Publish(std::move(name), std::move(snapshot.graph),
+                 std::move(snapshot.sigs), timings,
+                 std::move(snapshot.backing));
 }
 
 std::future<util::Result<std::shared_ptr<const GraphSnapshot>>>
@@ -78,7 +99,7 @@ GraphCatalog::BuildAndPublishAsync(std::string name, graph::Graph g,
 
 util::Result<std::shared_ptr<const GraphSnapshot>> GraphCatalog::Publish(
     std::string name, graph::Graph g, signature::SignatureMatrix sigs,
-    SnapshotTimings timings) {
+    SnapshotTimings timings, std::shared_ptr<const void> backing) {
   if (name.empty()) {
     return util::Status::InvalidArgument("snapshot name must be non-empty");
   }
@@ -100,7 +121,8 @@ util::Result<std::shared_ptr<const GraphSnapshot>> GraphCatalog::Publish(
   {
     util::MutexLock lock(mutex_);
     snapshot = std::make_shared<const GraphSnapshot>(
-        name, next_version_++, std::move(g), std::move(sigs), timings);
+        name, next_version_++, std::move(g), std::move(sigs), timings,
+        std::move(backing));
     const auto it = std::lower_bound(
         current_.begin(), current_.end(), name,
         [](const auto& entry, const std::string& n) { return entry.first < n; });

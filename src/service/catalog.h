@@ -28,6 +28,13 @@ struct SnapshotTimings {
   double signature_build_seconds = 0.0;
   /// Seconds spent prewarming the memoized row hashes (0 when skipped).
   double prewarm_seconds = 0.0;
+  /// Seconds spent quantizing the compact signature matrix (0 when
+  /// disabled or loaded pre-quantized from a snapshot file).
+  double compact_build_seconds = 0.0;
+  /// Seconds spent mapping + validating a .psnap file (0 for in-memory
+  /// builds). The contrast with signature_build_seconds is the whole point
+  /// of the format: a cold load costs page faults, not a rebuild.
+  double load_seconds = 0.0;
 };
 
 /// An immutable, versioned (Graph, SignatureMatrix) bundle — the unit the
@@ -44,9 +51,13 @@ class GraphSnapshot {
  public:
   /// `sigs` must have one row per node of `g`. The version is assigned by
   /// the publishing catalog; standalone snapshots (tests, single-graph
-  /// tools) may pass any nonzero value.
+  /// tools) may pass any nonzero value. `backing` is an opaque keepalive
+  /// for storage `sigs` views into (the mmap of a loaded .psnap file):
+  /// the snapshot holds it until destruction, so the SnapshotPin chain
+  /// transitively keeps the mapping mapped while any request is in flight.
   GraphSnapshot(std::string name, uint64_t version, graph::Graph g,
-                signature::SignatureMatrix sigs, SnapshotTimings timings);
+                signature::SignatureMatrix sigs, SnapshotTimings timings,
+                std::shared_ptr<const void> backing = nullptr);
 
   GraphSnapshot(const GraphSnapshot&) = delete;
   GraphSnapshot& operator=(const GraphSnapshot&) = delete;
@@ -80,6 +91,9 @@ class GraphSnapshot {
   const uint64_t version_;
   const uint64_t cache_salt_;
   const SnapshotTimings timings_;
+  /// Declared before graph_/sigs_ so it is destroyed after them: sigs_ may
+  /// be a zero-copy view into this storage (see the constructor comment).
+  const std::shared_ptr<const void> backing_;
   const graph::Graph graph_;
   const signature::SignatureMatrix sigs_;
   /// Requests currently executing against this snapshot. Monitoring gauge
@@ -135,6 +149,12 @@ struct SnapshotBuildOptions {
   /// lookup, so a freshly swapped-in snapshot serves its first queries at
   /// steady-state latency.
   bool prewarm_row_hashes = true;
+  /// Quantize the signature matrix into its 8-bit compact companion
+  /// (compact_signature.h) so the bulk filter kernels prescreen candidates
+  /// at a quarter of the memory traffic. Answers are bit-identical either
+  /// way (over-admit + exact re-check); the toggle exists for A/B
+  /// benchmarking and differential tests, not as a safety valve.
+  bool build_compact_signatures = true;
   /// Parallelizes BuildSignatures and the prewarm. Caution: the build
   /// runs pool tasks and Wait()s, and ThreadPool::Wait waits for *all*
   /// tasks — never pass a pool that is concurrently executing queries
@@ -203,6 +223,16 @@ class GraphCatalog {
       std::string name, graph::Graph g, signature::SignatureMatrix sigs,
       SnapshotTimings timings = SnapshotTimings());
 
+  /// Maps a .psnap snapshot file (service/snapshot_io.h) and publishes it
+  /// under `name` — the O(page-fault) alternative to BuildAndPublish's
+  /// full signature rebuild. The published snapshot serves its float and
+  /// compact signatures zero-copy out of the mapping, which stays mapped
+  /// until the snapshot's last pin drops. Same fault site and swap
+  /// semantics as BuildAndPublish; validation failures (corruption,
+  /// truncation, version skew) leave the published state untouched.
+  util::Result<std::shared_ptr<const GraphSnapshot>> PublishFromFile(
+      std::string name, const std::string& path);
+
   /// BuildAndPublish on a detached thread — the background build pipeline
   /// behind `psi_serve`'s non-blocking `!load`. The build always runs
   /// serially (options.pool is ignored): a background build must never
@@ -240,7 +270,8 @@ class GraphCatalog {
  private:
   util::Result<std::shared_ptr<const GraphSnapshot>> Publish(
       std::string name, graph::Graph g, signature::SignatureMatrix sigs,
-      SnapshotTimings timings);
+      SnapshotTimings timings,
+      std::shared_ptr<const void> backing = nullptr);
 
   mutable util::Mutex mutex_;
   /// Sorted association list instead of a hash map: catalogs hold a

@@ -1,0 +1,113 @@
+#ifndef SMARTPSI_SERVICE_SNAPSHOT_IO_H_
+#define SMARTPSI_SERVICE_SNAPSHOT_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "graph/graph.h"
+#include "signature/signature_matrix.h"
+#include "util/status.h"
+
+namespace psi::service {
+
+/// Versioned binary snapshot format (".psnap", DESIGN.md §16.2): one file
+/// holding everything a served GraphSnapshot needs — the graph CSR, the
+/// float signature matrix, the 8-bit compact signature codes, and the
+/// memoized row hashes — laid out so a loader can mmap the file and serve
+/// straight out of the mapping.
+///
+/// Layout (all integers little-endian):
+///
+///   [ 0, 56)  header: magic "PSNP", u32 version, u32 method, u32 depth,
+///             f32 decay, u32 flags (bit 0 = compact section present),
+///             u64 num_nodes, u64 num_edges, u64 num_labels,
+///             u32 num_sections, u32 sig_labels
+///   [56, 64)  u64 checksum of header bytes [0, 56) ++ section table
+///   [64, ...) section table: num_sections × 32-byte entries
+///             { u32 id, u32 reserved(0), u64 offset, u64 size,
+///               u64 checksum of the payload }
+///
+/// Checksums are word-wise FNV-1a64 (util::Fnv1a64Words) — payloads are
+/// megabytes and verified on every load, so the checksum runs at the speed
+/// of the load path it protects.
+///   ...       section payloads, each 64-byte aligned, in id order
+///   EOF-64    64 zero tail-pad bytes (guarantees the AVX2 compact
+///             prescreen's masked tail-vector over-read — up to
+///             CompactSignatureMatrix::kTailPadBytes — stays in the file)
+///
+/// The loader validates structure before arithmetic, arithmetic before
+/// allocation, and checksums before trusting any payload; the graph CSR is
+/// additionally re-validated invariant-by-invariant through
+/// GraphBuilder::FromCsr (CSR bytes are copied), while the float and
+/// compact signature payloads are adopted zero-copy — their consumers
+/// treat every value as data, never as an index, so corrupt-but-
+/// checksummed bytes cannot cause out-of-bounds access.
+
+inline constexpr uint32_t kPsnapVersion = 1;
+inline constexpr size_t kPsnapHeaderBytes = 64;
+inline constexpr size_t kPsnapSectionEntryBytes = 32;
+inline constexpr size_t kPsnapAlignment = 64;
+inline constexpr size_t kPsnapTailPadBytes = 64;
+
+/// Section ids, in file order.
+enum class SnapshotSection : uint32_t {
+  kCsrOffsets = 1,    // u64[num_nodes + 1]
+  kCsrNeighbors = 2,  // u32[2 * num_edges]
+  kCsrEdgeLabels = 3, // u32[2 * num_edges]
+  kNodeLabels = 4,    // u32[num_nodes]
+  kNodesByLabel = 5,  // u32[num_nodes]
+  kLabelOffsets = 6,  // u64[num_labels + 1]
+  kSigFloat = 7,      // f32[num_nodes * sig_labels]
+  kSigCompact = 8,    // u8[num_nodes * sig_labels] (only with flags bit 0)
+  kRowHashes = 9,     // u64[num_nodes]
+};
+
+/// A snapshot loaded (mapped) from a .psnap file. `sigs` is a zero-copy
+/// view into `backing` (and carries the compact codes and row hashes from
+/// the file); `graph` owns its arrays. Whoever consumes the bundle must
+/// keep `backing` alive as long as `sigs` is used — GraphSnapshot stores
+/// it, and SnapshotPin's shared_ptr chain keeps the mapping mapped until
+/// the last in-flight request drains (DESIGN.md §16.3).
+struct LoadedSnapshot {
+  graph::Graph graph;
+  signature::SignatureMatrix sigs;
+  std::shared_ptr<const void> backing;
+};
+
+/// Header summary of a .psnap file (psi_snapshot --inspect).
+struct SnapshotFileInfo {
+  uint32_t version = 0;
+  signature::Method method = signature::Method::kMatrix;
+  uint32_t depth = 0;
+  float decay = 0.0f;
+  bool has_compact = false;
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  uint64_t num_labels = 0;
+  uint64_t sig_labels = 0;
+  uint32_t num_sections = 0;
+  uint64_t file_bytes = 0;
+};
+
+/// Writes `g` + `sigs` as a .psnap file. Writes the compact section iff
+/// `sigs` carries an attached CompactSignatureMatrix; memoizes (and
+/// persists) every row hash as a side effect.
+util::Status SaveSnapshotFile(const graph::Graph& g,
+                              const signature::SignatureMatrix& sigs,
+                              const std::string& path);
+
+/// Maps `path` and validates it end to end (structure, bounds, checksums,
+/// CSR invariants). On success the signature payloads are served zero-copy
+/// out of the mapping. Clean InvalidArgument/IoError statuses on any
+/// corruption, truncation, or version skew — never UB, never a partial
+/// result. Chaos hook: the `snapshot.load` fault site fails the load after
+/// header validation.
+util::Result<LoadedSnapshot> LoadSnapshotFile(const std::string& path);
+
+/// Parses and checksums the header + section table only (no payload work).
+util::Result<SnapshotFileInfo> DescribeSnapshotFile(const std::string& path);
+
+}  // namespace psi::service
+
+#endif  // SMARTPSI_SERVICE_SNAPSHOT_IO_H_

@@ -5,9 +5,11 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <numeric>
 
 #include "graph/graph_builder.h"
+#include "signature/compact_signature.h"
 
 namespace psi::shard {
 
@@ -205,6 +207,22 @@ PartitionedGraph BuildPartitionedGraph(
       const auto src = global_sigs.row(layout.local_to_global[i]);
       std::memcpy(part.sigs.row(i).data(), src.data(),
                   src.size() * sizeof(float));
+    }
+
+    // Compact codes follow the same slice-never-rebuild rule. Copying the
+    // global rows is bit-identical to re-quantizing the sliced floats
+    // (QuantizeWeight is a deterministic per-element map), so per-shard
+    // prescreen decisions match the global matrix exactly.
+    if (const signature::CompactSignatureMatrix* global_compact =
+            global_sigs.compact();
+        global_compact != nullptr) {
+      auto compact = std::make_unique<signature::CompactSignatureMatrix>(
+          num_local, global_sigs.num_labels());
+      for (size_t i = 0; i < num_local; ++i) {
+        const auto src = global_compact->row(layout.local_to_global[i]);
+        std::memcpy(compact->mutable_row(i), src.data(), src.size());
+      }
+      part.sigs.AttachCompact(std::move(compact));
     }
   }
   return out;

@@ -1,0 +1,16 @@
+#include "signature/compact_signature.h"
+
+namespace psi::signature {
+
+CompactSignatureMatrix CompactSignatureMatrix::Build(
+    const SignatureMatrix& sigs) {
+  CompactSignatureMatrix m(sigs.num_rows(), sigs.num_labels());
+  for (size_t i = 0; i < sigs.num_rows(); ++i) {
+    const std::span<const float> src = sigs.row(i);
+    uint8_t* dst = m.mutable_row(i);
+    for (size_t l = 0; l < src.size(); ++l) dst[l] = QuantizeWeight(src[l]);
+  }
+  return m;
+}
+
+}  // namespace psi::signature

@@ -79,6 +79,16 @@ util::Result<SignatureMatrix> ReadSignatures(std::istream& in) {
   if (num_labels != 0 && num_rows > kMaxElems / num_labels) {
     return util::Status::InvalidArgument("PSIG dimensions overflow");
   }
+  // Distinct from the uint64 overflow above: the matrix is *addressed*
+  // through size_t, and on an ILP32 target a payload that fits uint64
+  // arithmetic can still wrap the size_t multiply inside the
+  // SignatureMatrix constructor. Reject anything size_t cannot address
+  // before any allocation happens.
+  if (num_rows * num_labels >
+      std::numeric_limits<size_t>::max() / sizeof(float)) {
+    return util::Status::InvalidArgument(
+        "PSIG dimensions exceed addressable memory");
+  }
   const uint64_t payload_bytes = num_rows * num_labels * sizeof(float);
   if (const std::streampos here = in.tellg(); here != std::streampos(-1)) {
     in.seekg(0, std::ios::end);

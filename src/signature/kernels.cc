@@ -46,6 +46,33 @@ double RowScore(std::span<const float> row, const SparseRequirement& req) {
   return req.Score(row);
 }
 
+bool CompactRowMaySatisfyScalar(std::span<const uint8_t> row,
+                                const SparseRequirement& req) {
+  assert(row.size() == req.dim());
+  // Dense sweep: unconstrained labels carry threshold code 0, which can
+  // never reject (codes are unsigned), so comparing every label is the
+  // same decision as comparing only the constrained ones — and it reads
+  // both rows as plain contiguous bytes.
+  const uint8_t* need = req.dense_threshold_codes().data();
+  const size_t dim = req.dim();
+  for (size_t l = 0; l < dim; ++l) {
+    if (row[l] < need[l]) return false;
+  }
+  return true;
+}
+
+bool CompactRowMaySatisfy(std::span<const uint8_t> row,
+                          const SparseRequirement& req) {
+  assert(row.size() == req.dim());
+#if defined(PSI_HAVE_AVX2_KERNELS)
+  if (UseAvx2()) {
+    return CompactRowMaySatisfyAvx2(
+        row.data(), req.dense_threshold_codes().data(), req.dim());
+  }
+#endif
+  return CompactRowMaySatisfyScalar(row, req);
+}
+
 }  // namespace internal
 
 size_t FilterCandidates(const SignatureMatrix& sigs,
@@ -54,9 +81,23 @@ size_t FilterCandidates(const SignatureMatrix& sigs,
   assert(sigs.num_labels() == req.dim());
   // An all-zero requirement constrains nothing; skip the row sweep.
   if (req.nnz() == 0) return 0;
+  const CompactSignatureMatrix* compact = sigs.compact();
   size_t kept = 0;
-  for (const graph::NodeId c : candidates) {
-    if (internal::RowSatisfies(sigs.row(c), req)) candidates[kept++] = c;
+  if (compact != nullptr) {
+    // Quantized prescreen first (8-bit row sweep), exact float re-check on
+    // survivors only. The prescreen never rejects a float-satisfying row
+    // (over-admit contract), so this branch keeps exactly the same
+    // candidates in the same order as the float-only branch below.
+    for (const graph::NodeId c : candidates) {
+      if (internal::CompactRowMaySatisfy(compact->row(c), req) &&
+          internal::RowSatisfies(sigs.row(c), req)) {
+        candidates[kept++] = c;
+      }
+    }
+  } else {
+    for (const graph::NodeId c : candidates) {
+      if (internal::RowSatisfies(sigs.row(c), req)) candidates[kept++] = c;
+    }
   }
   const size_t pruned = candidates.size() - kept;
   candidates.resize(kept);

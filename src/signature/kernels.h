@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "signature/compact_signature.h"
 #include "signature/signature_matrix.h"
 #include "signature/sparse_requirement.h"
 
@@ -30,6 +31,13 @@ bool KernelsUseAvx2();
 /// (Proposition 3.2), in place and order-preserving. Returns the number of
 /// candidates pruned. Decisions are bit-identical to calling the scalar
 /// Satisfies(sigs.row(c), required) per candidate.
+///
+/// When `sigs` carries an attached CompactSignatureMatrix, each row is
+/// prescreened against the requirement's quantized threshold codes — an
+/// 8-bit sweep that rejects most non-satisfying rows without touching their
+/// floats — and only prescreen survivors run the exact float test. The
+/// prescreen can only over-admit (compact_signature.h), so the kept set is
+/// still byte-identical to the float-only path.
 size_t FilterCandidates(const SignatureMatrix& sigs,
                         const SparseRequirement& req,
                         std::vector<graph::NodeId>& candidates);
@@ -80,6 +88,18 @@ namespace internal {
 bool RowSatisfies(std::span<const float> row, const SparseRequirement& req);
 double RowScore(std::span<const float> row, const SparseRequirement& req);
 
+/// Conservative quantized prescreen of one compact row: false means the
+/// exact float test is guaranteed to fail; true means "maybe" and the
+/// caller must re-check the float row. Dispatched scalar/AVX2 like
+/// RowSatisfies; both paths return identical booleans for every input.
+bool CompactRowMaySatisfy(std::span<const uint8_t> row,
+                          const SparseRequirement& req);
+
+/// The always-available scalar reference for CompactRowMaySatisfy (the
+/// parity anchor of the property tests).
+bool CompactRowMaySatisfyScalar(std::span<const uint8_t> row,
+                                const SparseRequirement& req);
+
 #if defined(PSI_HAVE_AVX2_KERNELS)
 /// Definitions live in kernels_avx2.cc, compiled with -mavx2; only called
 /// after a runtime __builtin_cpu_supports("avx2") check.
@@ -87,6 +107,14 @@ bool RowSatisfiesAvx2(const float* row, const uint32_t* idx, const float* val,
                       size_t nnz);
 double RowScoreAvx2(const float* row, const uint32_t* idx, const double* val,
                     size_t nnz);
+/// Dense variant of the compact prescreen: 32 labels per compare with
+/// contiguous byte loads (no gathers). The tail is loaded as one full
+/// vector and masked, so the kernel may *read* (never use) up to
+/// CompactSignatureMatrix::kTailPadBytes bytes past the last code of both
+/// `row` and `tcodes`; every compact buffer and every
+/// SparseRequirement::dense_threshold_codes() buffer guarantees that pad.
+bool CompactRowMaySatisfyAvx2(const uint8_t* row, const uint8_t* tcodes,
+                              size_t dim);
 #endif
 
 }  // namespace internal

@@ -35,6 +35,37 @@ bool RowSatisfiesAvx2(const float* row, const uint32_t* idx, const float* val,
   return true;
 }
 
+bool CompactRowMaySatisfyAvx2(const uint8_t* row, const uint8_t* tcodes,
+                              size_t dim) {
+  // Dense prescreen: both rows are contiguous bytes, so each iteration
+  // tests 32 labels with two plain loads and an unsigned byte compare —
+  // no gathers. max_epu8(r, t) == r  <=>  r >= t lane-wise.
+  size_t l = 0;
+  for (; l + 32 <= dim; l += 32) {
+    const __m256i r =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + l));
+    const __m256i t =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tcodes + l));
+    const __m256i ge = _mm256_cmpeq_epi8(_mm256_max_epu8(r, t), r);
+    if (_mm256_movemask_epi8(ge) != -1) return false;
+  }
+  if (l < dim) {
+    // Tail: one full 32-byte load with the excess lanes masked out of the
+    // verdict. Reads up to 31 bytes past each row's last code, which
+    // kTailPadBytes guarantees are mapped (never used).
+    const __m256i r =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + l));
+    const __m256i t =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tcodes + l));
+    const __m256i ge = _mm256_cmpeq_epi8(_mm256_max_epu8(r, t), r);
+    const uint32_t live = (1u << (dim - l)) - 1;  // dim - l is in [1, 31]
+    if ((static_cast<uint32_t>(_mm256_movemask_epi8(ge)) & live) != live) {
+      return false;
+    }
+  }
+  return true;
+}
+
 double RowScoreAvx2(const float* row, const uint32_t* idx, const double* val,
                     size_t nnz) {
   if (nnz == 0) return 0.0;

@@ -2,8 +2,114 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "signature/compact_signature.h"
 
 namespace psi::signature {
+
+// Special members live out of line: compact_ is a unique_ptr to a type the
+// header only forward-declares, so destruction/copy must see the complete
+// CompactSignatureMatrix definition.
+
+SignatureMatrix::SignatureMatrix() = default;
+
+SignatureMatrix::SignatureMatrix(size_t num_rows, size_t num_labels,
+                                 Method method, uint32_t depth, float decay)
+    : num_rows_(num_rows),
+      num_labels_(num_labels),
+      method_(method),
+      depth_(depth),
+      decay_(decay),
+      data_(num_rows * num_labels, 0.0f),
+      row_hashes_(MakeHashSlots(num_rows)) {}
+
+SignatureMatrix::~SignatureMatrix() = default;
+
+SignatureMatrix::SignatureMatrix(const SignatureMatrix& other)
+    : num_rows_(other.num_rows_),
+      num_labels_(other.num_labels_),
+      method_(other.method_),
+      depth_(other.depth_),
+      decay_(other.decay_),
+      data_(other.data_ptr(),
+            other.data_ptr() + other.num_rows_ * other.num_labels_),
+      row_hashes_(MakeHashSlots(other.num_rows_)) {}
+
+SignatureMatrix& SignatureMatrix::operator=(const SignatureMatrix& other) {
+  if (this != &other) *this = SignatureMatrix(other);
+  return *this;
+}
+
+SignatureMatrix::SignatureMatrix(SignatureMatrix&& other) noexcept
+    : num_rows_(std::exchange(other.num_rows_, 0)),
+      num_labels_(std::exchange(other.num_labels_, 0)),
+      method_(other.method_),
+      depth_(other.depth_),
+      decay_(other.decay_),
+      data_(std::move(other.data_)),
+      external_(std::exchange(other.external_, nullptr)),
+      row_hashes_(std::move(other.row_hashes_)),
+      compact_(std::move(other.compact_)) {}
+
+SignatureMatrix& SignatureMatrix::operator=(SignatureMatrix&& other) noexcept {
+  if (this != &other) {
+    num_rows_ = std::exchange(other.num_rows_, 0);
+    num_labels_ = std::exchange(other.num_labels_, 0);
+    method_ = other.method_;
+    depth_ = other.depth_;
+    decay_ = other.decay_;
+    data_ = std::move(other.data_);
+    external_ = std::exchange(other.external_, nullptr);
+    row_hashes_ = std::move(other.row_hashes_);
+    compact_ = std::move(other.compact_);
+  }
+  return *this;
+}
+
+SignatureMatrix SignatureMatrix::FromExternal(const float* data,
+                                              size_t num_rows,
+                                              size_t num_labels, Method method,
+                                              uint32_t depth, float decay) {
+  SignatureMatrix m;
+  m.num_rows_ = num_rows;
+  m.num_labels_ = num_labels;
+  m.method_ = method;
+  m.depth_ = depth;
+  m.decay_ = decay;
+  m.external_ = data;
+  m.row_hashes_ = MakeHashSlots(num_rows);
+  return m;
+}
+
+void SignatureMatrix::SwapData(SignatureMatrix& other) {
+  data_.swap(other.data_);
+  std::swap(external_, other.external_);
+  row_hashes_.swap(other.row_hashes_);
+  compact_.swap(other.compact_);
+}
+
+void SignatureMatrix::AdoptRowHashes(std::span<const uint64_t> hashes) {
+  assert(hashes.size() == num_rows_);
+  for (size_t i = 0; i < hashes.size(); ++i) {
+    uint64_t h = hashes[i];
+    if (h == 0) h = 0x9e3779b97f4a7c15ULL;
+    row_hashes_[i].store(h, std::memory_order_relaxed);
+  }
+}
+
+void SignatureMatrix::AttachCompact(
+    std::unique_ptr<CompactSignatureMatrix> compact) {
+  assert(compact == nullptr || (compact->num_rows() == num_rows_ &&
+                                compact->num_labels() == num_labels_));
+  compact_ = std::move(compact);
+}
+
+void SignatureMatrix::BuildCompact() {
+  compact_ = std::make_unique<CompactSignatureMatrix>(
+      CompactSignatureMatrix::Build(*this));
+}
 
 const char* MethodName(Method method) {
   switch (method) {

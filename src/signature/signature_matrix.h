@@ -2,6 +2,7 @@
 #define SMARTPSI_SIGNATURE_SIGNATURE_MATRIX_H_
 
 #include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -33,43 +34,46 @@ const char* MethodName(Method method);
 
 uint64_t HashSignature(std::span<const float> row);
 
+class CompactSignatureMatrix;
+
 /// Dense row-major (num_rows × num_labels) float matrix of neighborhood
 /// signatures: row u, column l = weight of label l around node u
 /// (Definition 3.1). Rows are the ML feature vectors of SmartPSI.
+///
+/// The matrix either owns its floats (the default; every builder produces
+/// owned matrices) or is a zero-copy *view* over an external buffer — the
+/// SIG_FLOAT section of a mapped .psnap snapshot (DESIGN.md §16). Views are
+/// immutable: the mutating accessors assert ownership, and the external
+/// buffer must outlive the matrix (the snapshot's backing handle guarantees
+/// this; see service/snapshot_io.h). Copying a view materializes it into an
+/// owned matrix.
+///
+/// A matrix may carry an attached CompactSignatureMatrix — the 8-bit
+/// quantized companion the bulk filter kernels use as a conservative
+/// prescreen (compact_signature.h). The attachment is an acceleration
+/// cache, not state: copies drop it, like the memoized row hashes.
 class SignatureMatrix {
  public:
   /// Per-hop weight decay the paper uses (2^-d distance weighting).
   static constexpr float kDefaultDecay = 0.5f;
 
-  SignatureMatrix() = default;
-
+  SignatureMatrix();
   SignatureMatrix(size_t num_rows, size_t num_labels, Method method,
-                  uint32_t depth, float decay = kDefaultDecay)
-      : num_rows_(num_rows),
-        num_labels_(num_labels),
-        method_(method),
-        depth_(depth),
-        decay_(decay),
-        data_(num_rows * num_labels, 0.0f),
-        row_hashes_(MakeHashSlots(num_rows)) {}
+                  uint32_t depth, float decay = kDefaultDecay);
+  ~SignatureMatrix();
 
-  /// Copies drop the memoized row hashes (recomputed lazily on demand).
-  SignatureMatrix(const SignatureMatrix& other)
-      : num_rows_(other.num_rows_),
-        num_labels_(other.num_labels_),
-        method_(other.method_),
-        depth_(other.depth_),
-        decay_(other.decay_),
-        data_(other.data_),
-        row_hashes_(MakeHashSlots(other.num_rows_)) {}
+  /// Copies drop the memoized row hashes and any attached compact matrix
+  /// (both recomputed on demand) and materialize views into owned data.
+  SignatureMatrix(const SignatureMatrix& other);
+  SignatureMatrix& operator=(const SignatureMatrix& other);
+  SignatureMatrix(SignatureMatrix&& other) noexcept;
+  SignatureMatrix& operator=(SignatureMatrix&& other) noexcept;
 
-  SignatureMatrix& operator=(const SignatureMatrix& other) {
-    if (this != &other) *this = SignatureMatrix(other);
-    return *this;
-  }
-
-  SignatureMatrix(SignatureMatrix&&) = default;
-  SignatureMatrix& operator=(SignatureMatrix&&) = default;
+  /// Zero-copy view over `data` (row-major, num_rows × num_labels floats).
+  /// The buffer must outlive the returned matrix and stay immutable.
+  static SignatureMatrix FromExternal(const float* data, size_t num_rows,
+                                      size_t num_labels, Method method,
+                                      uint32_t depth, float decay);
 
   size_t num_rows() const { return num_rows_; }
   size_t num_labels() const { return num_labels_; }
@@ -81,23 +85,27 @@ class SignatureMatrix {
   /// signatures use the same value (the evaluator asserts this).
   float decay() const { return decay_; }
 
+  /// False for a zero-copy view over an external (mapped) buffer.
+  bool owns_data() const { return external_ == nullptr; }
+
   std::span<float> row(size_t i) {
+    assert(owns_data());
     return {data_.data() + i * num_labels_, num_labels_};
   }
   std::span<const float> row(size_t i) const {
-    return {data_.data() + i * num_labels_, num_labels_};
+    return {data_ptr() + i * num_labels_, num_labels_};
   }
 
-  float at(size_t i, size_t l) const { return data_[i * num_labels_ + l]; }
-  float& at(size_t i, size_t l) { return data_[i * num_labels_ + l]; }
+  float at(size_t i, size_t l) const { return data_ptr()[i * num_labels_ + l]; }
+  float& at(size_t i, size_t l) {
+    assert(owns_data());
+    return data_[i * num_labels_ + l];
+  }
 
   /// Swaps the backing stores of two equally-shaped matrices (double
-  /// buffering inside the matrix builder). Memoized row hashes follow
-  /// their data.
-  void SwapData(SignatureMatrix& other) {
-    data_.swap(other.data_);
-    row_hashes_.swap(other.row_hashes_);
-  }
+  /// buffering inside the matrix builder). Memoized row hashes and any
+  /// compact attachment follow their data.
+  void SwapData(SignatureMatrix& other);
 
   /// Lazily computed, memoized HashSignature(row(i)) — the prediction-cache
   /// key of hot candidates, so repeated lookups stop rehashing the full
@@ -120,10 +128,33 @@ class SignatureMatrix {
     return h;
   }
 
+  /// Seeds the RowHash memo from precomputed values (a .psnap ROW_HASHES
+  /// section), so a mapped snapshot skips the first-touch rehash of every
+  /// row. `hashes` must hold num_rows() values produced by RowHash /
+  /// HashSignature over the same rows; a stored 0 is replaced by the same
+  /// fixed substitute RowHash would memoize.
+  void AdoptRowHashes(std::span<const uint64_t> hashes);
+
+  /// Attaches / replaces the quantized companion matrix consulted by the
+  /// bulk filter kernels. Pass nullptr to detach. The attachment must have
+  /// been built from (or sliced bit-identically to) this matrix's rows —
+  /// the kernels trust its over-admit contract.
+  void AttachCompact(std::unique_ptr<CompactSignatureMatrix> compact);
+
+  /// Quantizes this matrix and attaches the result (Build + AttachCompact).
+  void BuildCompact();
+
+  /// The attached quantized companion, or nullptr if none.
+  const CompactSignatureMatrix* compact() const { return compact_.get(); }
+
  private:
   static std::unique_ptr<std::atomic<uint64_t>[]> MakeHashSlots(size_t n) {
     return n == 0 ? nullptr
                   : std::make_unique<std::atomic<uint64_t>[]>(n);
+  }
+
+  const float* data_ptr() const {
+    return external_ != nullptr ? external_ : data_.data();
   }
 
   size_t num_rows_ = 0;
@@ -132,8 +163,12 @@ class SignatureMatrix {
   uint32_t depth_ = 0;
   float decay_ = kDefaultDecay;
   std::vector<float> data_;
+  /// Non-null = zero-copy view (data_ stays empty); see owns_data().
+  const float* external_ = nullptr;
   /// RowHash memoization; slot value 0 = not yet computed.
   mutable std::unique_ptr<std::atomic<uint64_t>[]> row_hashes_;
+  /// Optional 8-bit quantized companion (see AttachCompact).
+  std::unique_ptr<CompactSignatureMatrix> compact_;
 };
 
 /// Satisfaction test (paper §3.2): `candidate` satisfies `required` iff for

@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "signature/compact_signature.h"
 #include "signature/signature_matrix.h"
 
 namespace psi::signature {
@@ -38,11 +39,14 @@ class SparseRequirement {
     indices_.clear();
     values_.clear();
     values_d_.clear();
+    dense_tcodes_.assign(
+        dim_ + CompactSignatureMatrix::kTailPadBytes, 0);
     for (size_t l = 0; l < required.size(); ++l) {
       if (required[l] > 0.0f) {
         indices_.push_back(static_cast<uint32_t>(l));
         values_.push_back(required[l]);
         values_d_.push_back(static_cast<double>(required[l]));
+        dense_tcodes_[l] = ThresholdCode(required[l]);
       }
     }
   }
@@ -62,6 +66,17 @@ class SparseRequirement {
   /// Required weights widened to double (the score kernels divide in
   /// double precision, exactly like the dense reference).
   std::span<const double> values_double() const { return values_d_; }
+
+  /// Conservative quantized thresholds as a *dense* row: entry l is
+  /// ThresholdCode(required[l]) for constrained labels and 0 (never
+  /// rejects — quantized codes are always >= 0) everywhere else. Dense so
+  /// the compact prescreen compares whole rows with contiguous byte loads
+  /// instead of index gathers; the backing buffer keeps
+  /// CompactSignatureMatrix::kTailPadBytes readable slack past dim() so
+  /// the AVX2 kernel may load the tail as one full masked vector.
+  std::span<const uint8_t> dense_threshold_codes() const {
+    return {dense_tcodes_.data(), dim_};
+  }
 
   /// Bit-identical to Satisfies(candidate, required) for the row this view
   /// was built from. `candidate` must have dim() entries.
@@ -96,6 +111,7 @@ class SparseRequirement {
   std::vector<uint32_t> indices_;
   std::vector<float> values_;
   std::vector<double> values_d_;
+  std::vector<uint8_t> dense_tcodes_;
 };
 
 }  // namespace psi::signature

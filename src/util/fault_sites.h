@@ -32,6 +32,7 @@ inline constexpr char kGraphIoShortRead[] = "io.graph.short_read";
 inline constexpr char kQueryIoShortRead[] = "io.query.short_read";
 inline constexpr char kSignatureIoShortRead[] = "io.signature.short_read";
 inline constexpr char kWorkloadShortRead[] = "io.workload.short_read";
+inline constexpr char kSnapshotLoad[] = "snapshot.load";
 
 }  // namespace psi::util::faults
 

@@ -1,0 +1,59 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace psi::util {
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  if (fd < 0) {
+    return Status::NotFound("cannot open '" + path +
+                            "': " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    Status s = Status::IoError("cannot stat '" + path +
+                               "': " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (st.st_size < 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::InvalidArgument("'" + path + "' is not a regular file");
+  }
+  MmapFile file;
+  const auto size = static_cast<size_t>(st.st_size);
+  if (size > 0) {
+    void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapped == MAP_FAILED) {
+      Status s = Status::IoError("cannot mmap '" + path +
+                                 "': " + std::strerror(errno));
+      ::close(fd);
+      return s;
+    }
+    file.data_ = mapped;
+    file.size_ = size;
+  }
+  // The mapping holds its own reference to the file; the descriptor is no
+  // longer needed once mmap succeeded (or the file is empty).
+  ::close(fd);
+  return file;
+}
+
+MmapFile::~MmapFile() { Reset(); }
+
+void MmapFile::Reset() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<void*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace psi::util

@@ -1,0 +1,55 @@
+#ifndef SMARTPSI_UTIL_MMAP_FILE_H_
+#define SMARTPSI_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace psi::util {
+
+/// Read-only memory-mapped file. Move-only RAII: the mapping lives exactly
+/// as long as the object, so a snapshot that serves out of a mapping must
+/// keep its `MmapFile` alive for the snapshot's whole lifetime (DESIGN.md
+/// §16.3 ties this to `SnapshotPin` via the snapshot's backing handle).
+///
+/// An empty file maps to `data() == nullptr`, `size() == 0` — POSIX mmap
+/// rejects zero-length mappings, so that case never calls mmap at all.
+class MmapFile {
+ public:
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MmapFile& operator=(MmapFile&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  const void* data() const { return data_; }
+  const unsigned char* bytes() const {
+    return static_cast<const unsigned char*>(data_);
+  }
+  size_t size() const { return size_; }
+
+ private:
+  void Reset();
+
+  const void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace psi::util
+
+#endif  // SMARTPSI_UTIL_MMAP_FILE_H_

@@ -198,6 +198,52 @@ TEST_P(DifferentialTest, ParallelSearchIsBitIdenticalToSequential) {
   }
 }
 
+// Compact quantized signatures (DESIGN.md §16.1) are an acceleration
+// cache, never a semantics change: the pure drivers with a compact
+// companion attached must return byte-identical pivot sets to the same
+// drivers on the float-only matrix, bare and under the chaos schedule.
+TEST_P(DifferentialTest, CompactPrescreenLeavesPureDriverAnswersUnchanged) {
+  const auto [base_seed, query_size] = GetParam();
+  const uint64_t seed = psi::testing::TestSeed(base_seed, query_size * 977);
+  PSI_LOG_TEST_SEED(seed);
+
+  const graph::Graph g = psi::testing::MakeRandomGraph(220, 700, 3, seed);
+  const graph::QueryGraph q =
+      psi::testing::ExtractQuery(g, query_size, seed * 7919 + 3);
+  if (q.num_nodes() != query_size) GTEST_SKIP() << "extraction failed";
+
+  for (const auto method :
+       {signature::Method::kExploration, signature::Method::kMatrix}) {
+    signature::SignatureMatrix with_compact =
+        signature::BuildSignatures(g, method, 2, g.num_labels());
+    const signature::SignatureMatrix float_only = with_compact;
+    with_compact.BuildCompact();
+    ASSERT_NE(with_compact.compact(), nullptr);
+
+    const auto sweep = [&](const std::string& context) {
+      SCOPED_TRACE(context);
+      for (const core::PureStrategy strategy :
+           {core::PureStrategy::kOptimistic,
+            core::PureStrategy::kPessimistic}) {
+        core::PureDriverOptions pure;
+        pure.strategy = strategy;
+        const auto expected = core::EvaluatePure(g, float_only, q, pure);
+        const auto actual = core::EvaluatePure(g, with_compact, q, pure);
+        ASSERT_TRUE(expected.complete);
+        ASSERT_TRUE(actual.complete);
+        EXPECT_EQ(actual.valid_nodes, expected.valid_nodes)
+            << "method " << static_cast<int>(method) << " strategy "
+            << static_cast<int>(strategy);
+      }
+    };
+    sweep("bare");
+    {
+      util::ScopedFaultSpec chaos(psi::testing::MakeChaosSchedule());
+      sweep("chaos");
+    }
+  }
+}
+
 // The paper's running example, pinned: no skip path, every engine, chaos on
 // top. If the randomized sweep ever regresses silently (extraction skips),
 // this one still bites.

@@ -5,7 +5,7 @@
 // Each comparison runs bare and again under the standard chaos schedule
 // plus the sharded fault sites armed; injected faults may change counters,
 // never answers. Lives under the `differential.` ctest prefix so the CI
-// chaos jobs (`ctest -R 'differential|io_fuzz|fault'`) pick it up in every
+// chaos jobs (`ctest -R 'differential|io_fuzz|fault|snapshot'`) pick it up in every
 // build configuration.
 
 #include <cstddef>
@@ -45,22 +45,30 @@ void ExpectShardedMatchesOracle(const graph::Graph& g,
                                 const std::vector<graph::NodeId>& oracle,
                                 const std::string& context) {
   SCOPED_TRACE(context);
-  const auto gs = signature::BuildSignatures(
+  auto gs = signature::BuildSignatures(
       g, signature::Method::kMatrix, 2, g.num_labels());
-  shard::PartitionOptions options;
-  options.num_shards = k;
-  const shard::PartitionedGraph pg = shard::BuildPartitionedGraph(
-      g, gs, shard::GraphPartitioner(options).Partition(g));
-  shard::CrossShardEvaluator evaluator(shard::ShardedView::Of(pg));
-  for (const service::Method method :
-       {service::Method::kOptimistic, service::Method::kPessimistic,
-        service::Method::kSmart}) {
-    shard::CrossShardEvaluator::Options eval;
-    eval.method = method;
-    const auto result = evaluator.Evaluate(q, eval);
-    ASSERT_TRUE(result.complete);
-    EXPECT_EQ(result.valid_nodes, oracle)
-        << "method " << static_cast<int>(method) << " k=" << k;
+  // Both signature flavors: float-only, and with the compact quantized
+  // companion attached (the partitioner then slices compact rows per shard
+  // and every shard-local kernel sweep runs the prescreen — DESIGN.md
+  // §16.1). Answers must be identical either way.
+  for (const bool compact : {false, true}) {
+    SCOPED_TRACE(::testing::Message() << "compact=" << compact);
+    if (compact) gs.BuildCompact();
+    shard::PartitionOptions options;
+    options.num_shards = k;
+    const shard::PartitionedGraph pg = shard::BuildPartitionedGraph(
+        g, gs, shard::GraphPartitioner(options).Partition(g));
+    shard::CrossShardEvaluator evaluator(shard::ShardedView::Of(pg));
+    for (const service::Method method :
+         {service::Method::kOptimistic, service::Method::kPessimistic,
+          service::Method::kSmart}) {
+      shard::CrossShardEvaluator::Options eval;
+      eval.method = method;
+      const auto result = evaluator.Evaluate(q, eval);
+      ASSERT_TRUE(result.complete);
+      EXPECT_EQ(result.valid_nodes, oracle)
+          << "method " << static_cast<int>(method) << " k=" << k;
+    }
   }
 
   // The unsharded pure drivers agree with the oracle on the same inputs —

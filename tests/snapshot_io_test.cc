@@ -1,0 +1,574 @@
+// Conformance suite for the .psnap binary snapshot format (DESIGN.md
+// §16.2/§16.3): a save→load round trip must reproduce the graph, the float
+// signatures, the compact codes, the row hashes — and the engine answers —
+// exactly; and every malformed input (truncation at any byte, bit flips in
+// the header or any payload, version skew, dimension overflows, CSR
+// invariant violations) must come back as a clean error Status, never a
+// crash, an over-read, or a silently wrong snapshot. The golden-fixture
+// test pins the on-disk layout itself: a byte written by an older build
+// must keep loading, and re-saving the loaded snapshot must reproduce the
+// fixture byte-for-byte.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pure_drivers.h"
+#include "match/engine.h"
+#include "service/snapshot_io.h"
+#include "signature/builders.h"
+#include "signature/compact_signature.h"
+#include "tests/test_fixtures.h"
+#include "util/checksum.h"
+#include "util/fault_injection.h"
+
+namespace psi {
+namespace {
+
+using service::LoadSnapshotFile;
+using service::SaveSnapshotFile;
+
+struct Sample {
+  graph::Graph graph;
+  signature::SignatureMatrix sigs;
+};
+
+/// A small graph + fully-equipped matrix (compact codes attached, row
+/// hashes memoized) — everything the writer persists.
+Sample MakeSample(uint64_t seed, size_t nodes = 60, size_t edges = 150) {
+  Sample s;
+  s.graph = psi::testing::MakeRandomGraph(nodes, edges, 3, seed);
+  s.sigs = signature::BuildSignatures(
+      s.graph, signature::Method::kMatrix, 2, s.graph.num_labels());
+  s.sigs.BuildCompact();
+  for (size_t i = 0; i < s.sigs.num_rows(); ++i) s.sigs.RowHash(i);
+  return s;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out) << path;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+template <typename T>
+T ReadScalar(const std::string& buf, size_t at) {
+  T value;
+  std::memcpy(&value, buf.data() + at, sizeof(T));
+  return value;
+}
+
+template <typename T>
+void PatchScalar(std::string* buf, size_t at, T value) {
+  std::memcpy(buf->data() + at, &value, sizeof(T));
+}
+
+// Header field offsets (the layout contract of snapshot_io.h).
+constexpr size_t kOffVersion = 4;
+constexpr size_t kOffMethod = 8;
+constexpr size_t kOffDecay = 16;
+constexpr size_t kOffFlags = 20;
+constexpr size_t kOffNumNodes = 24;
+constexpr size_t kOffNumSections = 48;
+constexpr size_t kOffHeaderChecksum = 56;
+
+size_t TableBytes(const std::string& buf) {
+  return static_cast<size_t>(ReadScalar<uint32_t>(buf, kOffNumSections)) *
+         service::kPsnapSectionEntryBytes;
+}
+
+/// Recomputes the chained header/table checksum after a field patch, so a
+/// test can present a *structurally valid* header with a hostile field and
+/// reach the specific rejection it targets instead of the checksum catch-all.
+void FixHeaderChecksum(std::string* buf) {
+  uint64_t c = util::Fnv1a64Words(buf->data(), kOffHeaderChecksum);
+  c = util::Fnv1a64Words(buf->data() + service::kPsnapHeaderBytes,
+                         TableBytes(*buf), c);
+  PatchScalar<uint64_t>(buf, kOffHeaderChecksum, c);
+}
+
+struct TableEntry {
+  uint32_t id = 0;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+};
+
+std::vector<TableEntry> ReadTable(const std::string& buf) {
+  const auto n = ReadScalar<uint32_t>(buf, kOffNumSections);
+  std::vector<TableEntry> entries(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const size_t at =
+        service::kPsnapHeaderBytes + i * service::kPsnapSectionEntryBytes;
+    entries[i].id = ReadScalar<uint32_t>(buf, at);
+    entries[i].offset = ReadScalar<uint64_t>(buf, at + 8);
+    entries[i].size = ReadScalar<uint64_t>(buf, at + 16);
+  }
+  return entries;
+}
+
+/// Recomputes section i's payload checksum and the header checksum — the
+/// corruption-with-valid-checksums path that must still be caught by the
+/// semantic validation layers (CSR invariants).
+void FixSectionChecksum(std::string* buf, size_t table_index) {
+  const size_t at = service::kPsnapHeaderBytes +
+                    table_index * service::kPsnapSectionEntryBytes;
+  const auto offset = ReadScalar<uint64_t>(*buf, at + 8);
+  const auto size = ReadScalar<uint64_t>(*buf, at + 16);
+  PatchScalar<uint64_t>(buf, at + 24,
+                        util::Fnv1a64Words(buf->data() + offset, size));
+  FixHeaderChecksum(buf);
+}
+
+void ExpectStatusContains(const util::Status& status, const char* needle) {
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find(needle), std::string::npos)
+      << status.ToString();
+}
+
+class SnapshotIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::FaultInjector::Global().DisarmAll(); }
+  void TearDown() override { util::FaultInjector::Global().DisarmAll(); }
+};
+
+TEST_F(SnapshotIoTest, RoundTripPreservesGraphSignaturesAndHashes) {
+  const uint64_t seed = psi::testing::TestSeed(0x5a01);
+  PSI_LOG_TEST_SEED(seed);
+  const Sample s = MakeSample(seed);
+  const std::string path = TempPath("roundtrip.psnap");
+  ASSERT_TRUE(SaveSnapshotFile(s.graph, s.sigs, path).ok());
+
+  const auto loaded = LoadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const graph::Graph& g = loaded.value().graph;
+  // Views must be used through a const reference: the mutating accessors
+  // of SignatureMatrix assert ownership.
+  const signature::SignatureMatrix& sigs = loaded.value().sigs;
+
+  ASSERT_EQ(g.num_nodes(), s.graph.num_nodes());
+  ASSERT_EQ(g.num_edges(), s.graph.num_edges());
+  ASSERT_EQ(g.num_labels(), s.graph.num_labels());
+  for (size_t u = 0; u < g.num_nodes(); ++u) {
+    const auto id = static_cast<graph::NodeId>(u);
+    ASSERT_EQ(g.label(id), s.graph.label(id));
+    const auto nb = g.neighbors(id);
+    const auto expected_nb = s.graph.neighbors(id);
+    ASSERT_TRUE(std::equal(nb.begin(), nb.end(), expected_nb.begin(),
+                           expected_nb.end()))
+        << "node " << u;
+    const auto el = g.edge_labels(id);
+    const auto expected_el = s.graph.edge_labels(id);
+    ASSERT_TRUE(std::equal(el.begin(), el.end(), expected_el.begin(),
+                           expected_el.end()))
+        << "node " << u;
+  }
+
+  EXPECT_FALSE(sigs.owns_data());  // zero-copy out of the mapping
+  ASSERT_EQ(sigs.num_rows(), s.sigs.num_rows());
+  ASSERT_EQ(sigs.num_labels(), s.sigs.num_labels());
+  EXPECT_EQ(sigs.method(), s.sigs.method());
+  EXPECT_EQ(sigs.depth(), s.sigs.depth());
+  EXPECT_EQ(sigs.decay(), s.sigs.decay());
+  ASSERT_NE(sigs.compact(), nullptr);
+  for (size_t i = 0; i < sigs.num_rows(); ++i) {
+    const auto row = sigs.row(i);
+    const auto expected_row = s.sigs.row(i);
+    ASSERT_EQ(0, std::memcmp(row.data(), expected_row.data(),
+                             row.size() * sizeof(float)))
+        << "float row " << i;
+    const auto codes = sigs.compact()->row(i);
+    const auto expected_codes = s.sigs.compact()->row(i);
+    ASSERT_EQ(0,
+              std::memcmp(codes.data(), expected_codes.data(), codes.size()))
+        << "compact row " << i;
+    ASSERT_EQ(sigs.RowHash(i), s.sigs.RowHash(i)) << "row hash " << i;
+  }
+
+  // Strongest equality: re-saving the loaded snapshot reproduces the file
+  // byte-for-byte (the writer is a pure function of the loaded state).
+  const std::string resaved = TempPath("roundtrip_resave.psnap");
+  ASSERT_TRUE(SaveSnapshotFile(g, sigs, resaved).ok());
+  EXPECT_EQ(ReadFileBytes(path), ReadFileBytes(resaved));
+}
+
+TEST_F(SnapshotIoTest, AnswersFromMappedSnapshotMatchInMemoryBuild) {
+  const uint64_t seed = psi::testing::TestSeed(0x5a02);
+  PSI_LOG_TEST_SEED(seed);
+  const Sample s = MakeSample(seed, /*nodes=*/120, /*edges=*/380);
+  const std::string path = TempPath("answers.psnap");
+  ASSERT_TRUE(SaveSnapshotFile(s.graph, s.sigs, path).ok());
+  const auto loaded = LoadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const signature::SignatureMatrix& mapped_sigs = loaded.value().sigs;
+
+  for (const size_t query_size : {3u, 4u}) {
+    const graph::QueryGraph q =
+        psi::testing::ExtractQuery(s.graph, query_size, seed * 31 + query_size);
+    if (q.num_nodes() != query_size) continue;
+    SCOPED_TRACE(::testing::Message() << "query_size=" << query_size);
+
+    match::BasicEngine basic(s.graph);
+    const auto truth = basic.ProjectPivot(q, match::MatchingEngine::Options());
+    ASSERT_TRUE(truth.complete);
+
+    for (const core::PureStrategy strategy :
+         {core::PureStrategy::kOptimistic, core::PureStrategy::kPessimistic}) {
+      core::PureDriverOptions pure;
+      pure.strategy = strategy;
+      const auto in_memory = core::EvaluatePure(s.graph, s.sigs, q, pure);
+      const auto from_snapshot =
+          core::EvaluatePure(loaded.value().graph, mapped_sigs, q, pure);
+      ASSERT_TRUE(in_memory.complete);
+      ASSERT_TRUE(from_snapshot.complete);
+      EXPECT_EQ(in_memory.valid_nodes, truth.pivot_matches);
+      EXPECT_EQ(from_snapshot.valid_nodes, truth.pivot_matches);
+    }
+  }
+}
+
+TEST_F(SnapshotIoTest, TruncationAtEveryByteFailsCleanly) {
+  const uint64_t seed = psi::testing::TestSeed(0x5a03);
+  PSI_LOG_TEST_SEED(seed);
+  const Sample s = MakeSample(seed, /*nodes=*/40, /*edges=*/90);
+  const std::string path = TempPath("trunc_full.psnap");
+  ASSERT_TRUE(SaveSnapshotFile(s.graph, s.sigs, path).ok());
+  const std::string full = ReadFileBytes(path);
+  ASSERT_GT(full.size(), service::kPsnapHeaderBytes);
+
+  // Every prefix that cuts into header, table, or any payload must be
+  // rejected. A cut strictly inside the trailing zero pad leaves a
+  // structurally complete file — such prefixes may load, and must load
+  // the same data as the full file.
+  const auto table = ReadTable(full);
+  const uint64_t last_payload_end =
+      table.back().offset + table.back().size;
+  const std::string cut_path = TempPath("trunc_cut.psnap");
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    WriteFileBytes(cut_path, full.substr(0, cut));
+    const auto result = LoadSnapshotFile(cut_path);
+    if (cut < last_payload_end) {
+      EXPECT_FALSE(result.ok()) << "accepted a " << cut << "-byte prefix";
+    } else if (result.ok()) {
+      EXPECT_EQ(result.value().graph.num_nodes(), s.graph.num_nodes());
+    }
+  }
+}
+
+TEST_F(SnapshotIoTest, HeaderAndTableBitFlipsAreAllRejected) {
+  const uint64_t seed = psi::testing::TestSeed(0x5a04);
+  PSI_LOG_TEST_SEED(seed);
+  const Sample s = MakeSample(seed, /*nodes=*/30, /*edges=*/60);
+  const std::string path = TempPath("hdrflip_full.psnap");
+  ASSERT_TRUE(SaveSnapshotFile(s.graph, s.sigs, path).ok());
+  const std::string full = ReadFileBytes(path);
+  const size_t protected_bytes = service::kPsnapHeaderBytes + TableBytes(full);
+
+  const std::string flip_path = TempPath("hdrflip_cut.psnap");
+  for (size_t i = 0; i < protected_bytes; ++i) {
+    for (const unsigned char mask : {0x01, 0x80, 0xff}) {
+      std::string corrupted = full;
+      corrupted[i] = static_cast<char>(corrupted[i] ^ mask);
+      WriteFileBytes(flip_path, corrupted);
+      // Every header/table byte is covered by the chained header checksum
+      // (including the checksum field itself), so any flip must fail.
+      EXPECT_FALSE(LoadSnapshotFile(flip_path).ok())
+          << "byte " << i << " mask " << static_cast<int>(mask);
+    }
+  }
+}
+
+TEST_F(SnapshotIoTest, PayloadBitFlipsAreCaughtBySectionChecksums) {
+  const uint64_t seed = psi::testing::TestSeed(0x5a05);
+  PSI_LOG_TEST_SEED(seed);
+  const Sample s = MakeSample(seed, /*nodes=*/30, /*edges=*/60);
+  const std::string path = TempPath("payload_full.psnap");
+  ASSERT_TRUE(SaveSnapshotFile(s.graph, s.sigs, path).ok());
+  const std::string full = ReadFileBytes(path);
+
+  const std::string flip_path = TempPath("payload_cut.psnap");
+  for (const TableEntry& e : ReadTable(full)) {
+    ASSERT_GT(e.size, 0u);
+    for (const uint64_t at :
+         {e.offset, e.offset + e.size / 2, e.offset + e.size - 1}) {
+      for (const unsigned char mask : {0x01, 0x80, 0xff}) {
+        std::string corrupted = full;
+        corrupted[at] = static_cast<char>(corrupted[at] ^ mask);
+        WriteFileBytes(flip_path, corrupted);
+        const auto result = LoadSnapshotFile(flip_path);
+        ASSERT_FALSE(result.ok())
+            << "section " << e.id << " byte " << at;
+        ExpectStatusContains(result.status(), "checksum mismatch");
+      }
+    }
+  }
+}
+
+TEST_F(SnapshotIoTest, VersionSkewAndHostileHeaderFieldsRejectedSpecifically) {
+  const uint64_t seed = psi::testing::TestSeed(0x5a06);
+  PSI_LOG_TEST_SEED(seed);
+  const Sample s = MakeSample(seed, /*nodes=*/30, /*edges=*/60);
+  const std::string path = TempPath("fields_full.psnap");
+  ASSERT_TRUE(SaveSnapshotFile(s.graph, s.sigs, path).ok());
+  const std::string full = ReadFileBytes(path);
+  const std::string hostile_path = TempPath("fields_cut.psnap");
+
+  const auto expect_rejection = [&](const std::string& bytes,
+                                    const char* needle) {
+    WriteFileBytes(hostile_path, bytes);
+    const auto result = LoadSnapshotFile(hostile_path);
+    ExpectStatusContains(result.status(), needle);
+  };
+
+  {  // A future version must be refused, not misparsed.
+    std::string bytes = full;
+    PatchScalar<uint32_t>(&bytes, kOffVersion, service::kPsnapVersion + 1);
+    FixHeaderChecksum(&bytes);
+    expect_rejection(bytes, "unsupported version");
+  }
+  {  // Unknown flag bits mean sections this build cannot interpret.
+    std::string bytes = full;
+    PatchScalar<uint32_t>(&bytes, kOffFlags,
+                          ReadScalar<uint32_t>(bytes, kOffFlags) | 0x80u);
+    FixHeaderChecksum(&bytes);
+    expect_rejection(bytes, "unknown flags");
+  }
+  {
+    std::string bytes = full;
+    PatchScalar<uint32_t>(&bytes, kOffMethod, 7);
+    FixHeaderChecksum(&bytes);
+    expect_rejection(bytes, "bad method");
+  }
+  {
+    std::string bytes = full;
+    PatchScalar<float>(&bytes, kOffDecay, 2.5f);
+    FixHeaderChecksum(&bytes);
+    expect_rejection(bytes, "decay out of range");
+  }
+  {
+    std::string bytes = full;
+    PatchScalar<uint32_t>(&bytes, kOffNumSections, 5);
+    // Version 1 pins the section list; the count check fires before the
+    // checksum is even computed, so no fixup is needed (or possible — the
+    // claimed table size changed).
+    expect_rejection(bytes, "wrong section count");
+  }
+  {  // A node count beyond the 32-bit id space must be stopped before any
+     // size arithmetic or allocation.
+    std::string bytes = full;
+    PatchScalar<uint64_t>(&bytes, kOffNumNodes, uint64_t{1} << 33);
+    FixHeaderChecksum(&bytes);
+    expect_rejection(bytes, "32-bit node id space");
+  }
+  {  // Not a snapshot at all.
+    std::string bytes = full;
+    bytes[0] = 'X';
+    expect_rejection(bytes, "not a PSNP");
+  }
+  {  // Shorter than the fixed header.
+    expect_rejection(std::string("PSNP"), "shorter than the fixed header");
+  }
+}
+
+// Corruption with *valid* checksums: the CSR invariants are the last line
+// of defense, because the graph's contents are used as indices. The new
+// cursor-based symmetry check must reject a one-sided arc and a one-sided
+// edge-label change.
+TEST_F(SnapshotIoTest, ChecksummedButInvalidCsrRejectedByInvariants) {
+  const uint64_t seed = psi::testing::TestSeed(0x5a07);
+  PSI_LOG_TEST_SEED(seed);
+  const Sample s = MakeSample(seed, /*nodes=*/30, /*edges=*/60);
+  const std::string path = TempPath("csr_full.psnap");
+  ASSERT_TRUE(SaveSnapshotFile(s.graph, s.sigs, path).ok());
+  const std::string full = ReadFileBytes(path);
+  const auto table = ReadTable(full);
+  const std::string bad_path = TempPath("csr_cut.psnap");
+
+  {  // Flip one direction's edge label: adjacency stays symmetric and
+     // ascending, the label pairing does not.
+    std::string bytes = full;
+    const TableEntry& edge_labels = table[2];
+    ASSERT_EQ(edge_labels.id,
+              static_cast<uint32_t>(service::SnapshotSection::kCsrEdgeLabels));
+    PatchScalar<uint32_t>(
+        &bytes, edge_labels.offset,
+        ReadScalar<uint32_t>(bytes, edge_labels.offset) ^ 1u);
+    FixSectionChecksum(&bytes, 2);
+    WriteFileBytes(bad_path, bytes);
+    const auto result = LoadSnapshotFile(bad_path);
+    ExpectStatusContains(result.status(), "CSR adoption");
+  }
+  {  // Smash a neighbor id: depending on the value this trips the range,
+     // ascending, or symmetry invariant — any CSR rejection is correct,
+     // silence is not.
+    std::string bytes = full;
+    const TableEntry& neighbors = table[1];
+    ASSERT_EQ(neighbors.id,
+              static_cast<uint32_t>(service::SnapshotSection::kCsrNeighbors));
+    PatchScalar<uint32_t>(&bytes, neighbors.offset, 0xfffffff0u);
+    FixSectionChecksum(&bytes, 1);
+    WriteFileBytes(bad_path, bytes);
+    const auto result = LoadSnapshotFile(bad_path);
+    ExpectStatusContains(result.status(), "CSR adoption");
+  }
+}
+
+TEST_F(SnapshotIoTest, DescribeReportsHeaderWithoutTouchingPayloads) {
+  const uint64_t seed = psi::testing::TestSeed(0x5a08);
+  PSI_LOG_TEST_SEED(seed);
+  const Sample s = MakeSample(seed);
+  const std::string path = TempPath("describe.psnap");
+  ASSERT_TRUE(SaveSnapshotFile(s.graph, s.sigs, path).ok());
+
+  const auto info = service::DescribeSnapshotFile(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.value().version, service::kPsnapVersion);
+  EXPECT_EQ(info.value().method, s.sigs.method());
+  EXPECT_EQ(info.value().depth, s.sigs.depth());
+  EXPECT_TRUE(info.value().has_compact);
+  EXPECT_EQ(info.value().num_nodes, s.graph.num_nodes());
+  EXPECT_EQ(info.value().num_edges, s.graph.num_edges());
+  EXPECT_EQ(info.value().num_labels, s.graph.num_labels());
+  EXPECT_EQ(info.value().file_bytes, ReadFileBytes(path).size());
+
+  // Describe validates the header checksum: a payload flip is invisible to
+  // it, a table flip is not.
+  std::string corrupted = ReadFileBytes(path);
+  corrupted[service::kPsnapHeaderBytes + 8] ^= 0x01;  // first entry offset
+  const std::string bad_path = TempPath("describe_bad.psnap");
+  WriteFileBytes(bad_path, corrupted);
+  EXPECT_FALSE(service::DescribeSnapshotFile(bad_path).ok());
+}
+
+TEST_F(SnapshotIoTest, SnapshotWithoutCompactSectionRoundTrips) {
+  const uint64_t seed = psi::testing::TestSeed(0x5a09);
+  PSI_LOG_TEST_SEED(seed);
+  Sample s = MakeSample(seed);
+  s.sigs.AttachCompact(nullptr);  // drop the compact companion
+  const std::string path = TempPath("nocompact.psnap");
+  ASSERT_TRUE(SaveSnapshotFile(s.graph, s.sigs, path).ok());
+
+  const auto info = service::DescribeSnapshotFile(path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info.value().has_compact);
+  EXPECT_EQ(info.value().num_sections, 8u);
+
+  const auto loaded = LoadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().sigs.compact(), nullptr);
+  EXPECT_EQ(loaded.value().graph.num_nodes(), s.graph.num_nodes());
+}
+
+// The committed golden fixture pins the v1 byte layout: if the writer, the
+// checksum definition, or any section's encoding drifts, this fails even
+// though save/load round trips keep passing against each other. The
+// fixture's floats are never compared against freshly built signatures
+// (builds may differ in rounding); the loaded bytes themselves are the
+// reference, and the answers check only needs Proposition 3.2 soundness.
+TEST_F(SnapshotIoTest, GoldenFixtureLoadsAndResavesByteIdentically) {
+  const std::string fixture =
+      std::string(PSI_SNAPSHOT_FIXTURE_DIR) + "/golden.psnap";
+  const auto loaded = LoadSnapshotFile(fixture);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const graph::Graph& g = loaded.value().graph;
+  const signature::SignatureMatrix& sigs = loaded.value().sigs;
+
+  const auto info = service::DescribeSnapshotFile(fixture);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().version, 1u);
+  EXPECT_EQ(info.value().num_nodes, 120u);
+  EXPECT_EQ(info.value().num_labels, 4u);
+  EXPECT_EQ(info.value().depth, 2u);
+  EXPECT_EQ(info.value().method, signature::Method::kMatrix);
+  EXPECT_TRUE(info.value().has_compact);
+  ASSERT_NE(sigs.compact(), nullptr);
+
+  const std::string resaved = TempPath("golden_resave.psnap");
+  ASSERT_TRUE(SaveSnapshotFile(g, sigs, resaved).ok());
+  EXPECT_EQ(ReadFileBytes(fixture), ReadFileBytes(resaved))
+      << "the .psnap writer no longer reproduces the v1 golden layout";
+
+  // The mapped snapshot serves correct answers.
+  const graph::QueryGraph q = psi::testing::ExtractQuery(g, 3, 0x90d1);
+  if (q.num_nodes() == 3) {
+    match::BasicEngine basic(g);
+    const auto truth = basic.ProjectPivot(q, match::MatchingEngine::Options());
+    ASSERT_TRUE(truth.complete);
+    core::PureDriverOptions pure;
+    pure.strategy = core::PureStrategy::kPessimistic;
+    const auto result = core::EvaluatePure(g, sigs, q, pure);
+    ASSERT_TRUE(result.complete);
+    EXPECT_EQ(result.valid_nodes, truth.pivot_matches);
+  }
+}
+
+#if PSI_FAULT_INJECTION_ENABLED
+
+// The registry-listed `snapshot.load` fault site (util/fault_sites.h): an
+// injected post-validation failure must surface as a clean IoError and
+// must not poison the next load of the same file.
+TEST_F(SnapshotIoTest, SnapshotLoadFaultIsCleanAndTransient) {
+  const uint64_t seed = psi::testing::TestSeed(0x5a0a);
+  PSI_LOG_TEST_SEED(seed);
+  const Sample s = MakeSample(seed);
+  const std::string path = TempPath("fault.psnap");
+  ASSERT_TRUE(SaveSnapshotFile(s.graph, s.sigs, path).ok());
+
+  util::ScopedFaultSpec chaos("snapshot.load=nth:1");
+  const auto faulted = LoadSnapshotFile(path);
+  ASSERT_FALSE(faulted.ok());
+  ExpectStatusContains(faulted.status(), "injected snapshot load failure");
+
+  const auto retried = LoadSnapshotFile(path);  // nth:1 already fired
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(retried.value().graph.num_nodes(), s.graph.num_nodes());
+}
+
+// The site under the full standard chaos schedule: loads either fail with
+// the injected status or succeed with a complete, correct snapshot —
+// never a partial result.
+TEST_F(SnapshotIoTest, ChaosScheduleLoadsAreAllOrNothing) {
+  const uint64_t seed = psi::testing::TestSeed(0x5a0b);
+  PSI_LOG_TEST_SEED(seed);
+  const Sample s = MakeSample(seed);
+  const std::string path = TempPath("chaos.psnap");
+  ASSERT_TRUE(SaveSnapshotFile(s.graph, s.sigs, path).ok());
+
+  util::ScopedFaultSpec chaos(psi::testing::MakeChaosSchedule() +
+                              ",snapshot.load=every:3");
+  int failures = 0;
+  int successes = 0;
+  for (int i = 0; i < 9; ++i) {
+    const auto result = LoadSnapshotFile(path);
+    if (!result.ok()) {
+      ++failures;
+      ExpectStatusContains(result.status(), "injected snapshot load failure");
+      continue;
+    }
+    ++successes;
+    EXPECT_EQ(result.value().graph.num_nodes(), s.graph.num_nodes());
+    EXPECT_EQ(result.value().sigs.num_rows(), s.sigs.num_rows());
+    ASSERT_NE(result.value().sigs.compact(), nullptr);
+  }
+  EXPECT_EQ(failures, 3);  // every:3 over 9 loads
+  EXPECT_EQ(successes, 6);
+}
+
+#endif  // PSI_FAULT_INJECTION_ENABLED
+
+}  // namespace
+}  // namespace psi

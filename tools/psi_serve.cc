@@ -14,6 +14,8 @@
 //
 //   !load social graph2.lg       # background build + publish
 //   !swap social gen:5000,20000,8,7   # hot-swap from a generator spec
+//   !load social graph2.psnap    # mmap a prebuilt snapshot — no rebuild
+//   !save social graph2.psnap    # persist a served graph as a .psnap
 //   !retire social
 //   !list
 // Queries select a graph with the g= token: v=0,1 e=0-1 p=0 g=social
@@ -35,6 +37,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -42,6 +45,7 @@
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "service/service.h"
+#include "service/snapshot_io.h"
 #include "service/workload.h"
 #include "shard/sharded_catalog.h"
 #include "shard/sharded_service.h"
@@ -73,8 +77,11 @@ void Usage() {
       "  --quiet           suppress per-request lines, print stats only\n"
       "\n"
       "Admin commands (inline in the request stream):\n"
-      "  !load NAME SRC    build+publish graph SRC (file or gen:N,M[,L[,S]])\n"
+      "  !load NAME SRC    build+publish graph SRC (file or gen:N,M[,L[,S]]);\n"
+      "                    a .psnap SRC is mmapped and published without\n"
+      "                    rebuilding (psi_snapshot build; not with --shards)\n"
       "  !swap NAME SRC    alias for !load — hot-swaps a served name\n"
+      "  !save NAME FILE   write served graph NAME as a .psnap snapshot\n"
       "  !retire NAME      stop serving NAME (in-flight requests finish)\n"
       "  !list             print catalog snapshots and pin gauges\n"
       "\n"
@@ -176,10 +183,61 @@ int ServeLoop(Service& psi_service, std::istream& in, bool quiet,
       it = pending_loads.erase(it);
     }
   };
+  auto is_psnap = [](const std::string& source) {
+    constexpr std::string_view kExt = ".psnap";
+    return source.size() >= kExt.size() &&
+           source.compare(source.size() - kExt.size(), kExt.size(), kExt) == 0;
+  };
   auto handle_admin = [&](const std::string& command) {
     std::istringstream tokens(command);
     std::string op, name, source;
     tokens >> op >> name >> source;
+    if ((op == "load" || op == "swap") && !name.empty() && !source.empty() &&
+        is_psnap(source)) {
+      // A prebuilt snapshot publishes synchronously: the load is mmap +
+      // validation, not a signature rebuild, so there is no build to hide
+      // in the background (DESIGN.md §16.3).
+      if constexpr (std::is_same_v<Service, service::PsiService>) {
+        auto published =
+            psi_service.catalog().PublishFromFile(name, source);
+        if (!published.ok()) {
+          std::cerr << "!" << op << ": " << published.status().ToString()
+                    << "\n";
+          return false;
+        }
+        const service::GraphSnapshot& s = *published.value();
+        std::cerr << "loaded '" << name << "' version=" << s.version()
+                  << " (" << s.graph().num_nodes() << " nodes, mapped in "
+                  << s.timings().load_seconds << " s)\n";
+        return true;
+      } else {
+        std::cerr << "!" << op
+                  << ": .psnap snapshots hold one unpartitioned graph and "
+                     "cannot be published into a sharded catalog\n";
+        return false;
+      }
+    }
+    if (op == "save" && !name.empty() && !source.empty()) {
+      if constexpr (std::is_same_v<Service, service::PsiService>) {
+        const auto snapshot = psi_service.catalog().Resolve(name);
+        if (snapshot == nullptr) {
+          std::cerr << "!save: unknown graph '" << name << "'\n";
+          return false;
+        }
+        const auto status = service::SaveSnapshotFile(
+            snapshot->graph(), snapshot->signatures(), source);
+        if (!status.ok()) {
+          std::cerr << "!save: " << status.ToString() << "\n";
+          return false;
+        }
+        std::cerr << "saved '" << name << "' version="
+                  << snapshot->version() << " to " << source << "\n";
+        return true;
+      } else {
+        std::cerr << "!save: not supported with --shards\n";
+        return false;
+      }
+    }
     if ((op == "load" || op == "swap") && !name.empty() && !source.empty()) {
       auto loaded = LoadAdminGraph(source);
       if (!loaded.ok()) {
