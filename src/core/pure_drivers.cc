@@ -10,6 +10,7 @@
 #include "match/parallel_search.h"
 #include "match/plan.h"
 #include "match/psi_evaluator.h"
+#include "signature/kernels.h"
 
 namespace psi::core {
 
@@ -36,11 +37,22 @@ PureDriverResult EvaluatePure(const graph::Graph& g,
   util::WallTimer timer;
   PureDriverResult result;
 
-  QueryContext ctx = PrepareQuery(g, graph_sigs, q);
-  if (!ctx.feasible || ctx.candidates.empty()) {
+  QueryContext local;
+  const QueryContext* prepared = options.prepared;
+  if (prepared == nullptr) {
+    local = PrepareQuery(g, graph_sigs, q);
+    prepared = &local;
+  }
+  if (!prepared->feasible || prepared->candidates.empty()) {
     result.seconds = timer.Seconds();
     return result;
   }
+  const signature::SignatureMatrix& query_sigs = prepared->query_sigs;
+  // Own the candidate list: a shared batch context is immutable and the
+  // pessimistic prefilter edits in place.
+  std::vector<graph::NodeId> candidates =
+      options.prepared != nullptr ? prepared->candidates
+                                  : std::move(local.candidates);
 
   const match::Plan plan = match::MakeHeuristicPlan(q, g, q.pivot());
 
@@ -54,26 +66,36 @@ PureDriverResult EvaluatePure(const graph::Graph& g,
     // The pessimist checks every pivot candidate's signature anyway (no
     // early exit at the driver level), so run the whole list through the
     // bulk kernel once instead of one scalar check per EvaluateNode call.
-    match::PsiEvaluator prefilter(g, graph_sigs);
-    prefilter.BindQuery(q, ctx.query_sigs, plan);
-    prefilter.FilterPivotCandidates(ctx.candidates, &result.stats);
+    if (options.prepared != nullptr &&
+        options.prepared_pivot_requirement != nullptr) {
+      // The batch context pre-built the level-0 requirement row; this is
+      // the same kernel call FilterPivotCandidates would make after a
+      // throwaway BindQuery, so the kept set is byte-identical.
+      result.stats.signature_checks += candidates.size();
+      result.stats.pruned_by_signature += signature::FilterCandidates(
+          graph_sigs, *options.prepared_pivot_requirement, candidates);
+    } else {
+      match::PsiEvaluator prefilter(g, graph_sigs);
+      prefilter.BindQuery(q, query_sigs, plan);
+      prefilter.FilterPivotCandidates(candidates, &result.stats);
+    }
     eval_options.pivot_prefiltered = true;
-    if (ctx.candidates.empty()) {
+    if (candidates.empty()) {
       result.seconds = timer.Seconds();
       return result;
     }
   }
 
-  const size_t num_workers =
-      std::max<size_t>(1, std::min(options.search_threads,
-                                   ctx.candidates.size()));
+  const size_t num_workers = std::max<size_t>(
+      1, std::min(options.search_threads, candidates.size()));
 
   if (num_workers == 1) {
-    match::PsiEvaluator evaluator(g, graph_sigs);
-    evaluator.BindQuery(q, ctx.query_sigs, plan);
+    match::SearchScratchPool::Lease lease(options.scratch_pool);
+    match::PsiEvaluator evaluator(g, graph_sigs, lease.get());
+    evaluator.BindQuery(q, query_sigs, plan);
     match::NogoodStore nogoods(options.nogood_salt);
     if (options.restarts.enabled) eval_options.nogoods = &nogoods;
-    for (const graph::NodeId u : ctx.candidates) {
+    for (const graph::NodeId u : candidates) {
       // Poll between candidates: the evaluator only checks every
       // kCheckInterval steps, so small searches finish between polls and
       // an expired deadline could otherwise start every remaining
@@ -102,6 +124,7 @@ PureDriverResult EvaluatePure(const graph::Graph& g,
   // valid list; the final sorted merge makes the answer independent of
   // which worker ran which candidate.
   struct Worker {
+    std::unique_ptr<match::SearchScratchPool::Lease> lease;
     std::unique_ptr<match::PsiEvaluator> evaluator;
     std::unique_ptr<match::NogoodStore> nogoods;
     match::PsiEvaluator::Options eval_options;
@@ -111,8 +134,11 @@ PureDriverResult EvaluatePure(const graph::Graph& g,
   };
   std::vector<Worker> workers(num_workers);
   for (Worker& w : workers) {
-    w.evaluator = std::make_unique<match::PsiEvaluator>(g, graph_sigs);
-    w.evaluator->BindQuery(q, ctx.query_sigs, plan);
+    w.lease = std::make_unique<match::SearchScratchPool::Lease>(
+        options.scratch_pool);
+    w.evaluator =
+        std::make_unique<match::PsiEvaluator>(g, graph_sigs, w.lease->get());
+    w.evaluator->BindQuery(q, query_sigs, plan);
     w.nogoods = std::make_unique<match::NogoodStore>(options.nogood_salt);
     w.eval_options = eval_options;
     if (options.restarts.enabled) w.eval_options.nogoods = w.nogoods.get();
@@ -120,7 +146,7 @@ PureDriverResult EvaluatePure(const graph::Graph& g,
   std::atomic<bool> halted{false};
 
   const uint64_t steals = match::RunWorkStealing(
-      ctx.candidates.size(), num_workers, nullptr,
+      candidates.size(), num_workers, nullptr,
       [&](size_t item, size_t worker_index) {
         Worker& w = workers[worker_index];
         if (halted.load(std::memory_order_relaxed)) {
@@ -132,7 +158,7 @@ PureDriverResult EvaluatePure(const graph::Graph& g,
           halted.store(true, std::memory_order_relaxed);
           return;
         }
-        const graph::NodeId u = ctx.candidates[item];
+        const graph::NodeId u = candidates[item];
         const match::Outcome outcome =
             EvaluateOne(*w.evaluator, u, options, w.eval_options, &w.stats);
         if (outcome == match::Outcome::kValid) {

@@ -3,11 +3,14 @@
 
 #include <vector>
 
+#include "core/query_context.h"
 #include "graph/graph.h"
 #include "graph/query_graph.h"
 #include "match/restart_policy.h"
+#include "match/search_scratch.h"
 #include "match/search_stats.h"
 #include "signature/signature_matrix.h"
+#include "signature/sparse_requirement.h"
 #include "util/stop_token.h"
 #include "util/timer.h"
 
@@ -46,6 +49,22 @@ struct PureDriverOptions {
   /// Snapshot-generation salt for the per-query nogood stores, so recorded
   /// prefixes can never be confused across graph versions.
   uint64_t nogood_salt = 0;
+  /// Optional shared batch preparation (DESIGN.md §17): when non-null,
+  /// PrepareQuery is skipped and the driver evaluates against this
+  /// immutable context — equal by construction to what PrepareQuery would
+  /// return, so the answer is bit-identical. The driver copies the
+  /// candidate list before any in-place filtering; the context is never
+  /// written.
+  const QueryContext* prepared = nullptr;
+  /// Sparse view of the pivot's signature row matching `prepared` (the
+  /// level-0 requirement BindQuery would build). Lets the pessimistic
+  /// prefilter run the same bulk kernel without constructing a throwaway
+  /// evaluator binding. Ignored when `prepared` is null.
+  const signature::SparseRequirement* prepared_pivot_requirement = nullptr;
+  /// Optional scratch pool: each worker leases its search arena from here
+  /// instead of allocating privately, so a batch of queries reuses the
+  /// same warmed-up buffers (DESIGN.md §9, §17).
+  match::SearchScratchPool* scratch_pool = nullptr;
 };
 
 /// Evaluates the full PSI query with one fixed method. `graph_sigs` must

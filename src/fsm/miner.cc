@@ -37,9 +37,10 @@ FsmResult FsmMiner::Mine(util::Deadline deadline) {
   util::WallTimer total_timer;
   FsmResult result;
 
-  // Signatures are shared by every kPsi support evaluation.
+  // Signatures are shared by every kPsi support evaluation. The service-
+  // backed mode skips the build entirely — the pinned snapshot owns them.
   signature::SignatureMatrix graph_sigs;
-  if (config_.method == SupportMethod::kPsi) {
+  if (config_.service == nullptr && config_.method == SupportMethod::kPsi) {
     util::WallTimer sig_timer;
     util::ThreadPool sig_pool(config_.num_threads);
     graph_sigs = signature::BuildMatrixSignatures(
@@ -78,7 +79,41 @@ FsmResult FsmMiner::Mine(util::Deadline deadline) {
     }
     std::vector<SupportResult> supports(batch.size());
     result.candidates_evaluated += batch.size();
-    if (config_.num_threads > 1 && batch.size() > 1) {
+    if (config_.service != nullptr) {
+      // Service-backed mode: one probe batch per pattern, submitted in
+      // windows bounded by the service's admission queue so a large mining
+      // level can never shed its own wave. The service's workers provide
+      // the parallelism; futures drain in order, so the frequent set is
+      // deterministic regardless of worker count.
+      const size_t window =
+          std::max<size_t>(1, config_.service->options().max_queue_depth);
+      for (size_t begin = 0; begin < batch.size(); begin += window) {
+        const size_t end = std::min(batch.size(), begin + window);
+        std::vector<std::optional<std::future<service::BatchResponse>>>
+            futures;
+        futures.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          // An already-expired deadline must expire service-side too (0
+          // would select the service default, which may be unbounded).
+          const double remaining =
+              deadline.IsInfinite()
+                  ? 0.0
+                  : std::max(1e-6, deadline.RemainingSeconds());
+          futures.push_back(SubmitSupportBatch(*config_.service, batch[i],
+                                               remaining,
+                                               config_.service_graph));
+        }
+        for (size_t i = begin; i < end; ++i) {
+          auto& future = futures[i - begin];
+          if (future.has_value()) {
+            supports[i] = ReduceServedSupport(
+                future->get(), batch[i].num_nodes(), config_.min_support);
+          } else {
+            supports[i].complete = false;  // shed whole: verdict unknown
+          }
+        }
+      }
+    } else if (config_.num_threads > 1 && batch.size() > 1) {
       for (size_t i = 0; i < batch.size(); ++i) {
         pool.Submit([&, i] {
           supports[i] = EvaluateSupport(graph_, sigs, batch[i],

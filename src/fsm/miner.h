@@ -31,6 +31,16 @@ struct FsmConfig {
   SupportMethod method = SupportMethod::kEnumeration;
   /// Signature depth for the kPsi method.
   uint32_t signature_depth = 2;
+  /// When non-null, support is counted through this service's batched
+  /// submission path — one SubmitBatch of per-pivot pessimistic probes per
+  /// candidate pattern, pinned to one catalog snapshot (DESIGN.md §17) —
+  /// and `method`/`signature_depth` are ignored (the snapshot owns the
+  /// signatures). Evaluation parallelism then comes from the service's
+  /// workers; `num_threads` still parallelizes canonicalization. The mined
+  /// frequent set is identical to the in-process methods'.
+  service::PsiService* service = nullptr;
+  /// Catalog graph name the probes run against; empty = service default.
+  std::string service_graph;
 };
 
 struct MinedPattern {

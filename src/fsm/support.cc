@@ -146,4 +146,64 @@ SupportResult EvaluateSupport(const graph::Graph& g,
   return EvaluateByPsi(g, *graph_sigs, pattern, min_support, deadline);
 }
 
+std::optional<std::future<service::BatchResponse>> SubmitSupportBatch(
+    service::PsiService& service, const graph::QueryGraph& pattern,
+    double deadline_seconds, const std::string& graph_name) {
+  if (pattern.num_nodes() == 0) return std::nullopt;
+  service::BatchRequest batch;
+  batch.graph = graph_name;
+  batch.deadline_seconds = deadline_seconds;
+  batch.queries.reserve(pattern.num_nodes());
+  for (graph::NodeId v = 0; v < pattern.num_nodes(); ++v) {
+    service::QueryRequest probe;
+    probe.query = pattern;
+    probe.query.set_pivot(v);
+    probe.method = service::Method::kPessimistic;
+    batch.queries.push_back(std::move(probe));
+  }
+  // Per-pivot probes of one pattern share their pivot-independent
+  // structure, so the batch context builds the pattern's signature rows
+  // once for all of them — the in-process kPsi trick, recovered through
+  // the serving layer.
+  return service.SubmitBatch(std::move(batch));
+}
+
+SupportResult ReduceServedSupport(const service::BatchResponse& response,
+                                  size_t num_pattern_nodes,
+                                  uint64_t min_support) {
+  SupportResult result;
+  if (response.responses.size() != num_pattern_nodes) {
+    result.complete = false;
+    return result;
+  }
+  uint64_t mni = UINT64_MAX;
+  for (const service::QueryResponse& probe : response.responses) {
+    if (!probe.ok()) {
+      result.complete = false;
+      return result;
+    }
+    mni = std::min<uint64_t>(mni, probe.valid_nodes.size());
+  }
+  if (mni == UINT64_MAX) mni = 0;
+  result.support = mni;
+  result.frequent = mni >= min_support;
+  return result;
+}
+
+SupportResult EvaluateSupportServed(service::PsiService& service,
+                                    const graph::QueryGraph& pattern,
+                                    uint64_t min_support,
+                                    double deadline_seconds,
+                                    const std::string& graph_name) {
+  if (pattern.num_nodes() == 0) return SupportResult{};
+  auto future =
+      SubmitSupportBatch(service, pattern, deadline_seconds, graph_name);
+  if (!future.has_value()) {
+    SupportResult result;
+    result.complete = false;
+    return result;
+  }
+  return ReduceServedSupport(future->get(), pattern.num_nodes(), min_support);
+}
+
 }  // namespace psi::fsm

@@ -2,9 +2,14 @@
 #define SMARTPSI_FSM_SUPPORT_H_
 
 #include <cstdint>
+#include <future>
+#include <optional>
+#include <string>
 
 #include "graph/graph.h"
 #include "graph/query_graph.h"
+#include "service/request.h"
+#include "service/service.h"
 #include "signature/signature_matrix.h"
 #include "util/timer.h"
 
@@ -45,6 +50,43 @@ SupportResult EvaluateSupport(const graph::Graph& g,
                               const graph::QueryGraph& pattern,
                               uint64_t min_support, SupportMethod method,
                               util::Deadline deadline);
+
+// --- Service-backed support (DESIGN.md §17) -------------------------------
+//
+// The mining-at-scale path: each candidate pattern's per-pivot PSI probes
+// go to a PsiService as ONE batch (SubmitBatch), pinned to one catalog
+// snapshot, so support counting inherits hot-swap safety, deadlines,
+// admission control, metrics and fault injection from the serving layer.
+// Probes are pessimistic pure-method queries; the service answers each
+// pivot's full valid-node set exactly, so the reduced support is the exact
+// MNI — it can exceed the capped lower bound the in-process kPsi early-stop
+// reports, but the frequent/infrequent verdict always agrees (both compare
+// the same MNI against min_support).
+
+/// Submits the per-pivot probe batch for `pattern` without blocking: one
+/// kPessimistic QueryRequest per pattern node, all against `graph_name`
+/// (empty = service default). Returns std::nullopt when the batch was shed
+/// or the pattern is empty. `deadline_seconds` <= 0 means the service
+/// default.
+std::optional<std::future<service::BatchResponse>> SubmitSupportBatch(
+    service::PsiService& service, const graph::QueryGraph& pattern,
+    double deadline_seconds = 0.0, const std::string& graph_name = "");
+
+/// Folds a settled probe batch into a SupportResult: MNI = min over pivots
+/// of that pivot's distinct valid-node count. Any non-kOk member leaves the
+/// verdict unknown (complete = false, treated infrequent) — one bad probe
+/// degrades this pattern, never its siblings.
+SupportResult ReduceServedSupport(const service::BatchResponse& response,
+                                  size_t num_pattern_nodes,
+                                  uint64_t min_support);
+
+/// Blocking convenience: SubmitSupportBatch + ReduceServedSupport. A shed
+/// batch returns incomplete (frequent unknown).
+SupportResult EvaluateSupportServed(service::PsiService& service,
+                                    const graph::QueryGraph& pattern,
+                                    uint64_t min_support,
+                                    double deadline_seconds = 0.0,
+                                    const std::string& graph_name = "");
 
 }  // namespace psi::fsm
 

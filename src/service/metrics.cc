@@ -145,6 +145,11 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
       cache_bypass_entries_.load(std::memory_order_relaxed);
   s.cache_bypass_exits = cache_bypass_exits_.load(std::memory_order_relaxed);
   s.retries = retries_.load(std::memory_order_relaxed);
+  s.batch_submitted = batch_submitted_.load(std::memory_order_relaxed);
+  s.batch_rejected = batch_rejected_.load(std::memory_order_relaxed);
+  s.batch_queries = batch_queries_.load(std::memory_order_relaxed);
+  s.batch_context_hits = batch_context_hits_.load(std::memory_order_relaxed);
+  s.batch_degraded = batch_degraded_.load(std::memory_order_relaxed);
   // Per-shard counters: settled before admitted, mirroring the flat read
   // order, so shard settled <= shard admitted holds in every snapshot.
   s.shards.resize(num_shard_slots_);
@@ -181,6 +186,11 @@ std::string MetricsSnapshot::ToString() const {
       << " degraded_requests=" << degraded_requests
       << " cache_bypass_entries=" << cache_bypass_entries
       << " cache_bypass_exits=" << cache_bypass_exits << "\n"
+      << "batch: batch_submitted=" << batch_submitted
+      << " batch_rejected=" << batch_rejected
+      << " batch_queries=" << batch_queries
+      << " batch_context_hits=" << batch_context_hits
+      << " batch_degraded=" << batch_degraded << "\n"
       << "catalog: publishes=" << snapshot_publishes
       << " swaps=" << snapshot_swaps << " retires=" << snapshot_retires
       << " publish_failures=" << snapshot_publish_failures << "\n"

@@ -96,6 +96,21 @@ struct MetricsSnapshot {
   uint64_t cache_bypass_entries = 0;
   uint64_t cache_bypass_exits = 0;
 
+  // Batched execution (DESIGN.md §17). A batch is admitted as one unit;
+  // its member queries still settle through the terminal counters above,
+  // so Settled() accounting is unchanged by batching.
+  uint64_t batch_submitted = 0;  // batches admitted as a unit
+  uint64_t batch_rejected = 0;   // whole batches shed at admission
+  uint64_t batch_queries = 0;    // member queries settled via a batch
+  /// Member queries that reused a shared batch-context entry (pivot
+  /// candidates and/or query-signature rows prepared by an earlier query
+  /// in the same batch).
+  uint64_t batch_context_hits = 0;
+  /// Member queries that abandoned the shared-context fast path (the
+  /// service.batch fault site fired) and were evaluated standalone.
+  /// Answers are unchanged — this is a perf event, not a failure.
+  uint64_t batch_degraded = 0;
+
   // Snapshot catalog traffic. The MetricsRegistry does not own these —
   // PsiService::Stats() folds them in from GraphCatalog::counters() so one
   // snapshot (and one ToString) covers the whole service surface.
@@ -166,6 +181,29 @@ class MetricsRegistry {
         .fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Records a batch admitted as a unit.
+  void RecordBatchSubmitted() {
+    batch_submitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Records a whole batch shed at admission.
+  void RecordBatchRejected() {
+    batch_rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Records a member query settled through the batch path. `context_hit`
+  /// marks reuse of a shared batch-context entry; `degraded` marks a
+  /// query that abandoned the shared context (service.batch fault).
+  void RecordBatchQuery(bool context_hit, bool degraded) {
+    batch_queries_.fetch_add(1, std::memory_order_relaxed);
+    if (context_hit) {
+      batch_context_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (degraded) {
+      batch_degraded_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   /// Records a terminal response (status bucket + engine counters +
   /// latency). kRejected responses route to RecordRejected's counter and
   /// record no latency — they were never admitted.
@@ -227,6 +265,11 @@ class MetricsRegistry {
   std::atomic<uint64_t> nogoods_recorded_{0};
   std::atomic<uint64_t> nogood_hits_{0};
   std::atomic<uint64_t> work_steals_{0};
+  std::atomic<uint64_t> batch_submitted_{0};
+  std::atomic<uint64_t> batch_rejected_{0};
+  std::atomic<uint64_t> batch_queries_{0};
+  std::atomic<uint64_t> batch_context_hits_{0};
+  std::atomic<uint64_t> batch_degraded_{0};
   LatencyReservoir latencies_;
   /// Shard dimension (EnableShardCounters); null for unsharded registries.
   std::unique_ptr<ShardSlot[]> shard_slots_;

@@ -104,6 +104,58 @@ struct QueryResponse {
   bool ok() const { return status == RequestStatus::kOk; }
 };
 
+/// A group of queries admitted as one unit (DESIGN.md §17). The whole
+/// batch pins exactly one snapshot of one graph at admission, so every
+/// member query sees the same data even across concurrent hot swaps, and
+/// shared preparation (candidate sets, query-signature rows) is sound.
+struct BatchRequest {
+  /// Caller-chosen correlation id for the batch; 0 lets the service
+  /// assign one. Member queries with id 0 get `batch_id * 1000 + index`
+  /// so responses correlate back to their slot.
+  uint64_t id = 0;
+
+  /// Member queries. Per-query `graph` fields are ignored — the batch
+  /// pins one snapshot for all members (see `graph` below). Per-query
+  /// deadlines and methods are honored individually.
+  std::vector<QueryRequest> queries;
+
+  /// Catalog name of the data graph the whole batch runs against; empty
+  /// selects the service default.
+  std::string graph;
+
+  /// Batch-wide execution budget in seconds measured from admission,
+  /// applied to member queries that carry no deadline of their own;
+  /// <= 0 falls back to the service default.
+  double deadline_seconds = 0.0;
+};
+
+/// Settlement of a batch: one QueryResponse per member query (same order),
+/// plus batch-level accounting. Member queries degrade individually — a
+/// malformed or timed-out member never poisons its siblings.
+struct BatchResponse {
+  uint64_t id = 0;
+  /// Per-member responses, parallel to BatchRequest::queries.
+  std::vector<QueryResponse> responses;
+  /// Snapshot version the whole batch ran against (0 if the graph name
+  /// resolved to no snapshot).
+  uint64_t snapshot_version = 0;
+  /// Member queries that reused shared batch-context preparation.
+  uint64_t context_hits = 0;
+  /// Member queries that abandoned the shared-context fast path (the
+  /// service.batch fault site) and were evaluated standalone.
+  uint64_t degraded_queries = 0;
+  /// Admission-to-settlement latency of the whole batch.
+  double latency_seconds = 0.0;
+
+  /// True iff every member completed exactly.
+  bool ok() const {
+    for (const QueryResponse& r : responses) {
+      if (!r.ok()) return false;
+    }
+    return true;
+  }
+};
+
 inline const char* MethodName(Method m) {
   switch (m) {
     case Method::kSmart:

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/pure_drivers.h"
+#include "match/parallel_search.h"
 #include "util/fault_injection.h"
 
 namespace psi::service {
@@ -210,12 +211,190 @@ QueryResponse PsiService::Execute(QueryRequest request) {
   return future->get();
 }
 
+std::optional<std::future<BatchResponse>> PsiService::SubmitBatch(
+    BatchRequest request) {
+  const size_t num_queries = request.queries.size();
+  if (!accepting_.load(std::memory_order_relaxed)) {
+    metrics_.RecordBatchRejected();
+    for (size_t i = 0; i < num_queries; ++i) metrics_.RecordRejected();
+    return std::nullopt;
+  }
+  if (request.id == 0) {
+    request.id = next_auto_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (size_t i = 0; i < num_queries; ++i) {
+    if (request.queries[i].id == 0) {
+      request.queries[i].id = request.id * 1000 + i;
+    }
+  }
+  util::WallTimer admission_timer;
+  // One pin for the whole batch, taken at admission: every member query
+  // sees the same snapshot even across a concurrent hot swap — the
+  // soundness precondition for sharing prepared state between members.
+  auto pin = std::make_shared<SnapshotPin>(catalog_->Pin(
+      request.graph.empty() ? options_.default_graph : request.graph));
+  auto promise = std::make_shared<std::promise<BatchResponse>>();
+  std::future<BatchResponse> future = promise->get_future();
+  auto shared_request = std::make_shared<BatchRequest>(std::move(request));
+
+  const size_t max_retries =
+      options_.degradation.enabled ? options_.degradation.max_shed_retries : 0;
+  double backoff_ms = options_.degradation.retry_backoff_ms;
+  for (size_t attempt = 0;; ++attempt) {
+    // Admission accounting is per member query (each settles through
+    // RecordOutcome like a standalone request), counted BEFORE the batch
+    // becomes runnable — the same Settled() <= admitted ordering Submit
+    // keeps. A shed revokes all provisional counts.
+    for (size_t i = 0; i < num_queries; ++i) metrics_.RecordAdmitted();
+    const bool injected_shed =
+        PSI_INJECT_FAULT(util::faults::kServiceAdmissionShed);
+    const bool admitted =
+        !injected_shed &&
+        pool_->TrySubmit(
+            [this, shared_request, pin, promise, admission_timer]() mutable {
+              BatchResponse response =
+                  RunBatch(std::move(*shared_request), std::move(*pin),
+                           admission_timer);
+              promise->set_value(std::move(response));
+            },
+            options_.max_queue_depth);
+    if (admitted) {
+      metrics_.RecordBatchSubmitted();
+      if (attempt > 0) metrics_.RecordRetriedAdmission();
+      return future;
+    }
+    for (size_t i = 0; i < num_queries; ++i) metrics_.UndoAdmitted();
+    if (attempt >= max_retries ||
+        !accepting_.load(std::memory_order_relaxed)) {
+      metrics_.RecordBatchRejected();
+      for (size_t i = 0; i < num_queries; ++i) metrics_.RecordRejected();
+      return std::nullopt;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+    backoff_ms *= 2.0;
+  }
+}
+
+BatchResponse PsiService::ExecuteBatch(BatchRequest request) {
+  const uint64_t id = request.id;
+  std::vector<uint64_t> member_ids;
+  member_ids.reserve(request.queries.size());
+  for (const QueryRequest& q : request.queries) member_ids.push_back(q.id);
+  std::optional<std::future<BatchResponse>> future =
+      SubmitBatch(std::move(request));
+  if (!future.has_value()) {
+    BatchResponse response;
+    response.id = id;
+    response.responses.resize(member_ids.size());
+    for (size_t i = 0; i < member_ids.size(); ++i) {
+      response.responses[i].id = member_ids[i];
+      response.responses[i].status = RequestStatus::kRejected;
+    }
+    return response;
+  }
+  return future->get();
+}
+
+BatchResponse PsiService::RunBatch(BatchRequest request, SnapshotPin pin,
+                                   util::WallTimer admission_timer) {
+  PSI_FAULT_STALL(util::faults::kServiceWorkerStall);
+
+  const size_t num_queries = request.queries.size();
+  BatchResponse response;
+  response.id = request.id;
+  response.snapshot_version = pin ? pin->version() : 0;
+  response.responses.resize(num_queries);
+
+  // Shared per-batch state: one evaluation context over the pinned
+  // snapshot, one scratch pool every member leases its arenas from.
+  std::optional<core::BatchEvalContext> context;
+  if (pin) context.emplace(pin->graph(), pin->signatures());
+  match::SearchScratchPool scratch;
+
+  // Preparation runs on the batch thread (BatchEvalContext is not
+  // thread-safe); evaluation may fan out afterwards. Only pure-method
+  // members with a well-formed pivoted query take the shared fast path —
+  // kSmart members go through their checked-out engine as usual.
+  std::vector<BatchSlot> slots(num_queries);
+  std::vector<size_t> pure_members;
+  std::vector<size_t> other_members;
+  for (size_t i = 0; i < num_queries; ++i) {
+    QueryRequest& q = request.queries[i];
+    // The batch pinned one snapshot for everyone; per-member graph names
+    // are documented as ignored. Member deadlines default to the batch's.
+    q.graph.clear();
+    if (q.deadline_seconds <= 0.0) q.deadline_seconds = request.deadline_seconds;
+    const bool well_formed = q.query.num_nodes() > 0 && q.query.has_pivot();
+    if (!pin || !well_formed || q.method == Method::kSmart) {
+      other_members.push_back(i);
+      continue;
+    }
+    pure_members.push_back(i);
+    slots[i].scratch = &scratch;
+    // Chaos hook: this member abandons the shared-context fast path and is
+    // evaluated standalone — graceful per-query degradation, identical
+    // answer (the differential chaos test pins this).
+    if (PSI_INJECT_FAULT(util::faults::kServiceBatch)) {
+      slots[i].fault_degraded = true;
+      continue;
+    }
+    const core::BatchEvalContext::Prepared prepared =
+        context->Prepare(q.query);
+    slots[i].prepared = prepared.context;
+    slots[i].pivot_requirement = prepared.pivot_requirement;
+    slots[i].context_hit = prepared.reused;
+  }
+
+  // Pure members fan out across the batch frontier on the work-stealing
+  // executor when the service has intra-query threads to spend; each lane
+  // then runs its member sequentially (search_threads_override = 1).
+  // Answers are independent of the split — EvaluatePure is bit-identical
+  // at every thread count — so this only reshapes latency.
+  const size_t lanes = std::max<size_t>(
+      1, std::min(options_.search_threads, pure_members.size()));
+  if (lanes > 1) {
+    for (const size_t i : pure_members) slots[i].search_threads_override = 1;
+    match::RunWorkStealing(
+        pure_members.size(), lanes, nullptr, [&](size_t item, size_t) {
+          const size_t i = pure_members[item];
+          response.responses[i] = RunOne(std::move(request.queries[i]), pin,
+                                         admission_timer, &slots[i]);
+        });
+  } else {
+    for (const size_t i : pure_members) {
+      response.responses[i] =
+          RunOne(std::move(request.queries[i]), pin, admission_timer,
+                 &slots[i]);
+    }
+  }
+  for (const size_t i : other_members) {
+    response.responses[i] = RunOne(std::move(request.queries[i]), pin,
+                                   admission_timer, &slots[i]);
+  }
+
+  for (size_t i = 0; i < num_queries; ++i) {
+    metrics_.RecordBatchQuery(slots[i].context_hit, slots[i].fault_degraded);
+    response.context_hits += slots[i].context_hit ? 1 : 0;
+    response.degraded_queries += slots[i].fault_degraded ? 1 : 0;
+  }
+  response.latency_seconds = admission_timer.Seconds();
+  return response;
+}
+
 QueryResponse PsiService::Run(QueryRequest request, SnapshotPin pin,
                               util::WallTimer admission_timer) {
   // Chaos hook: a worker descheduled between dequeue and execution (the
   // slow-worker scenario — queue wait inflates, deadlines burn down).
   PSI_FAULT_STALL(util::faults::kServiceWorkerStall);
+  // `pin` is this function's parameter, so it drops when Run returns —
+  // before the caller fulfills the promise (see Submit's closure comment).
+  return RunOne(std::move(request), pin, admission_timer, nullptr);
+}
 
+QueryResponse PsiService::RunOne(QueryRequest request, const SnapshotPin& pin,
+                                 util::WallTimer admission_timer,
+                                 const BatchSlot* slot) {
   QueryResponse response;
   response.id = request.id;
   response.snapshot_version = pin ? pin->version() : 0;
@@ -285,8 +464,20 @@ QueryResponse PsiService::Run(QueryRequest request, SnapshotPin pin,
                           : core::PureStrategy::kPessimistic;
       pure.deadline = deadline;
       pure.stop = stop;
-      pure.search_threads = options_.search_threads;
+      pure.search_threads = slot != nullptr && slot->search_threads_override > 0
+                                ? slot->search_threads_override
+                                : options_.search_threads;
       pure.restarts = options_.engine.restarts;
+      if (slot != nullptr && !slot->fault_degraded) {
+        // Batch fast path: evaluate against the shared prepared context and
+        // lease scratch from the batch-wide pool. Bit-identical to the
+        // standalone preparation (DESIGN.md §17). A member whose
+        // service.batch fault fired skips this and re-derives everything —
+        // same answer, standalone cost.
+        pure.prepared = slot->prepared;
+        pure.prepared_pivot_requirement = slot->pivot_requirement;
+        pure.scratch_pool = slot->scratch;
+      }
       // Salt the per-request nogood store by the pinned snapshot generation
       // so recorded prefixes can never be confused across graph versions
       // (same invariant the prediction cache keeps via set_cache_keying).

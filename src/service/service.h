@@ -7,9 +7,11 @@
 #include <optional>
 #include <vector>
 
+#include "core/batch_context.h"
 #include "core/config.h"
 #include "core/prediction_cache.h"
 #include "core/smart_psi.h"
+#include "match/search_scratch.h"
 #include "graph/graph.h"
 #include "service/catalog.h"
 #include "service/metrics.h"
@@ -188,6 +190,20 @@ class PsiService {
   /// A shed request returns immediately with status kRejected.
   QueryResponse Execute(QueryRequest request);
 
+  /// Admits a group of queries as one unit (DESIGN.md §17): one admission
+  /// decision, one snapshot pinned for the whole batch, one worker slot.
+  /// Member queries share prepared candidate sets and query-signature rows
+  /// where their structure allows, and settle individually — a malformed
+  /// or timed-out member never poisons its siblings. Per-query answers are
+  /// bit-identical to submitting the same queries through Submit() one by
+  /// one against the same snapshot. Returns std::nullopt when the whole
+  /// batch is shed (queue at bound, or service shutting down).
+  std::optional<std::future<BatchResponse>> SubmitBatch(BatchRequest request);
+
+  /// Synchronous convenience wrapper for SubmitBatch. A shed batch returns
+  /// immediately with every member marked kRejected.
+  BatchResponse ExecuteBatch(BatchRequest request);
+
   ServiceStats Stats() const;
 
   /// Stops admission, cancels in-flight queries (they return kCancelled or
@@ -204,9 +220,34 @@ class PsiService {
   const ServiceOptions& options() const { return options_; }
 
  private:
+  /// Per-member-query batch state prepared on the batch thread before
+  /// evaluation (possibly) fans out. `prepared`/`pivot_requirement` point
+  /// into the batch's BatchEvalContext and are null for kSmart members,
+  /// malformed members, and members the service.batch fault degraded to
+  /// the standalone path.
+  struct BatchSlot {
+    const core::QueryContext* prepared = nullptr;
+    const signature::SparseRequirement* pivot_requirement = nullptr;
+    match::SearchScratchPool* scratch = nullptr;
+    /// Intra-query search threads for this member; 0 keeps the service
+    /// default (set to 1 when the batch fans out across members instead).
+    size_t search_threads_override = 0;
+    bool context_hit = false;
+    /// The service.batch fault fired for this member: it abandons the
+    /// shared-context fast path and evaluates standalone (same answer).
+    bool fault_degraded = false;
+  };
+
   void StartWorkers();
   QueryResponse Run(QueryRequest request, SnapshotPin pin,
                     util::WallTimer admission_timer);
+  /// Shared evaluation core of Run and RunBatch. `slot` is null outside a
+  /// batch.
+  QueryResponse RunOne(QueryRequest request, const SnapshotPin& pin,
+                       util::WallTimer admission_timer,
+                       const BatchSlot* slot);
+  BatchResponse RunBatch(BatchRequest request, SnapshotPin pin,
+                         util::WallTimer admission_timer);
 
   core::SmartPsiEngine* CheckoutEngine() PSI_EXCLUDES(engines_mutex_);
   void ReturnEngine(core::SmartPsiEngine* engine) PSI_EXCLUDES(engines_mutex_);

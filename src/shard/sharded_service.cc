@@ -8,6 +8,8 @@
 
 namespace psi::shard {
 
+using service::BatchRequest;
+using service::BatchResponse;
 using service::QueryRequest;
 using service::QueryResponse;
 using service::RequestStatus;
@@ -119,6 +121,30 @@ QueryResponse ShardedPsiService::Execute(QueryRequest request) {
     return response;
   }
   return future->get();
+}
+
+std::optional<std::future<BatchResponse>> ShardedPsiService::SubmitBatch(
+    BatchRequest request) {
+  // Explicit rejection (see the header comment): no single snapshot exists
+  // to share preparation against, so the router refuses rather than fake
+  // the batch contract. Accounting mirrors PsiService's whole-batch shed.
+  metrics_.RecordBatchRejected();
+  for (size_t i = 0; i < request.queries.size(); ++i) {
+    metrics_.RecordRejected();
+  }
+  return std::nullopt;
+}
+
+BatchResponse ShardedPsiService::ExecuteBatch(BatchRequest request) {
+  BatchResponse response;
+  response.id = request.id;
+  response.responses.resize(request.queries.size());
+  for (size_t i = 0; i < request.queries.size(); ++i) {
+    response.responses[i].id = request.queries[i].id;
+    response.responses[i].status = RequestStatus::kRejected;
+  }
+  (void)SubmitBatch(std::move(request));
+  return response;
 }
 
 void ShardedPsiService::SettleEarly(FanoutState& state, RequestStatus status) {

@@ -102,6 +102,23 @@ class ShardedPsiService {
   /// Synchronous wrapper; a shed request returns kRejected immediately.
   service::QueryResponse Execute(service::QueryRequest request);
 
+  /// Batched execution is explicitly unsupported on the sharded router
+  /// (DESIGN.md §17): a batch's value comes from shared preparation
+  /// against ONE pinned snapshot, and a sharded generation is K snapshots
+  /// whose candidate frontier is split across owners — there is no single
+  /// shared context to lease from. Rather than silently serialize members
+  /// through the fan-out path (plausible-looking, none of the batch
+  /// guarantees), the router rejects the batch whole: every member comes
+  /// back kRejected and the batch_rejected counter increments. Callers
+  /// that need batched PSI run an unsharded PsiService over the same
+  /// graph.
+  std::optional<std::future<service::BatchResponse>> SubmitBatch(
+      service::BatchRequest request);
+
+  /// Synchronous wrapper for SubmitBatch: always the explicit-rejection
+  /// response described there.
+  service::BatchResponse ExecuteBatch(service::BatchRequest request);
+
   service::ServiceStats Stats() const;
 
   /// Stops admission, cancels in-flight work, waits for the queue

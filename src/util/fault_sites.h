@@ -33,6 +33,7 @@ inline constexpr char kQueryIoShortRead[] = "io.query.short_read";
 inline constexpr char kSignatureIoShortRead[] = "io.signature.short_read";
 inline constexpr char kWorkloadShortRead[] = "io.workload.short_read";
 inline constexpr char kSnapshotLoad[] = "snapshot.load";
+inline constexpr char kServiceBatch[] = "service.batch";
 
 }  // namespace psi::util::faults
 

@@ -208,6 +208,11 @@ TEST(MetricsSnapshotTest, ToStringEmitsEveryCounter) {
   s.snapshot_swaps = 24;
   s.snapshot_retires = 25;
   s.snapshot_publish_failures = 26;
+  s.batch_submitted = 27;
+  s.batch_rejected = 28;
+  s.batch_queries = 29;
+  s.batch_context_hits = 30;
+  s.batch_degraded = 31;
 
   const std::string text = s.ToString();
   const std::vector<std::string> expected = {
@@ -224,11 +229,33 @@ TEST(MetricsSnapshotTest, ToStringEmitsEveryCounter) {
       "cache_bypass_entries=21", "cache_bypass_exits=22",
       "publishes=23",        "swaps=24",
       "retires=25",          "publish_failures=26",
+      "batch_submitted=27",  "batch_rejected=28",
+      "batch_queries=29",    "batch_context_hits=30",
+      "batch_degraded=31",
   };
   for (const std::string& label : expected) {
     EXPECT_NE(text.find(label), std::string::npos)
         << "missing \"" << label << "\" in:\n" << text;
   }
+}
+
+// Batch-path recorders (DESIGN.md §17): one increment per batch unit, one
+// per member query, with context hits and degradations as subsets of
+// batch_queries.
+TEST(MetricsRegistryTest, BatchRecordersAccumulate) {
+  MetricsRegistry metrics;
+  metrics.RecordBatchSubmitted();
+  metrics.RecordBatchRejected();
+  metrics.RecordBatchQuery(/*context_hit=*/true, /*degraded=*/false);
+  metrics.RecordBatchQuery(/*context_hit=*/false, /*degraded=*/true);
+  metrics.RecordBatchQuery(/*context_hit=*/false, /*degraded=*/false);
+  const MetricsSnapshot s = metrics.Snapshot();
+  EXPECT_EQ(s.batch_submitted, 1u);
+  EXPECT_EQ(s.batch_rejected, 1u);
+  EXPECT_EQ(s.batch_queries, 3u);
+  EXPECT_EQ(s.batch_context_hits, 1u);
+  EXPECT_EQ(s.batch_degraded, 1u);
+  EXPECT_LE(s.batch_context_hits + s.batch_degraded, s.batch_queries);
 }
 
 TEST(MetricsSnapshotTest, SearchCoreCountersAggregate) {

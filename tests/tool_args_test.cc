@@ -105,5 +105,77 @@ TEST(ToolArgsTest, EmptyCommandLineIsOk) {
   EXPECT_TRUE(args.values.empty());
 }
 
+// --- Per-tool spec shapes (every tool now parses strictly) ----------------
+
+TEST(ToolArgsTest, MineLikeSpecParsesServeModeFlags) {
+  ArgSpec spec;
+  spec.switches = {"--serve"};
+  spec.options = {"--support", "--max-edges", "--method", "--threads",
+                  "--timeout", "--print", "--depth", "--workers", "--queue"};
+  spec.max_positional = 1;
+  const ParsedArgs args =
+      Parse({"graph.lg", "--support", "100", "--serve", "--workers", "8"},
+            spec);
+  ASSERT_TRUE(args.ok()) << args.error;
+  ASSERT_EQ(args.positional.size(), 1u);
+  EXPECT_EQ(args.positional[0], "graph.lg");
+  EXPECT_TRUE(args.Has("--serve"));
+  EXPECT_EQ(args.Get("--support", "0"), "100");
+  EXPECT_EQ(args.Get("--workers", "4"), "8");
+  // The legacy psi_mine parser consumed "--sypport 100" silently; strict
+  // parsing makes the typo fatal.
+  const ParsedArgs typo = Parse({"graph.lg", "--sypport", "100"}, spec);
+  ASSERT_FALSE(typo.ok());
+  EXPECT_NE(typo.error.find("unknown flag --sypport"), std::string::npos);
+}
+
+TEST(ToolArgsTest, QueryLikeSpecKeepsVerboseASwitch) {
+  ArgSpec spec;
+  spec.switches = {"--verbose"};
+  spec.options = {"--queries", "--extract", "--count", "--engine",
+                  "--threads", "--depth", "--timeout", "--seed"};
+  spec.max_positional = 1;
+  const ParsedArgs args =
+      Parse({"graph.lg", "--verbose", "--extract", "6"}, spec);
+  ASSERT_TRUE(args.ok()) << args.error;
+  EXPECT_TRUE(args.Has("--verbose"));
+  EXPECT_EQ(args.Get("--extract", "5"), "6");
+  // --verbose must never swallow the following argument.
+  ASSERT_EQ(args.positional.size(), 1u);
+  const ParsedArgs trailing = Parse({"--verbose", "graph.lg"}, spec);
+  ASSERT_TRUE(trailing.ok()) << trailing.error;
+  ASSERT_EQ(trailing.positional.size(), 1u);
+  EXPECT_EQ(trailing.positional[0], "graph.lg");
+}
+
+TEST(ToolArgsTest, GenerateLikeSpecRejectsAnyPositional) {
+  ArgSpec spec;
+  spec.options = {"--out", "--dataset", "--generator", "--nodes", "--seed"};
+  spec.max_positional = 0;
+  const ParsedArgs args =
+      Parse({"--out", "g.lg", "--dataset", "cora"}, spec);
+  ASSERT_TRUE(args.ok()) << args.error;
+  EXPECT_EQ(args.Get("--out", ""), "g.lg");
+  // The legacy psi_generate parser skipped argv two-by-two, so a stray
+  // positional desynced every following flag; now it fails loudly.
+  const ParsedArgs stray = Parse({"g.lg", "--dataset", "cora"}, spec);
+  ASSERT_FALSE(stray.ok());
+  EXPECT_NE(stray.error.find("unexpected argument 'g.lg'"),
+            std::string::npos);
+}
+
+TEST(ToolArgsTest, BatchOptionParsesLikeLoadgen) {
+  ArgSpec spec = LoadgenLikeSpec();
+  spec.options.push_back("--batch");
+  const ParsedArgs args =
+      Parse({"graph.lg", "--batch", "16", "--requests", "64"}, spec);
+  ASSERT_TRUE(args.ok()) << args.error;
+  EXPECT_EQ(args.Get("--batch", "0"), "16");
+  const ParsedArgs missing = Parse({"graph.lg", "--batch"}, spec);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.error.find("missing value for --batch"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace psi::tools

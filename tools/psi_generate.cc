@@ -17,6 +17,7 @@
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "graph/query_extractor.h"
+#include "tools/tool_args.h"
 
 namespace {
 
@@ -43,18 +44,21 @@ void Usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::map<std::string, std::string> args;
-  for (int i = 1; i + 1 < argc; i += 2) {
-    if (argv[i][0] != '-') {
-      Usage();
-      return 2;
-    }
-    args[argv[i]] = argv[i + 1];
+  const tools::ArgSpec spec{
+      /*switches=*/{},
+      /*options=*/{"--out", "--dataset", "--scale", "--generator", "--nodes",
+                   "--edges", "--labels", "--label-skew", "--edge-labels",
+                   "--power", "--ba-degree", "--homophily", "--seed",
+                   "--queries-out", "--query-size", "--query-count"},
+      /*max_positional=*/0};
+  const tools::ParsedArgs args = tools::ParseArgs(argc, argv, spec);
+  if (!args.ok()) {
+    std::cerr << "psi_generate: " << args.error << "\n";
+    Usage();
+    return 2;
   }
-  auto get = [&](const std::string& key,
-                 const std::string& fallback) -> std::string {
-    const auto it = args.find(key);
-    return it == args.end() ? fallback : it->second;
+  auto get = [&](const std::string& key, const std::string& fallback) {
+    return args.Get(key, fallback);
   };
   const std::string out = get("--out", "");
   if (out.empty()) {
@@ -64,7 +68,7 @@ int main(int argc, char** argv) {
   const uint64_t seed = std::strtoull(get("--seed", "42").c_str(), nullptr, 10);
 
   graph::Graph g;
-  if (args.count("--dataset")) {
+  if (args.Has("--dataset")) {
     const std::string name = get("--dataset", "");
     const std::map<std::string, graph::Dataset> datasets = {
         {"yeast", graph::Dataset::kYeast},
@@ -80,7 +84,7 @@ int main(int argc, char** argv) {
     }
     const double scale = std::atof(get("--scale", "1.0").c_str());
     g = graph::MakeDataset(it->second, scale, seed);
-  } else if (args.count("--generator")) {
+  } else if (args.Has("--generator")) {
     const std::string kind = get("--generator", "");
     const size_t nodes = std::strtoull(get("--nodes", "1000").c_str(),
                                        nullptr, 10);

@@ -107,6 +107,15 @@ void Usage() {
       "                        so publishes abort MID-generation); --chaos and\n"
       "                        --stress are single-engine-only and are\n"
       "                        rejected\n"
+      "  --batch N             group the workload into BatchRequests of N\n"
+      "                        queries and offer them through SubmitBatch at\n"
+      "                        saturation (one admission unit, one pinned\n"
+      "                        snapshot and one shared evaluation context per\n"
+      "                        batch). Combines with --baseline (which then\n"
+      "                        re-runs the same workload through sequential\n"
+      "                        Submit for a batching-speedup figure); not\n"
+      "                        with --shards (the router rejects batches),\n"
+      "                        --chaos, --stress or --swap-storm\n"
       "  --search-threads N    work-stealing workers per query evaluation\n"
       "                        (default 1 = sequential; not with --shards)\n"
       "  --restarts on|off     Luby restarts + nogood recording on the\n"
@@ -173,6 +182,53 @@ RunReport OfferLoad(const graph::Graph& g,
                     const service::ServiceOptions& options, double qps) {
   service::PsiService psi_service(g, options);
   return DriveLoad(psi_service, requests, qps);
+}
+
+/// Batched offering: the workload is cut into BatchRequests of `batch_size`
+/// queries, each submitted as one admission unit at saturation (a shed
+/// batch is re-offered whole after a short pause — SubmitBatch never admits
+/// a batch partially). The per-query responses settle through the ordinary
+/// metrics, so RunReport::Throughput stays comparable with DriveLoad runs.
+RunReport BatchedOfferLoad(const graph::Graph& g,
+                           const std::vector<service::QueryRequest>& requests,
+                           const service::ServiceOptions& options,
+                           size_t batch_size) {
+  service::PsiService psi_service(g, options);
+  std::vector<std::future<service::BatchResponse>> futures;
+  futures.reserve(requests.size() / batch_size + 1);
+
+  util::WallTimer wall;
+  uint64_t batch_id = 0;
+  for (size_t begin = 0; begin < requests.size(); begin += batch_size) {
+    const size_t end = std::min(requests.size(), begin + batch_size);
+    service::BatchRequest batch;
+    batch.id = ++batch_id;
+    batch.queries.assign(requests.begin() + static_cast<ptrdiff_t>(begin),
+                         requests.begin() + static_cast<ptrdiff_t>(end));
+    for (;;) {
+      auto future = psi_service.SubmitBatch(batch);
+      if (future.has_value()) {
+        futures.push_back(std::move(*future));
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  uint64_t context_hits = 0;
+  uint64_t degraded = 0;
+  for (auto& future : futures) {
+    const service::BatchResponse response = future.get();
+    context_hits += response.context_hits;
+    degraded += response.degraded_queries;
+  }
+
+  RunReport report;
+  report.wall_seconds = wall.Seconds();
+  report.stats = psi_service.Stats();
+  std::cerr << "Batched: " << futures.size() << " batches of <= "
+            << batch_size << ", context hits " << context_hits
+            << ", degraded " << degraded << "\n";
+  return report;
 }
 
 RunReport ShardedOfferLoad(const graph::Graph& g,
@@ -848,7 +904,7 @@ int main(int argc, char** argv) {
                       "--deadline-ms-max", "--method",   "--depth",
                       "--seed",            "--waves",    "--faults",
                       "--swaps",           "--shards",   "--search-threads",
-                      "--restarts"};
+                      "--restarts",        "--batch"};
   arg_spec.max_positional = 1;
   const tools::ParsedArgs args = tools::ParseArgs(argc, argv, arg_spec);
   if (!args.ok()) {
@@ -967,6 +1023,36 @@ int main(int argc, char** argv) {
     }
   }
   const double qps = std::atof(get("--qps", "0").c_str());
+
+  // --- Batched dispatch ---------------------------------------------------
+  if (args.Has("--batch")) {
+    const size_t batch_size =
+        std::strtoull(get("--batch", "0").c_str(), nullptr, 10);
+    if (batch_size == 0) {
+      std::cerr << "psi_loadgen: --batch wants a positive batch size\n";
+      return 2;
+    }
+    if (args.Has("--shards") || args.Has("--chaos") || stress ||
+        args.Has("--swap-storm")) {
+      std::cerr << "psi_loadgen: --batch offers plain batched load and does "
+                   "not combine with --shards/--chaos/--stress/--swap-storm\n";
+      return 2;
+    }
+    const RunReport batched = BatchedOfferLoad(g, requests, options,
+                                               batch_size);
+    const std::string title =
+        "batched concurrent (batch " + std::to_string(batch_size) + ")";
+    PrintReport(title.c_str(), batched);
+    if (args.Has("--baseline")) {
+      const RunReport sequential = OfferLoad(g, requests, options, /*qps=*/0.0);
+      PrintReport("sequential Submit baseline", sequential);
+      if (sequential.Throughput() > 0.0) {
+        std::cout << "batching speedup at batch " << batch_size << ": "
+                  << batched.Throughput() / sequential.Throughput() << "x\n";
+      }
+    }
+    return 0;
+  }
 
   // --- Sharded dispatch ---------------------------------------------------
   if (args.Has("--shards")) {

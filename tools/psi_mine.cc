@@ -1,15 +1,19 @@
 // psi_mine — frequent subgraph mining from the command line, with MNI
-// support computed by subgraph-isomorphism enumeration or by PSI.
+// support computed by subgraph-isomorphism enumeration, by in-process PSI,
+// or through a PsiService's batched submission path (--serve).
 //
 //   psi_mine graph.lg --support 100 --max-edges 4 --method psi --threads 8
+//   psi_mine graph.lg --support 100 --serve --workers 8 --queue 256
 
 #include <cstdlib>
 #include <iostream>
-#include <map>
+#include <memory>
 #include <string>
 
 #include "fsm/miner.h"
 #include "graph/graph_io.h"
+#include "service/service.h"
+#include "tools/tool_args.h"
 #include "util/stats.h"
 
 namespace {
@@ -24,25 +28,36 @@ void Usage() {
       "  --method M      psi (default) | enumeration\n"
       "  --threads T     parallel workers (default 1)\n"
       "  --timeout SEC   overall mining deadline (default none)\n"
-      "  --print K       print the first K patterns (default 10)\n";
+      "  --print K       print the first K patterns (default 10)\n"
+      "  --depth D       signature depth for psi / serve (default 2)\n"
+      "serve mode (support counting through the batched service path):\n"
+      "  --serve         route per-pivot probes through a PsiService\n"
+      "                  (one SubmitBatch per candidate pattern)\n"
+      "  --workers N     service workers in serve mode (default 4)\n"
+      "  --queue N       service admission queue bound (default 256)\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argv[1][0] == '-') {
+  const tools::ArgSpec spec{
+      /*switches=*/{"--serve"},
+      /*options=*/{"--support", "--max-edges", "--method", "--threads",
+                   "--timeout", "--print", "--depth", "--workers", "--queue"},
+      /*max_positional=*/1};
+  const tools::ParsedArgs args = tools::ParseArgs(argc, argv, spec);
+  if (!args.ok()) {
+    std::cerr << "psi_mine: " << args.error << "\n";
     Usage();
     return 2;
   }
-  std::map<std::string, std::string> args;
-  for (int i = 2; i + 1 < argc; i += 2) args[argv[i]] = argv[i + 1];
-  auto get = [&](const std::string& key,
-                 const std::string& fallback) -> std::string {
-    const auto it = args.find(key);
-    return it == args.end() ? fallback : it->second;
-  };
+  if (args.positional.size() != 1) {
+    std::cerr << "psi_mine: expected exactly one <graph.lg> argument\n";
+    Usage();
+    return 2;
+  }
 
-  auto loaded = graph::LoadLgFile(argv[1]);
+  auto loaded = graph::LoadLgFile(args.positional[0]);
   if (!loaded.ok()) {
     std::cerr << loaded.status().ToString() << "\n";
     return 1;
@@ -52,13 +67,15 @@ int main(int argc, char** argv) {
             << " edges, " << g.num_labels() << " labels\n";
 
   fsm::FsmConfig config;
-  config.min_support = std::strtoull(get("--support", "100").c_str(),
-                                     nullptr, 10);
-  config.max_edges = std::strtoull(get("--max-edges", "4").c_str(),
-                                   nullptr, 10);
-  config.num_threads = std::strtoull(get("--threads", "1").c_str(),
-                                     nullptr, 10);
-  const std::string method = get("--method", "psi");
+  config.min_support =
+      std::strtoull(args.Get("--support", "100").c_str(), nullptr, 10);
+  config.max_edges =
+      std::strtoull(args.Get("--max-edges", "4").c_str(), nullptr, 10);
+  config.num_threads =
+      std::strtoull(args.Get("--threads", "1").c_str(), nullptr, 10);
+  config.signature_depth = static_cast<uint32_t>(
+      std::strtoul(args.Get("--depth", "2").c_str(), nullptr, 10));
+  const std::string method = args.Get("--method", "psi");
   if (method == "psi") {
     config.method = fsm::SupportMethod::kPsi;
   } else if (method == "enumeration") {
@@ -67,7 +84,22 @@ int main(int argc, char** argv) {
     std::cerr << "unknown method: " << method << "\n";
     return 2;
   }
-  const double timeout = std::atof(get("--timeout", "0").c_str());
+  const double timeout = std::atof(args.Get("--timeout", "0").c_str());
+
+  // Serve mode: stand up an in-process PsiService over the graph and count
+  // support through its batched submission path (DESIGN.md §17). The
+  // service builds and owns the snapshot signatures.
+  std::unique_ptr<service::PsiService> served;
+  if (args.Has("--serve")) {
+    service::ServiceOptions service_options;
+    service_options.num_workers =
+        std::strtoull(args.Get("--workers", "4").c_str(), nullptr, 10);
+    service_options.max_queue_depth =
+        std::strtoull(args.Get("--queue", "256").c_str(), nullptr, 10);
+    service_options.engine.signature_depth = config.signature_depth;
+    served = std::make_unique<service::PsiService>(g, service_options);
+    config.service = served.get();
+  }
 
   fsm::FsmMiner miner(g, config);
   const fsm::FsmResult result = miner.Mine(
@@ -76,12 +108,22 @@ int main(int argc, char** argv) {
   std::cout << "Mined " << result.frequent.size() << " frequent patterns in "
             << util::FormatDuration(result.seconds) << " ("
             << result.candidates_evaluated << " candidates, method "
-            << fsm::SupportMethodName(config.method) << ")";
+            << (served != nullptr ? "served-psi"
+                                  : fsm::SupportMethodName(config.method))
+            << ")";
   if (!result.complete) std::cout << " [INCOMPLETE: deadline]";
   std::cout << "\n";
+  if (served != nullptr) {
+    const service::ServiceStats stats = served->Stats();
+    std::cout << "Service: batches=" << stats.metrics.batch_submitted
+              << " queries=" << stats.metrics.batch_queries
+              << " context_hits=" << stats.metrics.batch_context_hits
+              << " signature_build="
+              << util::FormatDuration(stats.signature_build_seconds) << "\n";
+  }
 
   const size_t to_print = std::min<size_t>(
-      std::strtoull(get("--print", "10").c_str(), nullptr, 10),
+      std::strtoull(args.Get("--print", "10").c_str(), nullptr, 10),
       result.frequent.size());
   for (size_t i = 0; i < to_print; ++i) {
     std::cout << "  support>=" << result.frequent[i].support << "  "

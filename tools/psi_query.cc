@@ -7,7 +7,6 @@
 
 #include <cstdlib>
 #include <iostream>
-#include <map>
 #include <memory>
 #include <string>
 
@@ -21,6 +20,7 @@
 #include "match/turbo_iso.h"
 #include "match/ullmann.h"
 #include "match/vf2.h"
+#include "tools/tool_args.h"
 #include "util/stats.h"
 #include "util/timer.h"
 
@@ -52,30 +52,27 @@ struct QueryAnswer {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argv[1][0] == '-') {
+  const tools::ArgSpec spec{
+      /*switches=*/{"--verbose"},
+      /*options=*/{"--queries", "--extract", "--count", "--engine",
+                   "--threads", "--depth", "--timeout", "--seed"},
+      /*max_positional=*/1};
+  const tools::ParsedArgs args = tools::ParseArgs(argc, argv, spec);
+  if (!args.ok()) {
+    std::cerr << "psi_query: " << args.error << "\n";
     Usage();
     return 2;
   }
-  const std::string graph_path = argv[1];
-  std::map<std::string, std::string> args;
-  for (int i = 2; i < argc; ++i) {
-    const std::string key = argv[i];
-    if (key == "--verbose") {
-      args[key] = "1";
-    } else if (i + 1 < argc) {
-      args[key] = argv[++i];
-    } else {
-      Usage();
-      return 2;
-    }
+  if (args.positional.size() != 1) {
+    std::cerr << "psi_query: expected exactly one <graph.lg> argument\n";
+    Usage();
+    return 2;
   }
-  auto get = [&](const std::string& key,
-                 const std::string& fallback) -> std::string {
-    const auto it = args.find(key);
-    return it == args.end() ? fallback : it->second;
+  auto get = [&](const std::string& key, const std::string& fallback) {
+    return args.Get(key, fallback);
   };
 
-  auto loaded = graph::LoadLgFile(graph_path);
+  auto loaded = graph::LoadLgFile(args.positional[0]);
   if (!loaded.ok()) {
     std::cerr << loaded.status().ToString() << "\n";
     return 1;
@@ -86,14 +83,14 @@ int main(int argc, char** argv) {
 
   // --- Workload ---------------------------------------------------------
   std::vector<graph::QueryGraph> queries;
-  if (args.count("--queries")) {
+  if (args.Has("--queries")) {
     auto parsed = graph::LoadQueryFile(get("--queries", ""));
     if (!parsed.ok()) {
       std::cerr << parsed.status().ToString() << "\n";
       return 1;
     }
     queries = std::move(parsed).value();
-  } else if (args.count("--extract")) {
+  } else if (args.Has("--extract")) {
     const size_t size = std::strtoull(get("--extract", "5").c_str(),
                                       nullptr, 10);
     const size_t count = std::strtoull(get("--count", "10").c_str(),
@@ -115,7 +112,7 @@ int main(int argc, char** argv) {
   auto deadline = [&]() {
     return timeout > 0 ? util::Deadline::After(timeout) : util::Deadline();
   };
-  const bool verbose = args.count("--verbose") > 0;
+  const bool verbose = args.Has("--verbose");
   const std::string engine_name = get("--engine", "smartpsi");
   const uint32_t depth = static_cast<uint32_t>(
       std::strtoul(get("--depth", "2").c_str(), nullptr, 10));
